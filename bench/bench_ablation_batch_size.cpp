@@ -1,0 +1,37 @@
+// Ablation (§III text) — batch-size sensitivity of the cascade.
+//
+// Paper: "Changing batch size does not have a significant effect on
+// multi-precision features... with higher batch sizes, the latency of an
+// image to pass through the multi-precision system increases."
+#include "bench_common.hpp"
+
+using namespace mpcnn;
+
+int main() {
+  bench::print_header(
+      "Ablation: batch size vs cascade throughput and latency (A & FINN)",
+      "throughput ~flat across batch sizes; per-image latency grows");
+
+  core::Workbench wb(bench::bench_config());
+  const float threshold = wb.operating_threshold();
+
+  std::printf("%10s %12s %14s %14s %10s\n", "batch", "img/s",
+              "mean lat (ms)", "max lat (ms)", "rerun%");
+  double fps_smallest = 0.0, fps_largest = 0.0;
+  for (Dim batch : {16, 32, 64, 100, 200, 400, 800}) {
+    core::MultiPrecisionSystem system =
+        wb.make_system('A', threshold, batch, /*arm_calibrated=*/true);
+    const core::MultiPrecisionReport r = system.run(wb.test_set());
+    if (fps_smallest == 0.0) fps_smallest = r.images_per_second;
+    fps_largest = r.images_per_second;
+    std::printf("%10lld %12.2f %14.2f %14.2f %10.1f\n",
+                static_cast<long long>(batch), r.images_per_second,
+                1e3 * r.timing.mean_latency_s, 1e3 * r.timing.max_latency_s,
+                100.0 * r.rerun_ratio);
+  }
+  bench::print_rule();
+  std::printf("throughput drift smallest->largest batch: %+.1f%% "
+              "(paper: not significant)\n",
+              100.0 * (fps_largest / fps_smallest - 1.0));
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Ablation (design choice, DESIGN.md) — DMU feature presentation.
+//
+// The paper trains its Softmax gate on the raw 10 BNN scores; raw class
+// scores are not permutation-invariant, so this library defaults to the
+// same-cost sorted presentation.  This bench quantifies the difference.
+#include "bench_common.hpp"
+
+using namespace mpcnn;
+
+int main() {
+  bench::print_header(
+      "Ablation: DMU features (sorted vs raw scores)",
+      "the gate is 10 multiplies + sigmoid either way; sorting helps");
+
+  core::Workbench wb(bench::bench_config());
+  const auto& train = wb.train_scores();
+  const auto& test = wb.test_scores();
+
+  std::printf("%-10s | %10s %10s %10s %10s %10s\n", "features",
+              "gate-acc%", "FS%", "F!S%", "FS!%", "rerun%");
+  for (const auto features :
+       {core::DmuFeatures::kSortedScores, core::DmuFeatures::kRawScores}) {
+    core::Dmu dmu;
+    core::Dmu::TrainConfig config;
+    config.features = features;
+    dmu.train(train, config);
+    const core::DmuConfusion c = dmu.confusion(test, 0.84f);
+    std::printf("%-10s | %10.1f %10.1f %10.1f %10.1f %10.1f\n",
+                features == core::DmuFeatures::kSortedScores ? "sorted"
+                                                             : "raw",
+                100.0 * c.gate_accuracy(), 100.0 * c.fs, 100.0 * c.fnot_s,
+                100.0 * c.fs_not, 100.0 * c.rerun_ratio());
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// Ablation (§IV future work) — mixed precision on the FPGA.
+//
+// Two sides of the precision trade-off:
+//  * hardware: bit-serial engines — cycles scale with weight×activation
+//    bits, weight memory widens (modelled on the operating design);
+//  * accuracy: post-training weight quantisation of the float host model
+//    across 1..8 bits (measured on the trained scaled Model A).
+#include "bench_common.hpp"
+#include "finn/mixed_precision.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/serialize.hpp"
+
+using namespace mpcnn;
+
+int main() {
+  bench::print_header(
+      "Ablation: mixed precision (paper §IV future work)",
+      "more bits: slower engines + more BRAM, but accuracy recovers");
+
+  core::Workbench wb(bench::bench_config());
+  const finn::FinnDesign& design = wb.operating_design();
+  const finn::Device& device = wb.device();
+
+  std::printf("-- hardware model on the operating design --\n");
+  std::printf("%8s %8s %12s %12s %8s %8s\n", "w bits", "a bits",
+              "expected", "obtained", "BRAM%", "LUT%");
+  for (int bits = 1; bits <= 8; bits *= 2) {
+    const finn::DesignPerformance perf = finn::evaluate_with_precision(
+        design, finn::Precision{bits, bits}, 1000);
+    std::printf("%8d %8d %12.1f %12.1f %7.1f%% %7.1f%%\n", bits, bits,
+                perf.expected_fps, perf.obtained_fps,
+                100.0 * perf.usage.bram_utilisation(device),
+                100.0 * perf.usage.lut_utilisation(device));
+  }
+
+  std::printf("\n-- per-layer mixed config: first+last layers 4-bit, "
+              "inner layers 1-bit --\n");
+  std::vector<finn::Precision> mixed(design.engines().size(),
+                                     finn::Precision{1, 1});
+  mixed.front() = finn::Precision{4, 4};
+  mixed.back() = finn::Precision{4, 4};
+  const finn::DesignPerformance mp = finn::evaluate_mixed(design, mixed,
+                                                          1000);
+  std::printf("%8s %8s %12.1f %12.1f %7.1f%% %7.1f%%\n", "mixed", "-",
+              mp.expected_fps, mp.obtained_fps,
+              100.0 * mp.usage.bram_utilisation(device),
+              100.0 * mp.usage.lut_utilisation(device));
+
+  bench::print_rule();
+  std::printf("-- accuracy side: post-training weight quantisation of the "
+              "trained Model A --\n");
+  std::printf("%8s %10s\n", "bits", "acc%");
+  const double full = 100.0 * wb.model_accuracy('A');
+  for (int bits : {1, 2, 3, 4, 6, 8}) {
+    // Fresh copy of the trained weights for each sweep point.
+    nn::Net quantized = [&] {
+      nn::ModelOptions options;
+      options.width = wb.config().model_a_width;
+      options.seed = wb.config().seed + 'A';
+      options.dropout = 0.5f;
+      nn::Net net = nn::make_model_a(options);
+      // Clone trained state tensor-for-tensor.
+      auto src = wb.model('A').layers().begin();
+      for (auto& layer : net.layers()) {
+        auto src_state = (*src)->state();
+        auto dst_state = layer->state();
+        for (std::size_t i = 0; i < dst_state.size(); ++i) {
+          *dst_state[i] = *src_state[i];
+        }
+        ++src;
+      }
+      return net;
+    }();
+    finn::quantize_net_weights(quantized, bits);
+    const double acc = 100.0 * quantized.evaluate(wb.test_set().images,
+                                                  wb.test_set().labels);
+    std::printf("%8d %10.1f\n", bits, acc);
+  }
+  std::printf("%8s %10.1f\n", "float", full);
+  return 0;
+}

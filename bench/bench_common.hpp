@@ -1,0 +1,42 @@
+// Shared setup for the benchmark/reproduction binaries.
+//
+// Every binary prints the rows of one paper table or figure, with the
+// paper's reported numbers alongside where applicable.  Heavy artefacts
+// (trained nets) come from the shared on-disk cache, so the suite trains
+// each network once regardless of how many binaries run.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "core/workbench.hpp"
+
+namespace mpcnn::bench {
+
+/// Cache location: MPCNN_CACHE_DIR env var, else ./mpcnn_cache.
+inline std::string cache_dir() {
+  if (const char* env = std::getenv("MPCNN_CACHE_DIR")) return env;
+  return "mpcnn_cache";
+}
+
+/// The shared experiment configuration (must stay identical across all
+/// binaries so the cache is reused).
+inline core::WorkbenchConfig bench_config() {
+  core::WorkbenchConfig config;
+  config.cache_dir = cache_dir();
+  return config;
+}
+
+inline void print_header(const char* experiment, const char* claim) {
+  std::printf("================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("  paper: %s\n", claim);
+  std::printf("================================================================\n");
+}
+
+inline void print_rule() {
+  std::printf("----------------------------------------------------------------\n");
+}
+
+}  // namespace mpcnn::bench

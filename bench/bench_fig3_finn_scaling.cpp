@@ -1,0 +1,47 @@
+// Fig. 3 — performance (expected vs obtained images/s) and area
+// utilisation (BRAM_18K, LUT) across rate-balanced FINN configurations
+// on the ZC702, naive (power-of-two rounded) BRAM allocation.
+//
+// The paper's shape: expected and obtained agree at low PE counts; at
+// high parallelism obtained saturates (their plateau ≈ 1741–1772 img/s)
+// while expected keeps climbing — the host↔fabric interface, not the
+// engines, becomes the bottleneck.
+#include "bench_common.hpp"
+#include "bnn/topology.hpp"
+#include "finn/explorer.hpp"
+
+using namespace mpcnn;
+
+int main() {
+  bench::print_header(
+      "Fig. 3: FINN scaling on ZC702 (naive BRAM allocation)",
+      "expected/obtained diverge at high PE; BRAM 52-88%, LUT 40-100%");
+
+  const auto layers = bnn::cnv_engine_infos();
+  const finn::Device device = finn::zc702();
+  finn::ResourceModelConfig naive;  // pow-2 rounding, no partitioning
+  const auto designs = finn::design_space(layers, device, naive,
+                                          finn::ExplorerConfig{}, 40);
+
+  std::printf("%8s %12s %12s %9s %8s %8s %9s\n", "totalPE", "expected",
+              "obtained", "ratio", "BRAM%", "LUT%", "mem-occ%");
+  for (const auto& design : designs) {
+    const finn::DesignPerformance perf = design.evaluate(1000);
+    std::printf("%8lld %12.1f %12.1f %9.2f %7.1f%% %7.1f%% %8.1f%%\n",
+                static_cast<long long>(design.total_pe()),
+                perf.expected_fps, perf.obtained_fps,
+                perf.obtained_fps / perf.expected_fps,
+                100.0 * perf.usage.bram_utilisation(device),
+                100.0 * perf.usage.lut_utilisation(device),
+                100.0 * perf.usage.memory_efficiency());
+  }
+
+  bench::print_rule();
+  std::printf("interface ceiling for 3KiB images: %.1f img/s "
+              "(paper's obtained plateau: ~1741-1772)\n",
+              device.interface_fps_cap(3 * 32 * 32));
+  std::printf("mem-occ%% = used/allocated BRAM bits under the naive "
+              "pow-2 allocation\n(Fraser et al. report ~22%% average on "
+              "their configurations).\n");
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Fig. 4 — the same design sweep with block-type array partitioning of
+// the weight/threshold memories.
+//
+// Paper claims: BRAM utilisation drops 15-18 percentage points; high-PE
+// configurations keep their obtained performance, low-PE ones slow down
+// (the deep partitioned memories add read-mux levels on the weight
+// fetch path).  §III-A then picks the lowest-BRAM configuration that
+// still sustains real-time-class throughput: 32 PEs, 430 img/s, 65%.
+#include "bench_common.hpp"
+#include "bnn/topology.hpp"
+#include "finn/explorer.hpp"
+
+using namespace mpcnn;
+
+int main() {
+  bench::print_header(
+      "Fig. 4: FINN scaling with block array partitioning",
+      "BRAM drops 15-18 pts; low-PE configs slow down, high-PE keep fps");
+
+  const auto layers = bnn::cnv_engine_infos();
+  const finn::Device device = finn::zc702();
+  finn::ResourceModelConfig naive;
+  finn::ResourceModelConfig part;
+  part.block_partition = true;
+
+  const auto designs = finn::design_space(layers, device, naive,
+                                          finn::ExplorerConfig{}, 40);
+
+  std::printf("%8s | %12s %8s | %12s %8s | %9s %9s\n", "totalPE",
+              "obt.naive", "BRAM%", "obt.part", "BRAM%", "dBRAMpts",
+              "slowdown");
+  double sum_drop = 0.0;
+  for (const auto& design : designs) {
+    const finn::DesignPerformance a = design.evaluate(1000);
+    finn::FinnDesign partitioned(design.engines(), device, part);
+    const finn::DesignPerformance b = partitioned.evaluate(1000);
+    const double bram_a = 100.0 * a.usage.bram_utilisation(device);
+    const double bram_b = 100.0 * b.usage.bram_utilisation(device);
+    sum_drop += bram_a - bram_b;
+    std::printf("%8lld | %12.1f %7.1f%% | %12.1f %7.1f%% | %9.1f %8.1f%%\n",
+                static_cast<long long>(design.total_pe()), a.obtained_fps,
+                bram_a, b.obtained_fps, bram_b, bram_a - bram_b,
+                100.0 * (1.0 - b.obtained_fps / a.obtained_fps));
+  }
+  bench::print_rule();
+  std::printf("mean BRAM drop: %.1f points (paper: 15-18)\n",
+              sum_drop / static_cast<double>(designs.size()));
+
+  const auto part_designs = finn::design_space(layers, device, part,
+                                               finn::ExplorerConfig{}, 40);
+  const std::size_t pick = finn::pick_operating_point(part_designs, 400.0);
+  const finn::DesignPerformance perf = part_designs[pick].evaluate(1000);
+  std::printf("\noperating point (lowest BRAM with >=400 img/s):\n"
+              "  %lld total PEs, %.1f img/s, BRAM %.1f%%, LUT %.1f%%\n"
+              "  (paper picks 32 PEs, 430 img/s, 65%% BRAM)\n",
+              static_cast<long long>(part_designs[pick].total_pe()),
+              perf.obtained_fps,
+              100.0 * perf.usage.bram_utilisation(device),
+              100.0 * perf.usage.lut_utilisation(device));
+  return 0;
+}

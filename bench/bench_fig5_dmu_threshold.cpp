@@ -1,0 +1,34 @@
+// Fig. 5 — Softmax-gate accuracy and the FS̄ / F̄S shares across the
+// threshold range 0.5–1.0, measured on the training set (as the paper
+// does when selecting the operating threshold).
+#include "bench_common.hpp"
+
+using namespace mpcnn;
+
+int main() {
+  bench::print_header(
+      "Fig. 5: DMU threshold sweep on the training set",
+      "over thresholds 0.5-1.0, F-bar-S falls while F-S-bar rises");
+
+  core::Workbench wb(bench::bench_config());
+  const core::Dmu& dmu = wb.dmu();
+  const auto& examples = wb.train_scores();
+
+  std::vector<float> thresholds;
+  for (float t = 0.50f; t <= 1.0001f; t += 0.05f) thresholds.push_back(t);
+  const auto sweep = dmu.sweep(examples, thresholds);
+
+  std::printf("%10s %10s %10s %10s %10s %10s\n", "threshold", "FS%",
+              "F!S!%", "F!S%", "FS!%", "gate-acc%");
+  for (const auto& [threshold, c] : sweep) {
+    std::printf("%10.2f %10.1f %10.1f %10.1f %10.1f %10.1f\n", threshold,
+                100.0 * c.fs, 100.0 * c.fnot_snot, 100.0 * c.fnot_s,
+                100.0 * c.fs_not, 100.0 * c.gate_accuracy());
+  }
+
+  bench::print_rule();
+  std::printf("legend: F = BNN correct, S = gate trusts the BNN;\n"
+              "        F!S (missed errors) must fall with the threshold,\n"
+              "        FS! (wasted reruns) must rise — Fig. 5's shape.\n");
+  return 0;
+}

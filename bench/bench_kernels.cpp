@@ -1,0 +1,109 @@
+// Micro-benchmarks of the compute kernels underneath everything
+// (google-benchmark): float GEMM, XNOR-popcount dot products, im2col,
+// and whole-network BNN inference in both executors.
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bnn/bitpack.hpp"
+#include "bnn/compile.hpp"
+#include "bnn/topology.hpp"
+#include "finn/executor.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/im2col.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace mpcnn;
+
+void BM_Gemm(benchmark::State& state) {
+  const Dim n = state.range(0);
+  Rng rng(1);
+  std::vector<float> A(static_cast<std::size_t>(n * n));
+  std::vector<float> B(static_cast<std::size_t>(n * n));
+  std::vector<float> C(static_cast<std::size_t>(n * n));
+  for (auto& v : A) v = static_cast<float>(rng.uniform());
+  for (auto& v : B) v = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    gemm(n, n, n, 1.0f, A.data(), B.data(), 0.0f, C.data());
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.counters["GFLOPs"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n, benchmark::Counter::kIsRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_XnorDot(benchmark::State& state) {
+  const Dim bits = state.range(0);
+  Rng rng(2);
+  bnn::BitVector a(bits), b(bits);
+  for (Dim i = 0; i < bits; ++i) {
+    a.set(i, rng.bernoulli(0.5));
+    b.set(i, rng.bernoulli(0.5));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(a.dot_bipolar(b));
+  }
+  state.counters["Gbit/s"] = benchmark::Counter(
+      static_cast<double>(bits), benchmark::Counter::kIsRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_XnorDot)->Arg(576)->Arg(2304)->Arg(16384);
+
+void BM_Im2Col(benchmark::State& state) {
+  ConvGeometry g{64, 30, 30, 3, 1, 0};
+  Rng rng(3);
+  std::vector<float> im(static_cast<std::size_t>(g.in_channels * g.in_h *
+                                                 g.in_w));
+  for (auto& v : im) v = static_cast<float>(rng.uniform());
+  std::vector<float> col(static_cast<std::size_t>(g.patch_size() *
+                                                  g.positions()));
+  for (auto _ : state) {
+    im2col(g, im.data(), col.data());
+    benchmark::DoNotOptimize(col.data());
+  }
+}
+BENCHMARK(BM_Im2Col);
+
+struct BnnFixture {
+  bnn::CompiledBnn net;
+  Tensor image{Shape{1, 3, 32, 32}};
+
+  BnnFixture() {
+    bnn::CnvConfig config;
+    config.width = 0.25f;
+    nn::Net graph = bnn::make_cnv_net(config);
+    Rng rng(7);
+    graph.init(rng);
+    net = bnn::compile_bnn(graph);
+    image.fill_uniform(rng, 0.0f, 1.0f);
+  }
+};
+
+void BM_BnnReference(benchmark::State& state) {
+  static BnnFixture fx;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bnn::run_reference(fx.net, fx.image));
+  }
+  state.counters["img/s"] = benchmark::Counter(
+      1.0, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BnnReference);
+
+void BM_BnnFoldedExecutor(benchmark::State& state) {
+  static BnnFixture fx;
+  static finn::FoldedExecutor executor(
+      fx.net, finn::engines_for_compiled(fx.net, 100'000, 32));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(executor.run(fx.image));
+  }
+  state.counters["img/s"] = benchmark::Counter(
+      1.0, benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_BnnFoldedExecutor);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,60 @@
+// Table I — the FINN CNV engines used to classify CIFAR-10, plus the
+// derived weight-matrix geometry and Eq. (3)/(4) cycle counts at the
+// operating-point folding.
+#include "bench_common.hpp"
+#include "bnn/topology.hpp"
+#include "finn/explorer.hpp"
+
+using namespace mpcnn;
+
+int main() {
+  bench::print_header(
+      "Table I: FINN network for CIFAR-10 (no zero padding)",
+      "6 conv + 2 pool + 3 FC layers; engines scalable via P and S");
+
+  const auto infos = bnn::cnv_layer_infos();
+  std::printf("%-24s %10s %10s %12s %12s\n", "layer", "output", "weights",
+              "rows x cols", "accum bits");
+  for (const auto& info : infos) {
+    char output[32];
+    std::snprintf(output, sizeof(output), "%lldx%lldx%lld",
+                  static_cast<long long>(info.out_ch),
+                  static_cast<long long>(info.out_h),
+                  static_cast<long long>(info.out_w));
+    if (info.kind == bnn::CnvLayerInfo::Kind::kPool) {
+      std::printf("%-24s %10s %10s %12s %12s\n", info.label.c_str(), output,
+                  "-", "-", "-");
+      continue;
+    }
+    char geometry[32];
+    std::snprintf(geometry, sizeof(geometry), "%lldx%lld",
+                  static_cast<long long>(info.weight_rows()),
+                  static_cast<long long>(info.weight_cols()));
+    std::printf("%-24s %10s %10lld %12s %12d\n", info.label.c_str(), output,
+                static_cast<long long>(info.weight_bits()), geometry,
+                info.has_threshold ? info.accum_bits : 0);
+  }
+
+  bench::print_rule();
+  std::printf("Rate-balanced folding at the paper's operating point "
+              "(>= 400 img/s):\n\n");
+  const auto engines_layers = bnn::cnv_engine_infos();
+  finn::ResourceModelConfig resource;
+  resource.block_partition = true;
+  const auto designs = finn::design_space(engines_layers, finn::zc702(),
+                                          resource, finn::ExplorerConfig{},
+                                          40);
+  const std::size_t pick = finn::pick_operating_point(designs, 400.0);
+  const finn::FinnDesign& design = designs[pick];
+  std::printf("%-24s %4s %5s %14s\n", "engine", "P", "S", "cycles (Eq.3/4)");
+  for (const auto& engine : design.engines()) {
+    std::printf("%-24s %4lld %5lld %14lld\n", engine.layer.label.c_str(),
+                static_cast<long long>(engine.folding.pe),
+                static_cast<long long>(engine.folding.simd),
+                static_cast<long long>(engine.cycles_per_image()));
+  }
+  std::printf("\ntotal PE count: %lld;  bottleneck II: %lld cycles\n",
+              static_cast<long long>(design.total_pe()),
+              static_cast<long long>(design.bottleneck_cycles()));
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Table II — the DMU operating point.  The paper fixes threshold 0.84
+// and reports FS 66.2%, F̄S̄ 12.8%, F̄S 8.7%, FS̄ 12.3% on CIFAR-10
+// training data, capping the achievable cascade accuracy at 91.3%.
+#include "bench_common.hpp"
+
+using namespace mpcnn;
+
+int main() {
+  bench::print_header(
+      "Table II: Softmax gate at the operating threshold",
+      "θ=0.84 → FS 66.2 / F!S! 12.8 / F!S 8.7 / FS! 12.3 %, cap 91.3%");
+
+  core::Workbench wb(bench::bench_config());
+  const core::Dmu& dmu = wb.dmu();
+
+  // Our gate is BCE-calibrated while the paper's softmax layer is
+  // overconfident, so the equivalent of their θ=0.84 is the threshold
+  // that spends the same rerun budget (25.1% of the training set).
+  const float threshold = wb.operating_threshold();
+  std::printf("operating threshold: %.3f (paper: 0.84 on its gate)\n\n",
+              threshold);
+  const core::DmuConfusion train = dmu.confusion(wb.train_scores(),
+                                                 threshold);
+  const core::DmuConfusion test = dmu.confusion(wb.test_scores(),
+                                                threshold);
+
+  std::printf("%-14s %8s %8s %8s %8s %10s %8s\n", "set", "FS%", "F!S!%",
+              "F!S%", "FS!%", "rerun%", "cap%");
+  std::printf("%-14s %8.1f %8.1f %8.1f %8.1f %10.1f %8.1f\n", "train (ours)",
+              100.0 * train.fs, 100.0 * train.fnot_snot,
+              100.0 * train.fnot_s, 100.0 * train.fs_not,
+              100.0 * train.rerun_ratio(),
+              100.0 * train.max_achievable_accuracy());
+  std::printf("%-14s %8.1f %8.1f %8.1f %8.1f %10.1f %8.1f\n", "test (ours)",
+              100.0 * test.fs, 100.0 * test.fnot_snot, 100.0 * test.fnot_s,
+              100.0 * test.fs_not, 100.0 * test.rerun_ratio(),
+              100.0 * test.max_achievable_accuracy());
+  std::printf("%-14s %8.1f %8.1f %8.1f %8.1f %10.1f %8.1f\n",
+              "paper (train)", 66.2, 12.8, 8.7, 12.3, 25.1, 91.3);
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table IV — non-heterogeneous classification: each float model alone on
+// the host, and FINN alone on the fabric.
+//
+// Accuracy comes from the trained width-scaled variants; throughput from
+// (a) measured full-width host inference on this machine and (b) the
+// FINN cycle model at the operating point.  Absolute img/s differ from
+// the Cortex-A9's, the ordering and ratios are the claim under test.
+#include "bench_common.hpp"
+
+using namespace mpcnn;
+
+int main() {
+  bench::print_header(
+      "Table IV: non-heterogeneous baselines (models alone)",
+      "acc: A 81.4 / B 89.3 / C 90.7 / FINN 78.5 %; rate: 29.68 / 3.63 "
+      "/ 3.09 / 430.15 img/s");
+
+  core::Workbench wb(bench::bench_config());
+
+  struct PaperRow {
+    char model;
+    double acc, fps;
+  };
+  const PaperRow paper[] = {
+      {'A', 81.4, 29.68}, {'B', 89.3, 3.63}, {'C', 90.7, 3.09}};
+
+  std::printf("%-14s %12s %12s %14s %14s\n", "model", "acc% (ours)",
+              "img/s (ours)", "acc% (paper)", "img/s (paper)");
+  for (const PaperRow& row : paper) {
+    const double acc = 100.0 * wb.model_accuracy(row.model);
+    const core::HostProfile& profile = wb.host_profile(row.model);
+    std::printf("%-14c %12.1f %12.2f %14.1f %14.2f\n", row.model, acc,
+                profile.images_per_second, row.acc, row.fps);
+  }
+  const finn::DesignPerformance perf = wb.operating_design().evaluate(1000);
+  std::printf("%-14s %12.1f %12.2f %14.1f %14.2f\n", "FINN (FPGA)",
+              100.0 * wb.bnn_accuracy(), perf.obtained_fps, 78.5, 430.15);
+
+  bench::print_rule();
+  std::printf("shape checks:\n");
+  const double fps_a = wb.host_profile('A').images_per_second;
+  const double fps_b = wb.host_profile('B').images_per_second;
+  const double fps_c = wb.host_profile('C').images_per_second;
+  std::printf("  FINN rate / Model A rate: %.1fx (paper %.1fx)\n",
+              perf.obtained_fps / fps_a, 430.15 / 29.68);
+  std::printf("  Model A rate / Model B rate: %.1fx (paper %.1fx)\n",
+              fps_a / fps_b, 29.68 / 3.63);
+  std::printf("  Model A rate / Model C rate: %.1fx (paper %.1fx)\n",
+              fps_a / fps_c, 29.68 / 3.09);
+  std::printf("  accuracy ordering FINN < A < B <= C: %s\n",
+              (wb.bnn_accuracy() < wb.model_accuracy('A') &&
+               wb.model_accuracy('A') < wb.model_accuracy('B') &&
+               wb.model_accuracy('B') <= wb.model_accuracy('C') + 0.02)
+                  ? "holds"
+                  : "VIOLATED");
+  return 0;
+}

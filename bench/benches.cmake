@@ -1,0 +1,29 @@
+# One binary per reproduced table/figure plus ablations; bench_kernels
+# uses google-benchmark, the reproduction binaries print paper-style rows.
+set(MPCNN_BENCHES
+  bench_table1_topology
+  bench_fig3_finn_scaling
+  bench_fig4_partitioned
+  bench_fig5_dmu_threshold
+  bench_table2_dmu_operating_point
+  bench_table3_models
+  bench_table4_host_models
+  bench_table5_multiprecision
+  bench_eq12_analytic_model
+  bench_ablation_batch_size
+  bench_ablation_mixed_precision
+  bench_ablation_partial_binarisation
+  bench_ablation_dmu_features
+)
+
+foreach(bench ${MPCNN_BENCHES})
+  add_executable(${bench} ${CMAKE_SOURCE_DIR}/bench/${bench}.cpp)
+  set_target_properties(${bench} PROPERTIES
+    RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+  target_link_libraries(${bench} PRIVATE mpcnn_core)
+endforeach()
+
+add_executable(bench_kernels ${CMAKE_SOURCE_DIR}/bench/bench_kernels.cpp)
+set_target_properties(bench_kernels PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+target_link_libraries(bench_kernels PRIVATE mpcnn_finn benchmark::benchmark)

@@ -1,0 +1,74 @@
+// FINN design-space exploration tool: enumerate rate-balanced fabric
+// designs for a target device and pick configurations by throughput or
+// resource goals — the §III-A workflow as a reusable utility.
+//
+// Usage: design_space [min_fps] [zc702|zc706]
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "bnn/topology.hpp"
+#include "finn/explorer.hpp"
+#include "finn/mixed_precision.hpp"
+
+using namespace mpcnn;
+
+int main(int argc, char** argv) {
+  const double min_fps = argc > 1 ? std::atof(argv[1]) : 400.0;
+  const finn::Device device =
+      (argc > 2 && std::strcmp(argv[2], "zc706") == 0) ? finn::zc706()
+                                                       : finn::zc702();
+
+  std::printf("device: %s (%lld BRAM_18K, %lld LUTs, %.0f MHz)\n",
+              device.name.c_str(), static_cast<long long>(device.bram_18k),
+              static_cast<long long>(device.luts), device.clock_mhz);
+  std::printf("network: FINN CNV (Table I), full width\n\n");
+
+  const auto layers = bnn::cnv_engine_infos();
+  finn::ResourceModelConfig resource;
+  resource.block_partition = true;
+  const auto designs = finn::design_space(layers, device, resource,
+                                          finn::ExplorerConfig{}, 40);
+
+  std::printf("%8s %12s %12s %8s %8s %12s\n", "totalPE", "expected",
+              "obtained", "BRAM%", "LUT%", "latency(ms)");
+  for (const auto& design : designs) {
+    const finn::DesignPerformance perf = design.evaluate(1000);
+    const bool fits = perf.usage.bram_utilisation(device) <= 1.0 &&
+                      perf.usage.lut_utilisation(device) <= 1.0;
+    std::printf("%8lld %12.1f %12.1f %7.1f%% %7.1f%% %12.2f%s\n",
+                static_cast<long long>(design.total_pe()),
+                perf.expected_fps, perf.obtained_fps,
+                100.0 * perf.usage.bram_utilisation(device),
+                100.0 * perf.usage.lut_utilisation(device),
+                1e3 * perf.latency_s, fits ? "" : "  (!) over budget");
+  }
+
+  const std::size_t pick = finn::pick_operating_point(designs, min_fps);
+  const finn::FinnDesign& best = designs[pick];
+  const finn::DesignPerformance perf = best.evaluate(1000);
+  std::printf("\npick for >= %.0f img/s with minimal BRAM: %lld PEs, "
+              "%.1f img/s, BRAM %.1f%%\n",
+              min_fps, static_cast<long long>(best.total_pe()),
+              perf.obtained_fps,
+              100.0 * perf.usage.bram_utilisation(device));
+  std::printf("per-engine folding:\n");
+  for (const auto& engine : best.engines()) {
+    std::printf("  %-22s P=%-3lld S=%-3lld  %lld cycles\n",
+                engine.layer.label.c_str(),
+                static_cast<long long>(engine.folding.pe),
+                static_cast<long long>(engine.folding.simd),
+                static_cast<long long>(engine.cycles_per_image()));
+  }
+
+  std::printf("\nmixed-precision variants of this design "
+              "(future-work §IV):\n");
+  std::printf("%8s %12s %8s\n", "bits", "obtained", "BRAM%");
+  for (int bits = 1; bits <= 4; ++bits) {
+    const finn::DesignPerformance mp = finn::evaluate_with_precision(
+        best, finn::Precision{bits, bits}, 1000);
+    std::printf("%8d %12.1f %7.1f%%\n", bits, mp.obtained_fps,
+                100.0 * mp.usage.bram_utilisation(device));
+  }
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Quickstart: build the whole multi-precision system end-to-end on a
+// small budget (~a minute of single-core training the first time; cached
+// afterwards).
+//
+//   1. generate a synthetic CIFAR-like dataset,
+//   2. train a binarised CNV network and lower it to integer
+//      XNOR-popcount-threshold form,
+//   3. train a float host model (Table III Model A, width-scaled),
+//   4. train the DMU gate on the BNN's training-set scores,
+//   5. pick a FINN fabric design and assemble the cascade,
+//   6. classify the test set and print the accuracy/throughput balance.
+#include <cstdio>
+
+#include "core/workbench.hpp"
+
+using namespace mpcnn;
+
+int main() {
+  core::WorkbenchConfig config;
+  config.cache_dir = "mpcnn_cache_quickstart";
+  // Small budgets so the first run finishes in about a minute.
+  config.train_size = 600;
+  config.test_size = 300;
+  config.bnn_width = 0.125f;
+  config.model_a_width = 0.25f;
+  config.float_epochs = 4;
+  config.bnn_epochs = 6;
+  core::Workbench wb(config);
+
+  std::printf("== components ==\n");
+  std::printf("BNN (FINN CNV, width x%.3f): accuracy %.1f%%\n",
+              config.bnn_width, 100.0 * wb.bnn_accuracy());
+  std::printf("host Model A (width x%.2f):  accuracy %.1f%%, measured "
+              "%.1f img/s (full-width topology)\n",
+              config.model_a_width, 100.0 * wb.model_accuracy('A'),
+              wb.host_profile('A').images_per_second);
+
+  const finn::FinnDesign& design = wb.operating_design();
+  const finn::DesignPerformance perf = design.evaluate(1000);
+  std::printf("FINN design: %lld PEs, %.0f img/s, BRAM %.0f%% of the "
+              "ZC702\n",
+              static_cast<long long>(design.total_pe()), perf.obtained_fps,
+              100.0 * perf.usage.bram_utilisation(wb.device()));
+
+  const float threshold = wb.operating_threshold();
+  std::printf("DMU threshold %.2f (25%% rerun budget)\n\n", threshold);
+
+  std::printf("== cascade ==\n");
+  core::MultiPrecisionSystem system = wb.make_system('A', threshold, 50);
+  const core::MultiPrecisionReport report = system.run(wb.test_set());
+  std::printf("BNN alone:      %.1f%% at %.0f img/s\n",
+              100.0 * report.bnn_accuracy, report.bnn_images_per_second);
+  std::printf("host alone:     %.1f%% at %.0f img/s\n",
+              100.0 * wb.model_accuracy('A'),
+              report.host_images_per_second);
+  std::printf("multi-precision: %.1f%% at %.0f img/s  (rerun %.0f%%, "
+              "host-on-subset %.0f%%)\n",
+              100.0 * report.system_accuracy, report.images_per_second,
+              100.0 * report.rerun_ratio,
+              100.0 * report.host_subset_accuracy);
+
+  std::printf("\nper-image view of the first five test images:\n");
+  for (Dim i = 0; i < 5; ++i) {
+    const auto decision =
+        system.classify_one(wb.test_set().images.slice_batch(i));
+    std::printf("  image %lld: BNN says %s (confidence %.2f) -> %s%s\n",
+                static_cast<long long>(i),
+                data::kCifarClasses[static_cast<std::size_t>(
+                    decision.bnn_label)],
+                decision.confidence,
+                data::kCifarClasses[static_cast<std::size_t>(
+                    decision.final_label)],
+                decision.rerun ? " (re-inferred on the host)" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Threshold explorer: the accuracy/throughput frontier the DMU threshold
+// traces out (the paper's central trade-off, §III-B/D).
+//
+// For each threshold the cascade is re-evaluated on the test set; the
+// output is the frontier a deployment engineer would pick an operating
+// point from.
+#include <cstdio>
+
+#include "core/workbench.hpp"
+
+using namespace mpcnn;
+
+int main() {
+  core::WorkbenchConfig config;
+  config.cache_dir = "mpcnn_cache_quickstart";  // shares quickstart's nets
+  config.train_size = 600;
+  config.test_size = 300;
+  config.bnn_width = 0.125f;
+  config.model_a_width = 0.25f;
+  config.float_epochs = 4;
+  config.bnn_epochs = 6;
+  core::Workbench wb(config);
+
+  std::printf("DMU threshold sweep — cascade of Model A and the BNN\n");
+  std::printf("(host timing calibrated to the paper's Cortex-A9)\n\n");
+  std::printf("%10s %8s %10s %10s %12s %12s\n", "threshold", "rerun%",
+              "acc%", "img/s", "vs BNN acc", "vs host fps");
+
+  double bnn_acc = wb.bnn_accuracy();
+  for (float threshold : {0.0f, 0.1f, 0.2f, 0.3f, 0.4f, 0.5f, 0.6f, 0.7f,
+                          0.8f, 0.9f, 0.95f, 0.99f}) {
+    core::MultiPrecisionSystem system =
+        wb.make_system('A', threshold, 50, /*arm_calibrated=*/true);
+    const core::MultiPrecisionReport r = system.run(wb.test_set());
+    std::printf("%10.2f %8.1f %10.1f %10.1f %+11.1f %11.1fx\n", threshold,
+                100.0 * r.rerun_ratio, 100.0 * r.system_accuracy,
+                r.images_per_second,
+                100.0 * (r.system_accuracy - bnn_acc),
+                r.images_per_second / r.host_images_per_second);
+  }
+
+  std::printf("\nreading the frontier: threshold 0 is the BNN alone; "
+              "raising it buys accuracy with host time until the host "
+              "becomes the bottleneck.\n");
+  return 0;
+}

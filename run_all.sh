@@ -1,0 +1,8 @@
+#!/bin/sh
+# Builds, tests and regenerates every table/figure; the transcript of a
+# full run lands in test_output.txt and bench_output.txt.
+set -e
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build 2>&1 | tee test_output.txt
+for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt

@@ -1,0 +1,108 @@
+#include "bnn/bitpack.hpp"
+
+#include <bit>
+
+namespace mpcnn::bnn {
+namespace {
+
+Dim words_for(Dim nbits) { return (nbits + 63) / 64; }
+
+}  // namespace
+
+BitVector::BitVector(Dim nbits)
+    : nbits_(nbits), words_(static_cast<std::size_t>(words_for(nbits)), 0) {
+  MPCNN_CHECK(nbits >= 0, "negative BitVector size");
+}
+
+void BitVector::set(Dim i, bool v) {
+  MPCNN_CHECK(i >= 0 && i < nbits_, "bit index " << i << " of " << nbits_);
+  const std::size_t w = static_cast<std::size_t>(i >> 6);
+  const std::uint64_t mask = 1ULL << (i & 63);
+  if (v) {
+    words_[w] |= mask;
+  } else {
+    words_[w] &= ~mask;
+  }
+}
+
+bool BitVector::get(Dim i) const {
+  MPCNN_CHECK(i >= 0 && i < nbits_, "bit index " << i << " of " << nbits_);
+  return (words_[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1ULL;
+}
+
+void BitVector::clear() {
+  std::fill(words_.begin(), words_.end(), 0ULL);
+}
+
+Dim BitVector::xnor_matches(const BitVector& other) const {
+  MPCNN_CHECK(nbits_ == other.nbits_, "xnor size mismatch: "
+                                          << nbits_ << " vs "
+                                          << other.nbits_);
+  Dim matches = 0;
+  for (std::size_t w = 0; w < words_.size(); ++w) {
+    matches += std::popcount(~(words_[w] ^ other.words_[w]));
+  }
+  // Padding bits are zero in both vectors, so XNOR counts them as
+  // matches; remove them.
+  const Dim padding = static_cast<Dim>(words_.size()) * 64 - nbits_;
+  return matches - padding;
+}
+
+std::int64_t BitVector::dot_bipolar(const BitVector& other) const {
+  return 2 * static_cast<std::int64_t>(xnor_matches(other)) - nbits_;
+}
+
+Dim BitVector::popcount() const {
+  Dim count = 0;
+  for (std::uint64_t w : words_) count += std::popcount(w);
+  return count;
+}
+
+BitMatrix::BitMatrix(Dim rows, Dim cols)
+    : rows_(rows),
+      cols_(cols),
+      words_per_row_(words_for(cols)),
+      words_(static_cast<std::size_t>(rows * words_per_row_), 0) {
+  MPCNN_CHECK(rows >= 0 && cols >= 0, "negative BitMatrix shape");
+}
+
+void BitMatrix::set(Dim r, Dim c, bool v) {
+  MPCNN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+              "BitMatrix index (" << r << ", " << c << ")");
+  const std::size_t w =
+      static_cast<std::size_t>(r * words_per_row_ + (c >> 6));
+  const std::uint64_t mask = 1ULL << (c & 63);
+  if (v) {
+    words_[w] |= mask;
+  } else {
+    words_[w] &= ~mask;
+  }
+}
+
+bool BitMatrix::get(Dim r, Dim c) const {
+  MPCNN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+              "BitMatrix index (" << r << ", " << c << ")");
+  return (words_[static_cast<std::size_t>(r * words_per_row_ + (c >> 6))] >>
+          (c & 63)) &
+         1ULL;
+}
+
+Dim BitMatrix::row_xnor_matches(Dim r, const BitVector& v) const {
+  MPCNN_CHECK(r >= 0 && r < rows_, "BitMatrix row " << r);
+  MPCNN_CHECK(v.size() == cols_, "row dot size mismatch");
+  const std::uint64_t* row =
+      words_.data() + static_cast<std::size_t>(r * words_per_row_);
+  const std::uint64_t* vec = v.data();
+  Dim matches = 0;
+  for (Dim w = 0; w < words_per_row_; ++w) {
+    matches += std::popcount(~(row[w] ^ vec[w]));
+  }
+  const Dim padding = words_per_row_ * 64 - cols_;
+  return matches - padding;
+}
+
+std::int64_t BitMatrix::row_dot_bipolar(Dim r, const BitVector& v) const {
+  return 2 * static_cast<std::int64_t>(row_xnor_matches(r, v)) - cols_;
+}
+
+}  // namespace mpcnn::bnn

@@ -1,0 +1,78 @@
+// Packed binary vectors and XNOR-popcount kernels.
+//
+// In the bipolar convention a logical bit 1 encodes the value +1 and a
+// bit 0 encodes −1.  The dot product of two bipolar vectors of length n
+// is then  2·popcount(xnor(a, b)) − n  — the datapath a FINN engine
+// implements in LUTs.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/error.hpp"
+#include "tensor/shape.hpp"
+
+namespace mpcnn::bnn {
+
+/// Fixed-length packed bit vector.
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(Dim nbits);
+
+  Dim size() const { return nbits_; }
+  Dim words() const { return static_cast<Dim>(words_.size()); }
+
+  void set(Dim i, bool v);
+  bool get(Dim i) const;
+  void clear();
+
+  const std::uint64_t* data() const { return words_.data(); }
+  std::uint64_t* data() { return words_.data(); }
+
+  /// Number of positions where the two vectors carry the same bit
+  /// (XNOR-popcount).  Sizes must match.
+  Dim xnor_matches(const BitVector& other) const;
+
+  /// Bipolar dot product: 2·matches − n.
+  std::int64_t dot_bipolar(const BitVector& other) const;
+
+  /// Number of set bits.
+  Dim popcount() const;
+
+  bool operator==(const BitVector& other) const {
+    return nbits_ == other.nbits_ && words_ == other.words_;
+  }
+
+ private:
+  Dim nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Row-major matrix of bits; each row is independently dot-able.
+class BitMatrix {
+ public:
+  BitMatrix() = default;
+  BitMatrix(Dim rows, Dim cols);
+
+  Dim rows() const { return rows_; }
+  Dim cols() const { return cols_; }
+
+  void set(Dim r, Dim c, bool v);
+  bool get(Dim r, Dim c) const;
+
+  /// XNOR-popcount of row r against a vector of matching length.
+  Dim row_xnor_matches(Dim r, const BitVector& v) const;
+
+  /// Bipolar dot of row r against v.
+  std::int64_t row_dot_bipolar(Dim r, const BitVector& v) const;
+
+ private:
+  Dim rows_ = 0, cols_ = 0, words_per_row_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Sign binarisation used everywhere: value >= 0 maps to bit 1 (+1).
+inline bool sign_bit(float v) { return v >= 0.0f; }
+
+}  // namespace mpcnn::bnn

@@ -1,0 +1,562 @@
+#include "bnn/compile.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "bnn/binary_layers.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/flatten.hpp"
+#include "nn/pool.hpp"
+#include "nn/scale.hpp"
+
+namespace mpcnn::bnn {
+namespace {
+
+// Derives the (threshold, negate) pair for one channel and one level
+// boundary from batch-norm parameters: activation level q ≥ k holds iff
+// BN(a) ≥ v_target.  `scale` maps accumulator units to the float domain
+// the batch-norm was trained in (in_levels−1 for quantised inputs, the
+// 8-bit level count for the fixed-point first stage).
+std::pair<std::int32_t, bool> fold_threshold(float gamma, float beta,
+                                             float mean, float var,
+                                             float epsilon, double scale,
+                                             double v_target) {
+  const double sigma = std::sqrt(static_cast<double>(var) + epsilon);
+  if (gamma == 0.0f) {
+    // Constant output: BN(a) = beta for every accumulator value.
+    return beta >= v_target
+               ? std::make_pair(std::numeric_limits<std::int32_t>::min(),
+                                false)
+               : std::make_pair(std::numeric_limits<std::int32_t>::max(),
+                                false);
+  }
+  const double tau =
+      (static_cast<double>(mean) +
+       (v_target - static_cast<double>(beta)) * sigma /
+           static_cast<double>(gamma)) *
+      scale;
+  if (gamma > 0.0f) {
+    // fired ⇔ acc ≥ ceil(tau)
+    return {static_cast<std::int32_t>(std::ceil(tau)), false};
+  }
+  // fired ⇔ acc ≤ tau ⇔ !(acc ≥ floor(tau)+1)
+  return {static_cast<std::int32_t>(std::floor(tau)) + 1, true};
+}
+
+// Packs a float ±1 weight matrix (rows x cols) into bits.
+BitMatrix pack_weights(const Tensor& shadow, Dim rows, Dim cols) {
+  MPCNN_CHECK(shadow.shape() == Shape({rows, cols}),
+              "weight shape mismatch while packing");
+  BitMatrix bits(rows, cols);
+  for (Dim r = 0; r < rows; ++r) {
+    for (Dim c = 0; c < cols; ++c) {
+      bits.set(r, c, sign_bit(shadow[r * cols + c]));
+    }
+  }
+  return bits;
+}
+
+// Level boundary v_k in the batch-norm output domain: level q ≥ k iff
+// BN(a) ≥ v_k, with v_k the rounding midpoint of the uniform quantiser
+// on [−1, 1].  For L = 2 this is the single boundary v_1 = 0 (sign).
+double level_boundary(int k, int levels) {
+  return (2.0 * k - 1.0) / static_cast<double>(levels - 1) - 1.0;
+}
+
+void fill_thresholds(CompiledStage& stage, nn::BatchNorm& bn, double scale) {
+  const int boundaries = stage.out_levels - 1;
+  stage.thresholds.resize(
+      static_cast<std::size_t>(stage.out_ch * boundaries));
+  stage.negate.resize(static_cast<std::size_t>(stage.out_ch));
+  for (Dim c = 0; c < stage.out_ch; ++c) {
+    bool channel_negate = false;
+    for (int k = 1; k <= boundaries; ++k) {
+      const auto [t, neg] = fold_threshold(
+          bn.gamma().value[c], bn.beta().value[c], bn.running_mean()[c],
+          bn.running_var()[c], bn.epsilon(), scale,
+          level_boundary(k, stage.out_levels));
+      stage.thresholds[static_cast<std::size_t>(c * boundaries + k - 1)] =
+          t;
+      channel_negate = neg;  // identical for every level of a channel
+    }
+    stage.negate[static_cast<std::size_t>(c)] = channel_negate ? 1 : 0;
+  }
+}
+
+// Matches either activation flavour after a batch-norm; returns the
+// output level count (2 for BinActive, 2^bits for QuantActive) or 0.
+int activation_levels(nn::Layer* layer) {
+  if (dynamic_cast<BinActive*>(layer) != nullptr) return 2;
+  if (auto* quant = dynamic_cast<QuantActive*>(layer)) {
+    return quant->levels();
+  }
+  return 0;
+}
+
+}  // namespace
+
+CompiledBnn compile_bnn(nn::Net& net) {
+  CompiledBnn out;
+  const auto& layers = net.layers();
+  MPCNN_CHECK(!layers.empty(), "compile of empty net");
+  std::size_t i = 0;
+
+  auto* quant = dynamic_cast<QuantizeInput*>(layers[i].get());
+  MPCNN_CHECK(quant != nullptr, "net must start with QuantizeInput");
+  out.input_levels = quant->levels();
+  ++i;
+
+  Shape shape = net.input_shape();
+  bool first_conv = true;
+  // Level count of the current inter-stage encoding; the first conv sees
+  // the 8-bit pixels.
+  int carried_levels = out.input_levels + 1;
+  while (i < layers.size()) {
+    nn::Layer* layer = layers[i].get();
+    if (auto* conv = dynamic_cast<BinConv2D*>(layer)) {
+      MPCNN_CHECK(i + 2 < layers.size(), "conv without BN+activation");
+      auto* bn = dynamic_cast<nn::BatchNorm*>(layers[i + 1].get());
+      const int levels = activation_levels(layers[i + 2].get());
+      MPCNN_CHECK(bn && levels > 0,
+                  "conv must be followed by BatchNorm + activation");
+      CompiledStage stage;
+      stage.kind = first_conv ? StageKind::kFixedPointConv
+                              : StageKind::kBinaryConv;
+      stage.in_ch = shape[1];
+      stage.in_h = shape[2];
+      stage.in_w = shape[3];
+      stage.kernel = conv->kernel();
+      stage.out_ch = conv->out_channels();
+      stage.out_h = stage.in_h - stage.kernel + 1;
+      stage.out_w = stage.in_w - stage.kernel + 1;
+      stage.in_levels = carried_levels;
+      stage.out_levels = levels;
+      stage.weights =
+          pack_weights(conv->weight().value, stage.out_ch,
+                       stage.in_ch * stage.kernel * stage.kernel);
+      // First stage: float input was k/levels (unsigned); inner stages:
+      // the value of level q is (2q − (L−1))/(L−1), so the integer
+      // accumulator is (L−1)× the float one.
+      const double scale =
+          first_conv ? static_cast<double>(out.input_levels)
+                     : static_cast<double>(carried_levels - 1);
+      fill_thresholds(stage, *bn, scale);
+      carried_levels = stage.out_levels;
+      out.stages.push_back(std::move(stage));
+      shape = Shape{1, conv->out_channels(),
+                    out.stages.back().out_h, out.stages.back().out_w};
+      first_conv = false;
+      i += 3;
+      continue;
+    }
+    if (auto* pool = dynamic_cast<nn::Pool2D*>(layer)) {
+      MPCNN_CHECK(pool->mode() == nn::PoolMode::kMax && pool->kernel() == 2 &&
+                      pool->stride() == 2,
+                  "only 2x2/s2 max pooling is FINN-lowerable");
+      CompiledStage stage;
+      stage.kind = StageKind::kMaxPoolBinary;
+      stage.in_ch = shape[1];
+      stage.in_h = shape[2];
+      stage.in_w = shape[3];
+      stage.kernel = 2;
+      stage.out_ch = stage.in_ch;
+      stage.out_h = stage.in_h / 2;
+      stage.out_w = stage.in_w / 2;
+      stage.in_levels = carried_levels;
+      stage.out_levels = carried_levels;
+      out.stages.push_back(std::move(stage));
+      shape = Shape{1, out.stages.back().out_ch, out.stages.back().out_h,
+                    out.stages.back().out_w};
+      ++i;
+      continue;
+    }
+    if (dynamic_cast<nn::Flatten*>(layer) != nullptr) {
+      shape = Shape{1, shape.numel()};
+      ++i;
+      continue;
+    }
+    if (auto* dense = dynamic_cast<BinDense*>(layer)) {
+      const Dim in_features = shape.numel();
+      MPCNN_CHECK(in_features == dense->in_features(),
+                  "dense input mismatch while compiling");
+      CompiledStage stage;
+      stage.in_ch = in_features;
+      stage.in_h = stage.in_w = 1;
+      stage.out_ch = dense->out_features();
+      stage.out_h = stage.out_w = 1;
+      stage.kernel = 0;
+      stage.in_levels = carried_levels;
+      stage.weights =
+          pack_weights(dense->weight().value, stage.out_ch, in_features);
+      // Trailing Scale layers are positive monotone maps of the logits
+      // and vanish in the integer lowering.
+      std::size_t after = i + 1;
+      while (after < layers.size() &&
+             dynamic_cast<nn::Scale*>(layers[after].get()) != nullptr) {
+        ++after;
+      }
+      const bool is_last = (after == layers.size());
+      if (is_last) {
+        stage.kind = StageKind::kOutputDense;
+        stage.out_levels = 2;  // unused; scores are raw integers
+        out.classes = stage.out_ch;
+        out.stages.push_back(std::move(stage));
+        i = after;
+        continue;
+      }
+      MPCNN_CHECK(i + 2 < layers.size(), "hidden dense without BN+act");
+      auto* bn = dynamic_cast<nn::BatchNorm*>(layers[i + 1].get());
+      const int levels = activation_levels(layers[i + 2].get());
+      MPCNN_CHECK(bn && levels > 0,
+                  "hidden dense must have BatchNorm + activation");
+      stage.kind = StageKind::kBinaryDense;
+      stage.out_levels = levels;
+      fill_thresholds(stage, *bn,
+                      static_cast<double>(carried_levels - 1));
+      carried_levels = stage.out_levels;
+      out.stages.push_back(std::move(stage));
+      shape = Shape{1, dense->out_features()};
+      i += 3;
+      continue;
+    }
+    MPCNN_CHECK(false, "unsupported layer in BNN graph: " << layer->name());
+  }
+  MPCNN_CHECK(out.classes > 0, "net has no output dense layer");
+  return out;
+}
+
+namespace {
+
+// ------------------------- fast path: fully binarised activations -----
+
+// Binary activation map: bit index (c·H + h)·W + w.
+struct BitFeatureMap {
+  Dim ch = 0, h = 0, w = 0;
+  BitVector bits;
+
+  BitFeatureMap(Dim ch_, Dim h_, Dim w_)
+      : ch(ch_), h(h_), w(w_), bits(ch_ * h_ * w_) {}
+
+  bool get(Dim c, Dim y, Dim x) const {
+    return bits.get((c * h + y) * w + x);
+  }
+  void set(Dim c, Dim y, Dim x, bool v) {
+    bits.set((c * h + y) * w + x, v);
+  }
+};
+
+bool fire_binary(const CompiledStage& s, Dim oc, std::int64_t acc) {
+  return (acc >= s.threshold(oc, 0)) !=
+         (s.negate[static_cast<std::size_t>(oc)] != 0);
+}
+
+BitFeatureMap exec_fixed_point_conv(const CompiledStage& s,
+                                    const std::vector<int>& image) {
+  BitFeatureMap out(s.out_ch, s.out_h, s.out_w);
+  for (Dim oh = 0; oh < s.out_h; ++oh) {
+    for (Dim ow = 0; ow < s.out_w; ++ow) {
+      for (Dim oc = 0; oc < s.out_ch; ++oc) {
+        std::int64_t acc = 0;
+        Dim bit = 0;
+        for (Dim c = 0; c < s.in_ch; ++c) {
+          for (Dim kh = 0; kh < s.kernel; ++kh) {
+            for (Dim kw = 0; kw < s.kernel; ++kw, ++bit) {
+              const int x = image[static_cast<std::size_t>(
+                  (c * s.in_h + oh + kh) * s.in_w + ow + kw)];
+              acc += s.weights.get(oc, bit) ? x : -x;
+            }
+          }
+        }
+        out.set(oc, oh, ow, fire_binary(s, oc, acc));
+      }
+    }
+  }
+  return out;
+}
+
+BitFeatureMap exec_binary_conv(const CompiledStage& s,
+                               const BitFeatureMap& in) {
+  BitFeatureMap out(s.out_ch, s.out_h, s.out_w);
+  BitVector patch(s.in_ch * s.kernel * s.kernel);
+  for (Dim oh = 0; oh < s.out_h; ++oh) {
+    for (Dim ow = 0; ow < s.out_w; ++ow) {
+      Dim bit = 0;
+      for (Dim c = 0; c < s.in_ch; ++c) {
+        for (Dim kh = 0; kh < s.kernel; ++kh) {
+          for (Dim kw = 0; kw < s.kernel; ++kw, ++bit) {
+            patch.set(bit, in.get(c, oh + kh, ow + kw));
+          }
+        }
+      }
+      for (Dim oc = 0; oc < s.out_ch; ++oc) {
+        const std::int64_t acc = s.weights.row_dot_bipolar(oc, patch);
+        out.set(oc, oh, ow, fire_binary(s, oc, acc));
+      }
+    }
+  }
+  return out;
+}
+
+BitFeatureMap exec_maxpool(const CompiledStage& s, const BitFeatureMap& in) {
+  BitFeatureMap out(s.out_ch, s.out_h, s.out_w);
+  for (Dim c = 0; c < s.out_ch; ++c) {
+    for (Dim oh = 0; oh < s.out_h; ++oh) {
+      for (Dim ow = 0; ow < s.out_w; ++ow) {
+        // max over bipolar values == boolean OR of bits
+        const bool v = in.get(c, 2 * oh, 2 * ow) ||
+                       in.get(c, 2 * oh, 2 * ow + 1) ||
+                       in.get(c, 2 * oh + 1, 2 * ow) ||
+                       in.get(c, 2 * oh + 1, 2 * ow + 1);
+        out.set(c, oh, ow, v);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<std::int32_t> run_reference_binary(const CompiledBnn& net,
+                                               const std::vector<int>& px) {
+  BitFeatureMap fmap = exec_fixed_point_conv(net.stages.front(), px);
+  for (std::size_t s = 1; s < net.stages.size(); ++s) {
+    const CompiledStage& stage = net.stages[s];
+    switch (stage.kind) {
+      case StageKind::kBinaryConv:
+        fmap = exec_binary_conv(stage, fmap);
+        break;
+      case StageKind::kMaxPoolBinary:
+        fmap = exec_maxpool(stage, fmap);
+        break;
+      case StageKind::kBinaryDense: {
+        MPCNN_CHECK(fmap.bits.size() == stage.in_ch,
+                    "dense stage input width mismatch");
+        BitFeatureMap next(stage.out_ch, 1, 1);
+        for (Dim oc = 0; oc < stage.out_ch; ++oc) {
+          const std::int64_t acc =
+              stage.weights.row_dot_bipolar(oc, fmap.bits);
+          next.set(oc, 0, 0, fire_binary(stage, oc, acc));
+        }
+        fmap = std::move(next);
+        break;
+      }
+      case StageKind::kOutputDense: {
+        MPCNN_CHECK(fmap.bits.size() == stage.in_ch,
+                    "output stage input width mismatch");
+        std::vector<std::int32_t> scores(
+            static_cast<std::size_t>(stage.out_ch));
+        for (Dim oc = 0; oc < stage.out_ch; ++oc) {
+          scores[static_cast<std::size_t>(oc)] = static_cast<std::int32_t>(
+              stage.weights.row_dot_bipolar(oc, fmap.bits));
+        }
+        return scores;
+      }
+      case StageKind::kFixedPointConv:
+        MPCNN_CHECK(false, "fixed-point conv must be the first stage");
+    }
+  }
+  MPCNN_CHECK(false, "compiled net has no output stage");
+  return {};
+}
+
+// ---------------- generic path: multi-level activations ---------------
+
+// Feature map of quantisation levels q ∈ {0, …, L−1}; the encoded
+// bipolar value is x̃ = 2q − (L−1), so the next stage's accumulator is
+// (L−1)× the float-domain one.
+struct LevelFeatureMap {
+  Dim ch = 0, h = 0, w = 0;
+  int levels = 2;
+  std::vector<std::int16_t> q;
+
+  LevelFeatureMap(Dim ch_, Dim h_, Dim w_, int levels_)
+      : ch(ch_), h(h_), w(w_), levels(levels_),
+        q(static_cast<std::size_t>(ch_ * h_ * w_), 0) {}
+
+  std::int16_t get(Dim c, Dim y, Dim x) const {
+    return q[static_cast<std::size_t>((c * h + y) * w + x)];
+  }
+  void set(Dim c, Dim y, Dim x, std::int16_t v) {
+    q[static_cast<std::size_t>((c * h + y) * w + x)] = v;
+  }
+  // Encoded bipolar value of one element.
+  std::int64_t encoded(Dim c, Dim y, Dim x) const {
+    return 2 * static_cast<std::int64_t>(get(c, y, x)) - (levels - 1);
+  }
+};
+
+std::int16_t quantise_level(const CompiledStage& s, Dim oc,
+                            std::int64_t acc) {
+  const bool neg = s.negate[static_cast<std::size_t>(oc)] != 0;
+  int q = 0;
+  for (int k = 0; k < s.out_levels - 1; ++k) {
+    if ((acc >= s.threshold(oc, k)) != neg) ++q;
+  }
+  return static_cast<std::int16_t>(q);
+}
+
+std::vector<std::int32_t> run_reference_generic(const CompiledBnn& net,
+                                                const std::vector<int>& px) {
+  const CompiledStage& first = net.stages.front();
+  LevelFeatureMap fmap(first.out_ch, first.out_h, first.out_w,
+                       first.out_levels);
+  for (Dim oh = 0; oh < first.out_h; ++oh) {
+    for (Dim ow = 0; ow < first.out_w; ++ow) {
+      for (Dim oc = 0; oc < first.out_ch; ++oc) {
+        std::int64_t acc = 0;
+        Dim bit = 0;
+        for (Dim c = 0; c < first.in_ch; ++c) {
+          for (Dim kh = 0; kh < first.kernel; ++kh) {
+            for (Dim kw = 0; kw < first.kernel; ++kw, ++bit) {
+              const int x = px[static_cast<std::size_t>(
+                  (c * first.in_h + oh + kh) * first.in_w + ow + kw)];
+              acc += first.weights.get(oc, bit) ? x : -x;
+            }
+          }
+        }
+        fmap.set(oc, oh, ow, quantise_level(first, oc, acc));
+      }
+    }
+  }
+
+  for (std::size_t s = 1; s < net.stages.size(); ++s) {
+    const CompiledStage& stage = net.stages[s];
+    switch (stage.kind) {
+      case StageKind::kBinaryConv: {
+        LevelFeatureMap out(stage.out_ch, stage.out_h, stage.out_w,
+                            stage.out_levels);
+        for (Dim oh = 0; oh < stage.out_h; ++oh) {
+          for (Dim ow = 0; ow < stage.out_w; ++ow) {
+            for (Dim oc = 0; oc < stage.out_ch; ++oc) {
+              std::int64_t acc = 0;
+              Dim bit = 0;
+              for (Dim c = 0; c < stage.in_ch; ++c) {
+                for (Dim kh = 0; kh < stage.kernel; ++kh) {
+                  for (Dim kw = 0; kw < stage.kernel; ++kw, ++bit) {
+                    const std::int64_t x =
+                        fmap.encoded(c, oh + kh, ow + kw);
+                    acc += stage.weights.get(oc, bit) ? x : -x;
+                  }
+                }
+              }
+              out.set(oc, oh, ow, quantise_level(stage, oc, acc));
+            }
+          }
+        }
+        fmap = std::move(out);
+        break;
+      }
+      case StageKind::kMaxPoolBinary: {
+        LevelFeatureMap out(stage.out_ch, stage.out_h, stage.out_w,
+                            stage.out_levels);
+        for (Dim c = 0; c < stage.out_ch; ++c) {
+          for (Dim oh = 0; oh < stage.out_h; ++oh) {
+            for (Dim ow = 0; ow < stage.out_w; ++ow) {
+              const std::int16_t v = std::max(
+                  std::max(fmap.get(c, 2 * oh, 2 * ow),
+                           fmap.get(c, 2 * oh, 2 * ow + 1)),
+                  std::max(fmap.get(c, 2 * oh + 1, 2 * ow),
+                           fmap.get(c, 2 * oh + 1, 2 * ow + 1)));
+              out.set(c, oh, ow, v);
+            }
+          }
+        }
+        fmap = std::move(out);
+        break;
+      }
+      case StageKind::kBinaryDense: {
+        MPCNN_CHECK(static_cast<Dim>(fmap.q.size()) == stage.in_ch,
+                    "dense stage input width mismatch");
+        LevelFeatureMap out(stage.out_ch, 1, 1, stage.out_levels);
+        for (Dim oc = 0; oc < stage.out_ch; ++oc) {
+          std::int64_t acc = 0;
+          for (Dim c = 0; c < stage.in_ch; ++c) {
+            const std::int64_t x =
+                2 * static_cast<std::int64_t>(
+                        fmap.q[static_cast<std::size_t>(c)]) -
+                (fmap.levels - 1);
+            acc += stage.weights.get(oc, c) ? x : -x;
+          }
+          out.set(oc, 0, 0, quantise_level(stage, oc, acc));
+        }
+        fmap = std::move(out);
+        break;
+      }
+      case StageKind::kOutputDense: {
+        MPCNN_CHECK(static_cast<Dim>(fmap.q.size()) == stage.in_ch,
+                    "output stage input width mismatch");
+        std::vector<std::int32_t> scores(
+            static_cast<std::size_t>(stage.out_ch));
+        // Scores scale with (L−1); fine for argmax and gate features.
+        for (Dim oc = 0; oc < stage.out_ch; ++oc) {
+          std::int64_t acc = 0;
+          for (Dim c = 0; c < stage.in_ch; ++c) {
+            const std::int64_t x =
+                2 * static_cast<std::int64_t>(
+                        fmap.q[static_cast<std::size_t>(c)]) -
+                (fmap.levels - 1);
+            acc += stage.weights.get(oc, c) ? x : -x;
+          }
+          scores[static_cast<std::size_t>(oc)] =
+              static_cast<std::int32_t>(acc);
+        }
+        return scores;
+      }
+      case StageKind::kFixedPointConv:
+        MPCNN_CHECK(false, "fixed-point conv must be the first stage");
+    }
+  }
+  MPCNN_CHECK(false, "compiled net has no output stage");
+  return {};
+}
+
+}  // namespace
+
+std::vector<std::int32_t> run_reference(const CompiledBnn& net,
+                                        const Tensor& image) {
+  MPCNN_CHECK(image.shape().rank() == 4 && image.shape()[0] == 1,
+              "run_reference expects one NCHW image");
+  MPCNN_CHECK(!net.stages.empty(), "empty compiled net");
+  const CompiledStage& first = net.stages.front();
+  MPCNN_CHECK(first.kind == StageKind::kFixedPointConv,
+              "compiled net must start with the fixed-point conv");
+  MPCNN_CHECK(image.shape()[1] == first.in_ch &&
+                  image.shape()[2] == first.in_h &&
+                  image.shape()[3] == first.in_w,
+              "image shape " << image.shape().str());
+
+  // Quantise to integers 0..levels.
+  std::vector<int> pixels(static_cast<std::size_t>(image.numel()));
+  const float levels = static_cast<float>(net.input_levels);
+  for (Dim i = 0; i < image.numel(); ++i) {
+    pixels[static_cast<std::size_t>(i)] = static_cast<int>(
+        std::lround(std::clamp(image[i], 0.0f, 1.0f) * levels));
+  }
+  return net.fully_binary() ? run_reference_binary(net, pixels)
+                            : run_reference_generic(net, pixels);
+}
+
+std::vector<int> classify_reference(const CompiledBnn& net,
+                                    const Tensor& images) {
+  const Dim n = images.shape()[0];
+  std::vector<int> labels(static_cast<std::size_t>(n));
+  for (Dim i = 0; i < n; ++i) {
+    const std::vector<std::int32_t> scores =
+        run_reference(net, images.slice_batch(i));
+    labels[static_cast<std::size_t>(i)] = static_cast<int>(std::distance(
+        scores.begin(), std::max_element(scores.begin(), scores.end())));
+  }
+  return labels;
+}
+
+float evaluate_reference(const CompiledBnn& net, const Tensor& images,
+                         const std::vector<int>& labels) {
+  const std::vector<int> pred = classify_reference(net, images);
+  MPCNN_CHECK(pred.size() == labels.size(), "label count mismatch");
+  Dim correct = 0;
+  for (std::size_t i = 0; i < pred.size(); ++i) {
+    if (pred[i] == labels[i]) ++correct;
+  }
+  return static_cast<float>(correct) / static_cast<float>(pred.size());
+}
+
+}  // namespace mpcnn::bnn

@@ -1,0 +1,30 @@
+// Serialisation of compiled networks — the software equivalent of the
+// FINN flow's generated parameter files: once a trained graph has been
+// lowered with compile_bnn(), the integer artefact can be shipped and
+// executed without the float framework or the training weights.
+//
+// Format (little-endian):
+//   magic "MPBN", u32 version, i64 classes, i32 input_levels,
+//   u64 stage count, then per stage:
+//     u8 kind, i64 geometry (in_ch,in_h,in_w,out_ch,out_h,out_w,kernel),
+//     i32 in_levels, i32 out_levels,
+//     u64 weight words (bit-packed rows), i32 thresholds, u8 negate.
+#pragma once
+
+#include <string>
+
+#include "bnn/compile.hpp"
+
+namespace mpcnn::bnn {
+
+/// Writes the compiled network to `path`.  Throws Error on I/O failure.
+void save_compiled(const CompiledBnn& net, const std::string& path);
+
+/// Reads a compiled network from `path`.  Throws Error on malformed
+/// input (magic/version/geometry checks).
+CompiledBnn load_compiled(const std::string& path);
+
+/// True if `path` exists and carries the compiled-network magic.
+bool is_compiled_file(const std::string& path);
+
+}  // namespace mpcnn::bnn

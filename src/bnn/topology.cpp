@@ -1,0 +1,170 @@
+#include "bnn/topology.hpp"
+
+#include <sstream>
+
+#include "bnn/binary_layers.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/flatten.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/pool.hpp"
+#include "nn/scale.hpp"
+
+namespace mpcnn::bnn {
+
+Dim CnvLayerInfo::weight_rows() const {
+  return kind == Kind::kPool ? 0 : out_ch;
+}
+
+Dim CnvLayerInfo::weight_cols() const {
+  switch (kind) {
+    case Kind::kConv:
+      return kernel * kernel * in_ch;
+    case Kind::kDense:
+      return in_ch;
+    case Kind::kPool:
+      return 0;
+  }
+  return 0;
+}
+
+namespace {
+
+struct WidthPlan {
+  Dim c64, c128, c256;
+};
+
+WidthPlan plan_widths(const CnvConfig& config) {
+  return WidthPlan{nn::scaled_channels(64, config.width),
+                   nn::scaled_channels(128, config.width),
+                   nn::scaled_channels(256, config.width)};
+}
+
+}  // namespace
+
+nn::Net make_cnv_net(const CnvConfig& config) {
+  MPCNN_CHECK(config.activation_bits >= 1 && config.activation_bits <= 8,
+              "activation_bits out of range");
+  const WidthPlan w = plan_widths(config);
+  nn::Net net("finn_cnv", Shape{1, 3, 32, 32});
+  net.add<QuantizeInput>(8);
+
+  auto activation = [&net, &config]() {
+    if (config.activation_bits == 1) {
+      net.add<BinActive>();
+    } else {
+      net.add<QuantActive>(config.activation_bits);
+    }
+  };
+  auto conv_block = [&net, &activation](Dim in, Dim out) {
+    net.add<BinConv2D>(in, out, 3);
+    net.add<nn::BatchNorm>(out);
+    activation();
+  };
+  conv_block(3, w.c64);
+  conv_block(w.c64, w.c64);
+  net.add<nn::Pool2D>(nn::PoolMode::kMax, 2, 2);
+  conv_block(w.c64, w.c128);
+  conv_block(w.c128, w.c128);
+  net.add<nn::Pool2D>(nn::PoolMode::kMax, 2, 2);
+  conv_block(w.c128, w.c256);
+  conv_block(w.c256, w.c256);
+  net.add<nn::Flatten>();
+
+  const Dim flat = net.output_shape().numel();
+  net.add<BinDense>(flat, config.fc_width);
+  net.add<nn::BatchNorm>(config.fc_width);
+  activation();
+  net.add<BinDense>(config.fc_width, config.fc_width);
+  net.add<nn::BatchNorm>(config.fc_width);
+  activation();
+  net.add<BinDense>(config.fc_width, config.classes);
+  // Softens the integer-magnitude logits for the softmax loss; positive
+  // monotone, so the compiled integer network omits it.
+  net.add<nn::Scale>(4.0f / static_cast<float>(config.fc_width));
+  return net;
+}
+
+std::vector<CnvLayerInfo> cnv_layer_infos(const CnvConfig& config) {
+  const WidthPlan w = plan_widths(config);
+  std::vector<CnvLayerInfo> infos;
+  Dim ch = 3, h = 32, wdt = 32;
+  bool first = true;
+  auto add_conv = [&](Dim out) {
+    CnvLayerInfo info;
+    info.kind = CnvLayerInfo::Kind::kConv;
+    info.in_ch = ch;
+    info.in_h = h;
+    info.in_w = wdt;
+    info.kernel = 3;
+    info.out_ch = out;
+    info.out_h = h - 2;
+    info.out_w = wdt - 2;
+    info.binarised_input = !first;
+    info.accum_bits = first ? 24 : 16;
+    std::ostringstream os;
+    os << "3x3-conv-" << out;
+    info.label = os.str();
+    first = false;
+    infos.push_back(info);
+    ch = out;
+    h -= 2;
+    wdt -= 2;
+  };
+  auto add_pool = [&]() {
+    CnvLayerInfo info;
+    info.kind = CnvLayerInfo::Kind::kPool;
+    info.label = "pooling";
+    info.in_ch = ch;
+    info.in_h = h;
+    info.in_w = wdt;
+    info.kernel = 2;
+    info.out_ch = ch;
+    info.out_h = h / 2;
+    info.out_w = wdt / 2;
+    infos.push_back(info);
+    h /= 2;
+    wdt /= 2;
+  };
+  auto add_dense = [&](Dim out, bool last) {
+    CnvLayerInfo info;
+    info.kind = CnvLayerInfo::Kind::kDense;
+    info.in_ch = ch * h * wdt;
+    info.in_h = 1;
+    info.in_w = 1;
+    info.out_ch = out;
+    info.out_h = 1;
+    info.out_w = 1;
+    info.has_threshold = !last;
+    info.accum_bits = last ? 0 : 16;
+    std::ostringstream os;
+    os << "FC-" << out << (last ? " (no activation)" : "");
+    info.label = os.str();
+    infos.push_back(info);
+    ch = out;
+    h = 1;
+    wdt = 1;
+  };
+
+  add_conv(w.c64);
+  add_conv(w.c64);
+  add_pool();
+  add_conv(w.c128);
+  add_conv(w.c128);
+  add_pool();
+  add_conv(w.c256);
+  add_conv(w.c256);
+  add_dense(config.fc_width, false);
+  add_dense(config.fc_width, false);
+  add_dense(config.classes, true);
+  return infos;
+}
+
+std::vector<CnvLayerInfo> cnv_engine_infos(const CnvConfig& config) {
+  std::vector<CnvLayerInfo> engines;
+  for (const CnvLayerInfo& info : cnv_layer_infos(config)) {
+    if (info.kind != CnvLayerInfo::Kind::kPool) engines.push_back(info);
+  }
+  return engines;
+}
+
+}  // namespace mpcnn::bnn

@@ -1,0 +1,63 @@
+// The Table I network: the FINN CNV topology for CIFAR-10.
+//
+//   input 32×32 RGB → 2×(3×3-conv-64) → pool → 2×(3×3-conv-128) → pool →
+//   2×(3×3-conv-256) → FC-64 → FC-64 → FC-classes (no activation)
+//
+// No zero padding anywhere (paper Table I).  Note: the paper's Table I
+// lists the final layer as "FC-64 (no activation)" yet the DMU consumes
+// ten class scores; as in the original FINN CNV network the output layer
+// has one neuron per class, so we size it `classes`.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/net.hpp"
+
+namespace mpcnn::bnn {
+
+/// Width configuration of the CNV topology.
+struct CnvConfig {
+  float width = 1.0f;     ///< scales the 64/128/256 conv widths
+  Dim fc_width = 64;      ///< hidden FC width (Table I: 64)
+  Dim classes = 10;
+  /// Inner activation precision.  1 reproduces the paper's fully
+  /// binarised network; >1 builds the §II "partially-binarised network"
+  /// whose inner layers carry multi-bit activations (weights stay
+  /// single-bit either way).
+  int activation_bits = 1;
+  std::uint64_t seed = 3;
+};
+
+/// One row of Table I plus the derived matrix geometry used by the FINN
+/// performance model (Eqs. 3–4).
+struct CnvLayerInfo {
+  enum class Kind { kConv, kPool, kDense };
+  Kind kind = Kind::kConv;
+  std::string label;       ///< e.g. "3x3-conv-64"
+  Dim in_ch = 0, in_h = 0, in_w = 0;
+  Dim out_ch = 0, out_h = 0, out_w = 0;
+  Dim kernel = 0;          ///< conv K, pool window
+  bool binarised_input = true;   ///< false for the first conv
+  bool has_threshold = true;     ///< false for the output layer
+  int accum_bits = 16;           ///< paper: 24 first stage, 16 inner
+
+  /// Weight-matrix rows (OD) — 0 for pools.
+  Dim weight_rows() const;
+  /// Weight-matrix cols (K·K·ID for conv, ID for dense) — 0 for pools.
+  Dim weight_cols() const;
+  /// Total single-bit weight count.
+  Dim weight_bits() const { return weight_rows() * weight_cols(); }
+};
+
+/// Builds the trainable BNN graph for the given config.
+nn::Net make_cnv_net(const CnvConfig& config = {});
+
+/// Static per-layer description (geometry only, no weights), in network
+/// order including pools.  Matches make_cnv_net layer for layer.
+std::vector<CnvLayerInfo> cnv_layer_infos(const CnvConfig& config = {});
+
+/// Only the compute layers (conv + dense), i.e. the engines FINN maps.
+std::vector<CnvLayerInfo> cnv_engine_infos(const CnvConfig& config = {});
+
+}  // namespace mpcnn::bnn

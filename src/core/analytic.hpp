@@ -1,0 +1,37 @@
+// The paper's closed-form performance/accuracy models.
+#pragma once
+
+#include <algorithm>
+
+namespace mpcnn::core {
+
+/// Eq. (1): average per-image interval of the cascade.
+///   t_multi ≈ max{ t_fp · R_rerun, t_bnn }
+inline double analytic_seconds_per_image(double t_fp_per_image,
+                                         double t_bnn_per_image,
+                                         double rerun_ratio) {
+  return std::max(t_fp_per_image * rerun_ratio, t_bnn_per_image);
+}
+
+/// Eq. (1) expressed as throughput.
+inline double analytic_fps(double t_fp_per_image, double t_bnn_per_image,
+                           double rerun_ratio) {
+  return 1.0 / analytic_seconds_per_image(t_fp_per_image, t_bnn_per_image,
+                                          rerun_ratio);
+}
+
+/// Eq. (2): cascade accuracy (all quantities in 0–1).
+///   Acc ≈ Acc_bnn + Acc_fp · R_rerun − R_rerun_err
+inline double analytic_accuracy(double acc_bnn, double acc_fp,
+                                double rerun_ratio, double rerun_err_ratio) {
+  return acc_bnn + acc_fp * rerun_ratio - rerun_err_ratio;
+}
+
+/// The host-side time the cascade saves per image versus running the
+/// float network on everything (§III): t_fp · (1 − R_rerun).
+inline double analytic_host_time_saved(double t_fp_per_image,
+                                       double rerun_ratio) {
+  return t_fp_per_image * (1.0 - rerun_ratio);
+}
+
+}  // namespace mpcnn::core

@@ -1,0 +1,149 @@
+#include "core/dmu.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::core {
+namespace {
+
+float sigmoid(float x) { return 1.0f / (1.0f + std::exp(-x)); }
+
+}  // namespace
+
+std::vector<float> Dmu::featurize(const std::vector<float>& scores) const {
+  std::vector<float> f = scores;
+  if (features_ == DmuFeatures::kSortedSoftmax) {
+    const float mx = *std::max_element(f.begin(), f.end());
+    float denom = 0.0f;
+    for (float& v : f) {
+      v = std::exp(v - mx);
+      denom += v;
+    }
+    for (float& v : f) v /= denom;
+  }
+  if (features_ != DmuFeatures::kRawScores) {
+    std::sort(f.begin(), f.end(), std::greater<float>());
+  }
+  if (!feature_mean_.empty()) {
+    MPCNN_CHECK(f.size() == feature_mean_.size(),
+                "DMU feature width changed since training");
+    for (std::size_t i = 0; i < f.size(); ++i) {
+      f[i] = (f[i] - feature_mean_[i]) * feature_scale_[i];
+    }
+  }
+  return f;
+}
+
+void Dmu::train(const std::vector<ScoredExample>& examples,
+                const TrainConfig& config) {
+  MPCNN_CHECK(!examples.empty(), "DMU training with no examples");
+  const std::size_t dim = examples.front().scores.size();
+  MPCNN_CHECK(dim > 0, "empty score vectors");
+  for (const ScoredExample& e : examples) {
+    MPCNN_CHECK(e.scores.size() == dim, "ragged score vectors");
+  }
+  features_ = config.features;
+
+  // Standardise features for stable SGD; the constants are kept so that
+  // deployment-time inference is still w·s + b over (shifted) scores.
+  feature_mean_.assign(dim, 0.0f);
+  feature_scale_.assign(dim, 1.0f);
+  std::vector<std::vector<float>> feats;
+  feats.reserve(examples.size());
+  {
+    feature_mean_.assign(dim, 0.0f);  // identity during featurize below
+    feature_scale_.assign(dim, 1.0f);
+    std::vector<float> mean(dim, 0.0f), var(dim, 0.0f);
+    for (const ScoredExample& e : examples) {
+      std::vector<float> f = featurize(e.scores);
+      for (std::size_t i = 0; i < dim; ++i) mean[i] += f[i];
+      feats.push_back(std::move(f));
+    }
+    for (std::size_t i = 0; i < dim; ++i)
+      mean[i] /= static_cast<float>(examples.size());
+    for (const auto& f : feats) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        const float d = f[i] - mean[i];
+        var[i] += d * d;
+      }
+    }
+    for (std::size_t i = 0; i < dim; ++i) {
+      var[i] /= static_cast<float>(examples.size());
+      feature_mean_[i] = mean[i];
+      feature_scale_[i] = 1.0f / std::sqrt(var[i] + 1e-6f);
+    }
+    for (auto& f : feats) {
+      for (std::size_t i = 0; i < dim; ++i) {
+        f[i] = (f[i] - feature_mean_[i]) * feature_scale_[i];
+      }
+    }
+  }
+
+  weights_.assign(dim, 0.0f);
+  bias_ = 0.0f;
+  Rng rng(config.seed);
+  const std::size_t n = examples.size();
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    const std::vector<std::size_t> order = rng.permutation(n);
+    const float lr = config.learning_rate /
+                     (1.0f + 0.05f * static_cast<float>(epoch));
+    for (std::size_t idx : order) {
+      const std::vector<float>& f = feats[idx];
+      float z = bias_;
+      for (std::size_t i = 0; i < dim; ++i) z += weights_[i] * f[i];
+      const float p = sigmoid(z);
+      const float target = examples[idx].bnn_correct ? 1.0f : 0.0f;
+      const float err = p - target;  // dBCE/dz
+      for (std::size_t i = 0; i < dim; ++i) {
+        weights_[i] -=
+            lr * (err * f[i] + config.weight_decay * weights_[i]);
+      }
+      bias_ -= lr * err;
+    }
+  }
+}
+
+float Dmu::confidence(const std::vector<float>& scores) const {
+  MPCNN_CHECK(trained(), "DMU used before training");
+  const std::vector<float> f = featurize(scores);
+  MPCNN_CHECK(f.size() == weights_.size(), "score width " << f.size());
+  float z = bias_;
+  for (std::size_t i = 0; i < f.size(); ++i) z += weights_[i] * f[i];
+  return sigmoid(z);
+}
+
+DmuConfusion Dmu::confusion(const std::vector<ScoredExample>& examples,
+                            float threshold) const {
+  MPCNN_CHECK(!examples.empty(), "confusion over empty set");
+  DmuConfusion c;
+  const double unit = 1.0 / static_cast<double>(examples.size());
+  for (const ScoredExample& e : examples) {
+    const bool accepted = accept(e.scores, threshold);
+    if (e.bnn_correct && accepted) {
+      c.fs += unit;
+    } else if (!e.bnn_correct && !accepted) {
+      c.fnot_snot += unit;
+    } else if (!e.bnn_correct && accepted) {
+      c.fnot_s += unit;
+    } else {
+      c.fs_not += unit;
+    }
+  }
+  return c;
+}
+
+std::vector<std::pair<float, DmuConfusion>> Dmu::sweep(
+    const std::vector<ScoredExample>& examples,
+    const std::vector<float>& thresholds) const {
+  std::vector<std::pair<float, DmuConfusion>> out;
+  out.reserve(thresholds.size());
+  for (float t : thresholds) {
+    out.emplace_back(t, confusion(examples, t));
+  }
+  return out;
+}
+
+}  // namespace mpcnn::core

@@ -1,0 +1,105 @@
+// Decision-Making Unit (§III-B).
+//
+// A light-weight trained gate between the two networks: it receives the
+// 10 BNN output scores of an image and produces one probability that the
+// BNN classification was correct.  Exactly as in the paper, inference is
+// ten multiplications, a sum, a bias addition and a sigmoid; training
+// uses the BNN's scores on the *training* set labelled with a 0/1
+// success flag.
+//
+// The paper trains a "Softmax layer" on the raw scores; raw class scores
+// are not permutation-invariant, so we default to sorting the scores
+// descending first (same cost, strictly a feature re-ordering) and also
+// support the raw-score variant.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace mpcnn::core {
+
+/// Feature presentation for the gate.
+enum class DmuFeatures {
+  kSortedScores,   ///< scores sorted descending (default)
+  kRawScores,      ///< scores as emitted by the BNN
+  kSortedSoftmax,  ///< softmax over the scores, sorted descending
+};
+
+/// One training/inference record: BNN scores + whether BNN was right.
+struct ScoredExample {
+  std::vector<float> scores;  ///< the 10 BNN output scores
+  bool bnn_correct = false;
+};
+
+/// Category shares of Table II / Fig. 5 (fractions of the dataset).
+/// Naming: F = FINN correct, S = Softmax estimates "correct";
+/// overbars in the paper are the `_not` halves here.
+struct DmuConfusion {
+  double fs = 0.0;           ///< FINN right, gate says right (kept)
+  double fnot_snot = 0.0;    ///< FINN wrong, gate says wrong (rerun, good)
+  double fnot_s = 0.0;       ///< FINN wrong, gate says right (missed!)
+  double fs_not = 0.0;       ///< FINN right, gate says wrong (wasted rerun)
+
+  double gate_accuracy() const { return fs + fnot_snot; }
+  double rerun_ratio() const { return fnot_snot + fs_not; }
+  /// Cap on the cascade's accuracy: everything except the misses.
+  double max_achievable_accuracy() const { return 1.0 - fnot_s; }
+};
+
+/// Trainable logistic gate.
+class Dmu {
+ public:
+  struct TrainConfig {
+    int epochs = 60;
+    float learning_rate = 0.1f;
+    float weight_decay = 1e-4f;
+    std::uint64_t seed = 11;
+    DmuFeatures features = DmuFeatures::kSortedScores;
+  };
+
+  Dmu() = default;
+
+  /// Trains on BNN scores from the training set.
+  void train(const std::vector<ScoredExample>& examples,
+             const TrainConfig& config);
+  void train(const std::vector<ScoredExample>& examples) {
+    train(examples, TrainConfig());
+  }
+
+  /// Probability that the BNN classification behind `scores` is correct.
+  float confidence(const std::vector<float>& scores) const;
+
+  /// Gate decision: true = trust the BNN (no rerun).
+  bool accept(const std::vector<float>& scores, float threshold) const {
+    return confidence(scores) >= threshold;
+  }
+
+  /// Confusion shares at a threshold over a labelled score set.
+  DmuConfusion confusion(const std::vector<ScoredExample>& examples,
+                         float threshold) const;
+
+  /// Fig. 5: confusion at each threshold of a sweep.
+  std::vector<std::pair<float, DmuConfusion>> sweep(
+      const std::vector<ScoredExample>& examples,
+      const std::vector<float>& thresholds) const;
+
+  bool trained() const { return !weights_.empty(); }
+  const std::vector<float>& weights() const { return weights_; }
+  float bias() const { return bias_; }
+  DmuFeatures features() const { return features_; }
+
+ private:
+  std::vector<float> featurize(const std::vector<float>& scores) const;
+
+  std::vector<float> weights_;
+  float bias_ = 0.0f;
+  DmuFeatures features_ = DmuFeatures::kSortedScores;
+  // Feature standardisation constants absorbed at train time.
+  std::vector<float> feature_mean_;
+  std::vector<float> feature_scale_;
+};
+
+}  // namespace mpcnn::core

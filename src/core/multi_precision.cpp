@@ -1,0 +1,150 @@
+#include "core/multi_precision.hpp"
+
+#include <algorithm>
+
+#include "core/analytic.hpp"
+#include "tensor/error.hpp"
+
+namespace mpcnn::core {
+
+MultiPrecisionSystem::MultiPrecisionSystem(const bnn::CompiledBnn& bnn_net,
+                                           const finn::FinnDesign& design,
+                                           nn::Net& host_net,
+                                           double host_seconds_per_image,
+                                           const Dmu& dmu,
+                                           MultiPrecisionConfig config)
+    : bnn_(bnn_net),
+      design_(design),
+      host_(host_net),
+      host_seconds_per_image_(host_seconds_per_image),
+      dmu_(dmu),
+      config_(config) {
+  MPCNN_CHECK(host_seconds_per_image > 0.0, "host latency must be positive");
+  MPCNN_CHECK(config_.batch_size >= 1, "batch size");
+  MPCNN_CHECK(dmu_.trained(), "DMU must be trained before assembly");
+}
+
+MultiPrecisionSystem::Decision MultiPrecisionSystem::classify_one(
+    const Tensor& image) const {
+  Decision d;
+  const std::vector<std::int32_t> raw = bnn::run_reference(bnn_, image);
+  std::vector<float> scores(raw.begin(), raw.end());
+  d.bnn_label = static_cast<int>(std::distance(
+      raw.begin(), std::max_element(raw.begin(), raw.end())));
+  d.confidence = dmu_.confidence(scores);
+  d.rerun = d.confidence < config_.dmu_threshold;
+  if (d.rerun) {
+    host_.set_training(false);
+    d.final_label = host_.predict(image).front();
+  } else {
+    d.final_label = d.bnn_label;
+  }
+  return d;
+}
+
+MultiPrecisionReport MultiPrecisionSystem::run(
+    const data::Dataset& test) const {
+  const Dim n = test.size();
+  MPCNN_CHECK(n > 0, "empty test set");
+  MultiPrecisionReport report;
+  report.images = n;
+
+  // --- functional pass: BNN labels, DMU confidences, rerun flags ---
+  std::vector<int> bnn_labels(static_cast<std::size_t>(n));
+  std::vector<bool> flags(static_cast<std::size_t>(n), false);
+  std::vector<Dim> rerun_indices;
+  Dim bnn_correct = 0;
+  for (Dim i = 0; i < n; ++i) {
+    const Tensor image = test.images.slice_batch(i);
+    const std::vector<std::int32_t> raw = bnn::run_reference(bnn_, image);
+    std::vector<float> scores(raw.begin(), raw.end());
+    const int label = static_cast<int>(std::distance(
+        raw.begin(), std::max_element(raw.begin(), raw.end())));
+    bnn_labels[static_cast<std::size_t>(i)] = label;
+    const bool correct =
+        label == test.labels[static_cast<std::size_t>(i)];
+    if (correct) ++bnn_correct;
+    if (!dmu_.accept(scores, config_.dmu_threshold)) {
+      flags[static_cast<std::size_t>(i)] = true;
+      rerun_indices.push_back(i);
+    }
+    // Confusion bookkeeping against ground truth.
+    const double unit = 1.0 / static_cast<double>(n);
+    const bool accepted = !flags[static_cast<std::size_t>(i)];
+    if (correct && accepted) {
+      report.confusion.fs += unit;
+    } else if (!correct && !accepted) {
+      report.confusion.fnot_snot += unit;
+    } else if (!correct && accepted) {
+      report.confusion.fnot_s += unit;
+    } else {
+      report.confusion.fs_not += unit;
+    }
+  }
+  report.bnn_accuracy =
+      static_cast<double>(bnn_correct) / static_cast<double>(n);
+  report.rerun_ratio = static_cast<double>(rerun_indices.size()) /
+                       static_cast<double>(n);
+
+  // --- host re-inference of the flagged subset ---
+  host_.set_training(false);
+  Dim host_correct_on_subset = 0;
+  Dim final_correct = bnn_correct;
+  Dim rerun_err = 0;
+  if (!rerun_indices.empty()) {
+    const data::Dataset subset = test.subset(rerun_indices);
+    constexpr Dim kEvalBatch = 32;
+    for (Dim start = 0; start < subset.size(); start += kEvalBatch) {
+      const Dim m = std::min(kEvalBatch, subset.size() - start);
+      const std::vector<int> pred = host_.predict(subset.batch(start, m));
+      for (Dim j = 0; j < m; ++j) {
+        const Dim global = rerun_indices[static_cast<std::size_t>(start + j)];
+        const int truth = subset.labels[static_cast<std::size_t>(start + j)];
+        const int host_label = pred[static_cast<std::size_t>(j)];
+        const int bnn_label = bnn_labels[static_cast<std::size_t>(global)];
+        if (host_label == truth) ++host_correct_on_subset;
+        // The cascade replaces the BNN label with the host label.
+        if (bnn_label == truth) {
+          ++rerun_err;  // BNN had it right; rerun risked the answer
+          if (host_label != truth) --final_correct;
+        } else if (host_label == truth) {
+          ++final_correct;
+        }
+      }
+    }
+    report.host_subset_accuracy =
+        static_cast<double>(host_correct_on_subset) /
+        static_cast<double>(rerun_indices.size());
+  }
+  report.rerun_err_ratio =
+      static_cast<double>(rerun_err) / static_cast<double>(n);
+  report.system_accuracy =
+      static_cast<double>(final_correct) / static_cast<double>(n);
+
+  // --- timing: FPGA cycle model + measured host latency, pipelined ---
+  PipelineModel model;
+  model.fpga_seconds_for_batch = [this](Dim batch) {
+    return design_.seconds_per_batch(batch);
+  };
+  model.host_seconds_per_image = host_seconds_per_image_;
+  report.timing = simulate_pipeline(flags, config_.batch_size, model);
+  report.images_per_second = report.timing.throughput_fps;
+  report.bnn_images_per_second =
+      static_cast<double>(config_.batch_size) /
+      design_.seconds_per_batch(config_.batch_size);
+  report.host_images_per_second = 1.0 / host_seconds_per_image_;
+
+  // --- analytic expectations ---
+  report.analytic_fps = analytic_fps(
+      host_seconds_per_image_,
+      1.0 / report.bnn_images_per_second, report.rerun_ratio);
+  const double acc_fp = host_full_accuracy_ > 0.0
+                            ? host_full_accuracy_
+                            : report.host_subset_accuracy;
+  report.analytic_accuracy =
+      analytic_accuracy(report.bnn_accuracy, acc_fp, report.rerun_ratio,
+                        report.rerun_err_ratio);
+  return report;
+}
+
+}  // namespace mpcnn::core

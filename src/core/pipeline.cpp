@@ -1,0 +1,92 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::core {
+
+PipelineTiming simulate_pipeline(const std::vector<bool>& flags,
+                                 Dim batch_size,
+                                 const PipelineModel& model) {
+  MPCNN_CHECK(batch_size >= 1, "batch size " << batch_size);
+  MPCNN_CHECK(model.fpga_seconds_for_batch != nullptr,
+              "missing fpga timing model");
+  MPCNN_CHECK(model.host_seconds_per_image >= 0.0, "negative host time");
+  const Dim total = static_cast<Dim>(flags.size());
+  MPCNN_CHECK(total > 0, "no images to simulate");
+
+  const Dim num_batches = (total + batch_size - 1) / batch_size;
+  PipelineTiming timing;
+  timing.images = total;
+
+  // Latency bookkeeping: completion time per image.
+  std::vector<double> completion(static_cast<std::size_t>(flags.size()), 0.0);
+  std::vector<double> submit(static_cast<std::size_t>(flags.size()), 0.0);
+
+  double iter_start = 0.0;
+
+  // Flagged image indices of the previous batch, still owed to the host.
+  std::vector<Dim> pending;
+
+  for (Dim b = 0; b < num_batches; ++b) {
+    const Dim start = b * batch_size;
+    const Dim n = std::min(batch_size, total - start);
+    const double fpga_time =
+        model.fpga_seconds_for_batch(n);
+    MPCNN_CHECK(fpga_time >= 0.0, "negative fpga batch time");
+    const double fpga_done = iter_start + fpga_time;
+    timing.fpga_busy_seconds += fpga_time;
+
+    for (Dim i = 0; i < n; ++i) {
+      submit[static_cast<std::size_t>(start + i)] = iter_start;
+      // BNN label available when the batch leaves the fabric.
+      completion[static_cast<std::size_t>(start + i)] = fpga_done;
+    }
+
+    // Host re-infers the previous batch's flagged images concurrently.
+    double host_cursor = iter_start;
+    for (Dim idx : pending) {
+      host_cursor += model.host_seconds_per_image;
+      completion[static_cast<std::size_t>(idx)] = host_cursor;
+      timing.host_busy_seconds += model.host_seconds_per_image;
+      ++timing.reruns;
+    }
+    const double host_done = host_cursor;
+
+    pending.clear();
+    for (Dim i = 0; i < n; ++i) {
+      if (flags[static_cast<std::size_t>(start + i)]) {
+        pending.push_back(start + i);
+      }
+    }
+    iter_start = std::max(fpga_done, host_done);  // SDS wait(1)
+  }
+
+  // Trailing host pass for the last batch's flagged images.
+  double host_cursor = iter_start;
+  for (Dim idx : pending) {
+    host_cursor += model.host_seconds_per_image;
+    completion[static_cast<std::size_t>(idx)] = host_cursor;
+    timing.host_busy_seconds += model.host_seconds_per_image;
+    ++timing.reruns;
+  }
+  timing.total_seconds = host_cursor;
+
+  timing.throughput_fps =
+      static_cast<double>(total) / std::max(timing.total_seconds, 1e-12);
+  timing.fpga_utilisation =
+      timing.fpga_busy_seconds / std::max(timing.total_seconds, 1e-12);
+  timing.host_utilisation =
+      timing.host_busy_seconds / std::max(timing.total_seconds, 1e-12);
+  double latency_sum = 0.0;
+  for (std::size_t i = 0; i < completion.size(); ++i) {
+    const double latency = completion[i] - submit[i];
+    latency_sum += latency;
+    timing.max_latency_s = std::max(timing.max_latency_s, latency);
+  }
+  timing.mean_latency_s = latency_sum / static_cast<double>(total);
+  return timing;
+}
+
+}  // namespace mpcnn::core

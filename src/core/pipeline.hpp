@@ -1,0 +1,53 @@
+// Discrete-event simulation of the heterogeneous batched pipeline (§III).
+//
+// Replays the SDSoC async/wait loop of the paper:
+//
+//   for each batch i:
+//     #pragma SDS async(1)   FPGA_execution(batch[i]);
+//     if (i > 0)             ARM_execution(flagged images of batch[i-1]);
+//     #pragma SDS wait(1)
+//   ARM_execution(flagged images of the last batch);
+//
+// FPGA and host therefore overlap batch-by-batch; an iteration takes the
+// longer of the FPGA batch time and the host rerun time, which is what
+// turns Eq. (1) from an approximation into measured behaviour.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "tensor/shape.hpp"
+
+namespace mpcnn::core {
+
+/// Timing inputs of the simulation.
+struct PipelineModel {
+  /// Wall seconds the fabric needs for a batch of n images.
+  std::function<double(Dim)> fpga_seconds_for_batch;
+  /// Wall seconds the host needs to re-infer one image.
+  double host_seconds_per_image = 0.0;
+};
+
+/// Aggregate results of one simulated run.
+struct PipelineTiming {
+  double total_seconds = 0.0;
+  double throughput_fps = 0.0;
+  double fpga_busy_seconds = 0.0;
+  double host_busy_seconds = 0.0;
+  double fpga_utilisation = 0.0;   ///< busy share of total
+  double host_utilisation = 0.0;
+  double mean_latency_s = 0.0;     ///< submit → final label, per image
+  double max_latency_s = 0.0;
+  Dim images = 0;
+  Dim reruns = 0;
+};
+
+/// Simulates the loop for `flags.size()` images where flags[i] is true
+/// when image i needs host re-inference.  Images are consumed in order,
+/// `batch_size` at a time (the final batch may be short).
+PipelineTiming simulate_pipeline(const std::vector<bool>& flags,
+                                 Dim batch_size,
+                                 const PipelineModel& model);
+
+}  // namespace mpcnn::core

@@ -1,0 +1,97 @@
+#include "core/stream.hpp"
+
+#include <algorithm>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::core {
+
+StreamSession::StreamSession(const bnn::CompiledBnn& bnn_net,
+                             const finn::FinnDesign& design,
+                             nn::Net& host_net,
+                             double host_seconds_per_image, const Dmu& dmu,
+                             Config config)
+    : bnn_(bnn_net),
+      design_(design),
+      host_(host_net),
+      host_seconds_per_image_(host_seconds_per_image),
+      dmu_(dmu),
+      config_(config) {
+  MPCNN_CHECK(config_.batch_size >= 1, "batch size");
+  MPCNN_CHECK(host_seconds_per_image > 0.0, "host latency must be positive");
+  MPCNN_CHECK(dmu_.trained(), "DMU must be trained");
+}
+
+Dim StreamSession::submit(const Tensor& image, double arrival_time) {
+  MPCNN_CHECK(arrival_time >= last_arrival_,
+              "arrival times must be monotone (got "
+                  << arrival_time << " after " << last_arrival_ << ")");
+  last_arrival_ = arrival_time;
+  batch_.push_back(Pending{next_id_, image, arrival_time});
+  const Dim id = next_id_++;
+  if (static_cast<Dim>(batch_.size()) >= config_.batch_size) {
+    dispatch(arrival_time);
+  }
+  return id;
+}
+
+void StreamSession::flush() {
+  if (!batch_.empty()) dispatch(last_arrival_);
+}
+
+void StreamSession::dispatch(double now) {
+  const Dim n = static_cast<Dim>(batch_.size());
+  // Fabric: the batch enters when the engines are free.  A batch that
+  // arrives while the pipeline is still streaming the previous one keeps
+  // it filled and pays only the steady-state interval per image; a batch
+  // dispatched into an idle fabric pays the full ramp-up.
+  const double fpga_start = std::max(now, fpga_free_);
+  const bool pipeline_hot = fpga_free_ > 0.0 && now <= fpga_free_;
+  const double duration =
+      pipeline_hot
+          ? static_cast<double>(n) * design_.steady_seconds_per_image()
+          : design_.seconds_per_batch(n);
+  const double fpga_done = fpga_start + duration;
+  fpga_free_ = fpga_done;
+
+  host_.set_training(false);
+  for (Pending& pending : batch_) {
+    StreamResult result;
+    result.image_id = pending.id;
+    result.submitted_at = pending.arrival;
+    const std::vector<std::int32_t> raw =
+        bnn::run_reference(bnn_, pending.image);
+    std::vector<float> scores(raw.begin(), raw.end());
+    result.bnn_label = static_cast<int>(std::distance(
+        raw.begin(), std::max_element(raw.begin(), raw.end())));
+    result.confidence = dmu_.confidence(scores);
+    result.rerun = result.confidence < config_.dmu_threshold;
+    if (result.rerun) {
+      // Host re-inference starts once the BNN verdict exists and the
+      // host is free; runs concurrently with the fabric's next batch.
+      const double host_start = std::max(fpga_done, host_free_);
+      const double host_done = host_start + host_seconds_per_image_;
+      host_free_ = host_done;
+      result.label = host_.predict(pending.image).front();
+      result.ready_at = host_done;
+    } else {
+      result.label = result.bnn_label;
+      result.ready_at = fpga_done;
+    }
+    ready_.push_back(result);
+    ++completed_;
+  }
+  batch_.clear();
+}
+
+std::vector<StreamResult> StreamSession::drain() {
+  std::sort(ready_.begin(), ready_.end(),
+            [](const StreamResult& a, const StreamResult& b) {
+              return a.ready_at < b.ready_at;
+            });
+  std::vector<StreamResult> out;
+  out.swap(ready_);
+  return out;
+}
+
+}  // namespace mpcnn::core

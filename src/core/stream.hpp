@@ -1,0 +1,93 @@
+// Streaming front-end to the multi-precision cascade.
+//
+// MultiPrecisionSystem::run() evaluates a complete dataset; real
+// deployments (the paper's live-video motivation) instead push images as
+// they arrive.  StreamSession models exactly that: submit images with
+// arrival timestamps, and poll results whose `ready_at` times come from
+// the same heterogeneous timing model (FPGA batch pipelining + host
+// re-inference) the batch simulator uses.
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "bnn/compile.hpp"
+#include "core/dmu.hpp"
+#include "finn/dataflow.hpp"
+#include "nn/net.hpp"
+
+namespace mpcnn::core {
+
+/// One classified image leaving the stream.
+struct StreamResult {
+  Dim image_id = 0;
+  int label = 0;             ///< final cascade label
+  int bnn_label = 0;         ///< the fabric's answer
+  bool rerun = false;        ///< host re-inference happened
+  float confidence = 0.0f;   ///< DMU confidence in the BNN answer
+  double submitted_at = 0.0;
+  double ready_at = 0.0;     ///< simulated completion time
+
+  double latency() const { return ready_at - submitted_at; }
+};
+
+/// Event-driven cascade session.  Non-owning views of the components;
+/// the caller keeps them alive (Workbench does).
+class StreamSession {
+ public:
+  struct Config {
+    Dim batch_size = 32;       ///< images per fabric dispatch
+    float dmu_threshold = 0.5f;
+  };
+
+  StreamSession(const bnn::CompiledBnn& bnn_net,
+                const finn::FinnDesign& design, nn::Net& host_net,
+                double host_seconds_per_image, const Dmu& dmu,
+                Config config);
+
+  /// Queues one image (NCHW, batch 1).  `arrival_time` must be
+  /// monotonically non-decreasing.  A full batch dispatches
+  /// automatically.  Returns the image id.
+  Dim submit(const Tensor& image, double arrival_time);
+
+  /// Dispatches a partial batch immediately (end of stream / deadline).
+  void flush();
+
+  /// Removes and returns every result finished so far, ordered by
+  /// completion time.
+  std::vector<StreamResult> drain();
+
+  /// Images accepted so far.
+  Dim submitted() const { return next_id_; }
+  /// Results produced so far (drained or not).
+  Dim completed() const { return completed_; }
+  /// Simulated time the fabric is busy until.
+  double fpga_busy_until() const { return fpga_free_; }
+  /// Simulated time the host is busy until.
+  double host_busy_until() const { return host_free_; }
+
+ private:
+  void dispatch(double now);
+
+  const bnn::CompiledBnn& bnn_;
+  const finn::FinnDesign& design_;
+  nn::Net& host_;
+  double host_seconds_per_image_;
+  const Dmu& dmu_;
+  Config config_;
+
+  struct Pending {
+    Dim id;
+    Tensor image;
+    double arrival;
+  };
+  std::deque<Pending> batch_;
+  std::vector<StreamResult> ready_;
+  Dim next_id_ = 0;
+  Dim completed_ = 0;
+  double fpga_free_ = 0.0;
+  double host_free_ = 0.0;
+  double last_arrival_ = 0.0;
+};
+
+}  // namespace mpcnn::core

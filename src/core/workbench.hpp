@@ -1,0 +1,148 @@
+// Shared experiment environment for tests, examples and benchmarks.
+//
+// Owns the synthetic dataset, the trained float models (width-scaled
+// Table III variants), the trained + compiled BNN, the trained DMU, the
+// measured host latencies of the full-width topologies and the FINN
+// operating-point design.  Heavy artefacts (trained weights) are cached
+// on disk under `cache_dir` so the benchmark suite trains each network
+// exactly once per configuration.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "bnn/compile.hpp"
+#include "core/dmu.hpp"
+#include "core/host_profile.hpp"
+#include "core/multi_precision.hpp"
+#include "data/cifar_like.hpp"
+#include "finn/explorer.hpp"
+#include "nn/sgd.hpp"
+
+namespace mpcnn::core {
+
+/// Sizing/seeding of the whole experiment environment.
+struct WorkbenchConfig {
+  std::string cache_dir = "mpcnn_cache";
+  std::uint64_t seed = 42;
+  Dim train_size = 1800;
+  Dim test_size = 1000;  ///< the paper evaluates on 1000 test images
+  data::SyntheticConfig data = default_data();
+  // Width-scaled trainable variants (full widths need GPU-scale budgets;
+  // see the substitution table in DESIGN.md).
+  // Widths/epochs balanced so the Table IV ordering (BNN < A < B <= C)
+  // emerges: Model A is deliberately the light/fast/least-accurate float
+  // model, exactly as in the paper.
+  float model_a_width = 0.375f;
+  float model_b_width = 0.1875f;
+  float model_c_width = 0.1875f;
+  float bnn_width = 0.25f;
+  int float_epochs = 6;        ///< Model A
+  int deep_float_epochs = 14;  ///< Models B/C (~5x the per-epoch cost)
+  int bnn_epochs = 18;
+  Dim bnn_fc_width = 64;
+  double operating_min_fps = 400.0;  ///< §III-A picks ≥430 img/s
+  bool verbose = true;
+
+  /// Difficulty tuned so the accuracy ordering of Table IV emerges
+  /// (BNN < A < B < C with a few points between steps).
+  static data::SyntheticConfig default_data() {
+    data::SyntheticConfig d;
+    d.noise_sigma = 0.07f;
+    d.distractor = 0.35f;
+    d.max_shift = 5;
+    return d;
+  }
+};
+
+/// Lazily-constructed, memoised experiment state.
+class Workbench {
+ public:
+  explicit Workbench(WorkbenchConfig config = {});
+  ~Workbench();
+
+  Workbench(const Workbench&) = delete;
+  Workbench& operator=(const Workbench&) = delete;
+
+  const WorkbenchConfig& config() const { return config_; }
+
+  const data::Dataset& train_set();
+  const data::Dataset& test_set();
+
+  /// Trained width-scaled float model ('A', 'B' or 'C').
+  nn::Net& model(char which);
+  /// Test-set accuracy of the trained scaled model.
+  double model_accuracy(char which);
+  /// Measured latency of the FULL-width Table III topology.
+  const HostProfile& host_profile(char which);
+
+  /// Trained BNN training graph (width-scaled Table I).
+  nn::Net& bnn_net();
+  /// The same network lowered to integer XNOR-popcount-threshold form.
+  const bnn::CompiledBnn& compiled_bnn();
+  /// Test-set accuracy of the compiled BNN.
+  double bnn_accuracy();
+
+  /// BNN output scores + correctness flags over a dataset.
+  std::vector<ScoredExample> collect_scores(const data::Dataset& set);
+  /// Scores over the training set (memoised; DMU training data).
+  const std::vector<ScoredExample>& train_scores();
+  /// Scores over the test set (memoised).
+  const std::vector<ScoredExample>& test_scores();
+
+  /// DMU trained on the training-set scores.
+  const Dmu& dmu();
+
+  /// The deployment threshold: the paper fixes 0.84 on its (overconfident
+  /// softmax) gate, which reruns 25.1% of the training set.  Our gate is
+  /// BCE-calibrated, so the equivalent operating point is found by the
+  /// rerun budget: the smallest sweep threshold whose training-set rerun
+  /// ratio reaches `target_rerun`.
+  float operating_threshold(double target_rerun = 0.251);
+
+  /// Measured-host-to-Cortex-A9 scale: our host runs the full Model A at
+  /// `host_profile('A')` img/s, the paper's A9 at 29.68.  Multiplying
+  /// host latencies by this factor replays the paper's timing regime.
+  double arm_scale_factor();
+
+  /// The §III-A operating point: lowest-BRAM partitioned full-width
+  /// design sustaining `operating_min_fps` (430 img/s in the paper).
+  const finn::FinnDesign& operating_design();
+
+  const finn::Device& device() const { return device_; }
+
+  /// Assembled cascade for host model `which` at the given threshold.
+  /// With `arm_calibrated` the host latency is scaled to the paper's
+  /// Cortex-A9 (Model A = 29.68 img/s), reproducing Table V's regime.
+  MultiPrecisionSystem make_system(char which, float threshold = 0.84f,
+                                   Dim batch_size = 100,
+                                   bool arm_calibrated = false);
+
+ private:
+  std::string cache_path(const std::string& name,
+                         const std::string& extra) const;
+  void log(const std::string& message) const;
+  nn::Net train_or_load(const std::string& name, nn::Net net, int epochs,
+                        const nn::Sgd::Config& sgd,
+                        const std::string& extra = "");
+
+  WorkbenchConfig config_;
+  finn::Device device_;
+  std::optional<data::CifarLikeGenerator> generator_;
+  std::optional<data::Dataset> train_;
+  std::optional<data::Dataset> test_;
+  std::unordered_map<char, std::unique_ptr<nn::Net>> models_;
+  std::unordered_map<char, double> model_accuracy_;
+  std::unordered_map<char, HostProfile> host_profiles_;
+  std::unique_ptr<nn::Net> bnn_net_;
+  std::optional<bnn::CompiledBnn> compiled_;
+  std::optional<double> bnn_accuracy_;
+  std::optional<std::vector<ScoredExample>> train_scores_;
+  std::optional<std::vector<ScoredExample>> test_scores_;
+  std::optional<Dmu> dmu_;
+  std::optional<finn::FinnDesign> operating_design_;
+};
+
+}  // namespace mpcnn::core

@@ -1,0 +1,59 @@
+#include "data/augment.hpp"
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::data {
+
+Tensor random_crop(const Tensor& image, int pad, Rng& rng) {
+  MPCNN_CHECK(image.shape().rank() == 4 && image.shape()[0] == 1,
+              "random_crop expects a single NCHW image");
+  const Dim C = image.shape()[1], H = image.shape()[2], W = image.shape()[3];
+  const int dy = static_cast<int>(rng.uniform_int(
+                     static_cast<std::uint64_t>(2 * pad + 1))) -
+                 pad;
+  const int dx = static_cast<int>(rng.uniform_int(
+                     static_cast<std::uint64_t>(2 * pad + 1))) -
+                 pad;
+  Tensor out(image.shape());
+  for (Dim c = 0; c < C; ++c) {
+    for (Dim y = 0; y < H; ++y) {
+      const Dim sy = y + dy;
+      for (Dim x = 0; x < W; ++x) {
+        const Dim sx = x + dx;
+        const float v = (sy >= 0 && sy < H && sx >= 0 && sx < W)
+                            ? image.at4(0, c, sy, sx)
+                            : 0.0f;
+        out.at4(0, c, y, x) = v;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor hflip(const Tensor& image) {
+  MPCNN_CHECK(image.shape().rank() == 4 && image.shape()[0] == 1,
+              "hflip expects a single NCHW image");
+  const Dim C = image.shape()[1], H = image.shape()[2], W = image.shape()[3];
+  Tensor out(image.shape());
+  for (Dim c = 0; c < C; ++c)
+    for (Dim y = 0; y < H; ++y)
+      for (Dim x = 0; x < W; ++x)
+        out.at4(0, c, y, x) = image.at4(0, c, y, W - 1 - x);
+  return out;
+}
+
+Dataset augment(const Dataset& in, const AugmentConfig& config) {
+  Rng rng(config.seed);
+  Dataset out;
+  out.images = Tensor(in.images.shape());
+  out.labels = in.labels;
+  for (Dim i = 0; i < in.size(); ++i) {
+    Tensor item = in.images.slice_batch(i);
+    item = random_crop(item, config.pad, rng);
+    if (config.horizontal_flip && rng.bernoulli(0.5)) item = hflip(item);
+    out.images.set_batch(i, item, 0);
+  }
+  return out;
+}
+
+}  // namespace mpcnn::data

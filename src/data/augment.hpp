@@ -1,0 +1,25 @@
+// Training-time data augmentation.
+#pragma once
+
+#include "data/dataset.hpp"
+
+namespace mpcnn::data {
+
+/// Augmentation policy for 32×32 images.
+struct AugmentConfig {
+  int pad = 2;              ///< zero padding before random crop
+  bool horizontal_flip = true;
+  std::uint64_t seed = 5;
+};
+
+/// Returns an augmented copy of the dataset (one augmented variant per
+/// input item; call repeatedly for more).
+Dataset augment(const Dataset& in, const AugmentConfig& config);
+
+/// Random pad-and-crop of one NCHW item (batch 1).
+Tensor random_crop(const Tensor& image, int pad, Rng& rng);
+
+/// Horizontal mirror of one NCHW item (batch 1).
+Tensor hflip(const Tensor& image);
+
+}  // namespace mpcnn::data

@@ -1,0 +1,206 @@
+#include "data/cifar_like.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::data {
+namespace {
+
+constexpr Dim kSize = 32;
+constexpr Dim kGrid = 8;  // coarse texture grid resolution
+
+float clamp01(float v) { return std::clamp(v, 0.0f, 1.0f); }
+
+// Bilinear sample of a kGrid×kGrid×3 texture grid with wraparound, in
+// image coordinates (0..31) with a fractional phase offset.
+float sample_grid(const std::vector<float>& grid, float x, float y, int c) {
+  const float gx = x * static_cast<float>(kGrid) / static_cast<float>(kSize);
+  const float gy = y * static_cast<float>(kGrid) / static_cast<float>(kSize);
+  const int x0 = static_cast<int>(std::floor(gx));
+  const int y0 = static_cast<int>(std::floor(gy));
+  const float fx = gx - static_cast<float>(x0);
+  const float fy = gy - static_cast<float>(y0);
+  auto at = [&](int yy, int xx) {
+    const int wy = ((yy % kGrid) + kGrid) % kGrid;
+    const int wx = ((xx % kGrid) + kGrid) % kGrid;
+    return grid[static_cast<std::size_t>((wy * kGrid + wx) * 3 + c)];
+  };
+  const float top = at(y0, x0) * (1 - fx) + at(y0, x0 + 1) * fx;
+  const float bot = at(y0 + 1, x0) * (1 - fx) + at(y0 + 1, x0 + 1) * fx;
+  return top * (1 - fy) + bot * fy;
+}
+
+// Shape membership for the five shape families.  `odd` applies the
+// subtle cue that separates the second class of each confusable pair.
+float shape_mask(int family, bool odd, float cue, float dx, float dy,
+                 float r) {
+  const float dist = std::sqrt(dx * dx + dy * dy);
+  switch (family) {
+    case 0: {  // disc; odd: central hole
+      if (dist >= r) return 0.0f;
+      if (odd && dist < r * 0.45f * cue * 2.0f) return 0.0f;
+      return 1.0f;
+    }
+    case 1: {  // square; odd: rotated toward diamond by cue·45°
+      float ax = dx, ay = dy;
+      if (odd) {
+        const float theta =
+            cue * 0.25f * static_cast<float>(std::numbers::pi);
+        const float ct = std::cos(theta), st = std::sin(theta);
+        ax = ct * dx - st * dy;
+        ay = st * dx + ct * dy;
+      }
+      return (std::fabs(ax) < r * 0.8f && std::fabs(ay) < r * 0.8f) ? 1.0f
+                                                                    : 0.0f;
+    }
+    case 2: {  // horizontal stripes; odd: cue-shifted frequency
+      const float freq = odd ? 0.55f * (1.0f + cue) : 0.55f;
+      const float v = std::sin(dy * freq * 2.0f);
+      return (std::fabs(dx) < r && std::fabs(dy) < r && v > 0.0f) ? 1.0f
+                                                                  : 0.0f;
+    }
+    case 3: {  // ring; odd: angular gap of width cue·90°
+      if (dist < r * 0.55f || dist >= r) return 0.0f;
+      if (odd) {
+        const float angle = std::atan2(dy, dx);
+        const float gap =
+            cue * 0.5f * static_cast<float>(std::numbers::pi);
+        if (std::fabs(angle) < gap * 0.5f) return 0.0f;
+      }
+      return 1.0f;
+    }
+    default: {  // triangle; odd: apex skewed horizontally by cue·r
+      if (dy < -r || dy > r) return 0.0f;
+      const float apex = odd ? cue * r : 0.0f;
+      const float t = (dy + r) / (2.0f * r);  // 0 at apex row, 1 at base
+      const float center = apex * (1.0f - t);
+      const float half_width = r * t;
+      return (std::fabs(dx - center) < half_width) ? 1.0f : 0.0f;
+    }
+  }
+}
+
+}  // namespace
+
+CifarLikeGenerator::CifarLikeGenerator(SyntheticConfig config)
+    : config_(config) {
+  MPCNN_CHECK(config_.noise_sigma >= 0.0f && config_.max_shift >= 0 &&
+                  config_.subtle_cue >= 0.0f && config_.subtle_cue <= 1.0f,
+              "bad SyntheticConfig");
+  Rng rng(config_.seed);
+  textures_.resize(10);
+  shape_colors_.resize(10);
+  // Even classes get independent prototypes; odd classes perturb their
+  // even partner so the pair is confusable.
+  for (int k = 0; k < 10; k += 2) {
+    std::vector<float> base(kGrid * kGrid * 3);
+    for (float& v : base) v = static_cast<float>(rng.uniform());
+    textures_[static_cast<std::size_t>(k)] = base;
+    std::vector<float> sibling = base;
+    for (float& v : sibling) {
+      v = clamp01(v + config_.subtle_cue *
+                          static_cast<float>(rng.uniform(-0.5, 0.5)));
+    }
+    textures_[static_cast<std::size_t>(k + 1)] = std::move(sibling);
+    std::array<float, 3> color{};
+    for (float& c : color) c = static_cast<float>(rng.uniform(0.2, 1.0));
+    shape_colors_[static_cast<std::size_t>(k)] = color;
+    std::array<float, 3> sib_color = color;
+    for (float& c : sib_color) {
+      c = clamp01(c + config_.subtle_cue *
+                          static_cast<float>(rng.uniform(-0.3, 0.3)));
+    }
+    shape_colors_[static_cast<std::size_t>(k + 1)] = sib_color;
+  }
+}
+
+Tensor CifarLikeGenerator::render(int label, Rng& rng) const {
+  MPCNN_CHECK(label >= 0 && label < 10, "label " << label);
+  const int family = label / 2;
+  const bool odd = (label % 2) != 0;
+  const auto& texture = textures_[static_cast<std::size_t>(label)];
+  const auto& color = shape_colors_[static_cast<std::size_t>(label)];
+
+  const float shift_x = static_cast<float>(
+      rng.uniform(-config_.max_shift, config_.max_shift + 1e-9));
+  const float shift_y = static_cast<float>(
+      rng.uniform(-config_.max_shift, config_.max_shift + 1e-9));
+  const float cx = 16.0f + shift_x;
+  const float cy = 16.0f + shift_y;
+  const float r =
+      9.0f * (1.0f + config_.scale_jitter *
+                         static_cast<float>(rng.uniform(-1.0, 1.0)));
+  const float tex_phase_x = static_cast<float>(rng.uniform(0.0, kSize));
+  const float tex_phase_y = static_cast<float>(rng.uniform(0.0, kSize));
+  const float contrast =
+      1.0f + config_.photometric_jitter *
+                 static_cast<float>(rng.uniform(-1.0, 1.0));
+  const float brightness = 0.5f * config_.photometric_jitter *
+                           static_cast<float>(rng.uniform(-1.0, 1.0));
+
+  // Distractor blobs: up to two, random colour/position, never centred.
+  struct Blob {
+    float x, y, r, alpha;
+    std::array<float, 3> color;
+  };
+  std::vector<Blob> blobs;
+  const int n_blobs = static_cast<int>(rng.uniform_int(3));  // 0..2
+  for (int b = 0; b < n_blobs; ++b) {
+    Blob blob{};
+    blob.x = static_cast<float>(rng.uniform(2.0, 30.0));
+    blob.y = static_cast<float>(rng.uniform(2.0, 30.0));
+    blob.r = static_cast<float>(rng.uniform(2.0, 5.0));
+    blob.alpha =
+        config_.distractor * static_cast<float>(rng.uniform(0.4, 1.0));
+    for (float& c : blob.color) c = static_cast<float>(rng.uniform());
+    blobs.push_back(blob);
+  }
+
+  Tensor img(Shape{1, 3, kSize, kSize});
+  for (Dim y = 0; y < kSize; ++y) {
+    for (Dim x = 0; x < kSize; ++x) {
+      const float fx = static_cast<float>(x);
+      const float fy = static_cast<float>(y);
+      const float mask = shape_mask(family, odd, config_.subtle_cue,
+                                    fx - cx, fy - cy, r);
+      for (int c = 0; c < 3; ++c) {
+        float v = config_.texture_weight *
+                  sample_grid(texture, fx + tex_phase_x, fy + tex_phase_y, c);
+        v += config_.shape_weight * mask * color[static_cast<std::size_t>(c)];
+        for (const Blob& blob : blobs) {
+          const float ddx = fx - blob.x, ddy = fy - blob.y;
+          if (ddx * ddx + ddy * ddy < blob.r * blob.r) {
+            v = (1.0f - blob.alpha) * v +
+                blob.alpha * blob.color[static_cast<std::size_t>(c)];
+          }
+        }
+        v = v * contrast + brightness;
+        v += config_.noise_sigma * static_cast<float>(rng.normal());
+        img.at4(0, c, y, x) = clamp01(v);
+      }
+    }
+  }
+  return img;
+}
+
+Dataset CifarLikeGenerator::generate(Dim n, std::uint64_t seed) const {
+  MPCNN_CHECK(n >= 0, "negative dataset size");
+  Dataset out;
+  out.images = Tensor(Shape{n, 3, kSize, kSize});
+  out.labels.resize(static_cast<std::size_t>(n));
+  Rng master(seed ^ 0xC1FA10ULL);
+  for (Dim i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 10);
+    Rng item = master.split();
+    const Tensor img = render(label, item);
+    out.images.set_batch(i, img, 0);
+    out.labels[static_cast<std::size_t>(i)] = label;
+  }
+  out.shuffle(master);
+  return out;
+}
+
+}  // namespace mpcnn::data

@@ -1,0 +1,62 @@
+#include "data/cifar_reader.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::data {
+namespace {
+
+constexpr Dim kRecordBytes = 1 + 3 * 32 * 32;
+
+}  // namespace
+
+Dataset read_cifar10_batch(const std::string& path) {
+  std::ifstream is(path, std::ios::binary | std::ios::ate);
+  MPCNN_CHECK(is.is_open(), "cannot open CIFAR batch " << path);
+  const std::streamsize bytes = is.tellg();
+  MPCNN_CHECK(bytes > 0 && bytes % kRecordBytes == 0,
+              "malformed CIFAR batch " << path << " (" << bytes
+                                       << " bytes)");
+  const Dim n = static_cast<Dim>(bytes / kRecordBytes);
+  is.seekg(0);
+  Dataset out;
+  out.images = Tensor(Shape{n, 3, 32, 32});
+  out.labels.resize(static_cast<std::size_t>(n));
+  std::vector<unsigned char> record(static_cast<std::size_t>(kRecordBytes));
+  for (Dim i = 0; i < n; ++i) {
+    is.read(reinterpret_cast<char*>(record.data()),
+            static_cast<std::streamsize>(record.size()));
+    MPCNN_CHECK(is.good(), "truncated CIFAR batch " << path);
+    const int label = record[0];
+    MPCNN_CHECK(label >= 0 && label < 10, "bad label " << label << " in "
+                                                       << path);
+    out.labels[static_cast<std::size_t>(i)] = label;
+    float* dst = out.images.data() + i * 3 * 32 * 32;
+    for (Dim p = 0; p < 3 * 32 * 32; ++p) {
+      dst[p] = static_cast<float>(record[static_cast<std::size_t>(1 + p)]) /
+               255.0f;
+    }
+  }
+  return out;
+}
+
+std::optional<CifarSplits> load_cifar10(const std::string& dir) {
+  namespace fs = std::filesystem;
+  const fs::path base(dir);
+  const fs::path test = base / "test_batch.bin";
+  if (!fs::exists(test)) return std::nullopt;
+  CifarSplits splits;
+  for (int b = 1; b <= 5; ++b) {
+    const fs::path batch = base / ("data_batch_" + std::to_string(b) +
+                                   ".bin");
+    if (!fs::exists(batch)) return std::nullopt;
+    splits.train.append(read_cifar10_batch(batch.string()));
+  }
+  splits.test = read_cifar10_batch(test.string());
+  return splits;
+}
+
+}  // namespace mpcnn::data

@@ -1,0 +1,30 @@
+// Reader for the real CIFAR-10 binary distribution.
+//
+// When the original `cifar-10-batches-bin` files are available on disk the
+// whole pipeline can run on the paper's actual dataset; otherwise callers
+// fall back to the synthetic generator (see load_cifar10_or_synthetic in
+// cifar_like-based call sites).
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "data/dataset.hpp"
+
+namespace mpcnn::data {
+
+/// Train/test pair as distributed by the CIFAR-10 binary archive.
+struct CifarSplits {
+  Dataset train;  ///< data_batch_1..5.bin (50000 items)
+  Dataset test;   ///< test_batch.bin (10000 items)
+};
+
+/// Parses one CIFAR-10 binary batch file (label byte + 3072 pixel bytes
+/// per record, planar RGB).  Throws Error on malformed files.
+Dataset read_cifar10_batch(const std::string& path);
+
+/// Loads the full distribution from a directory containing the standard
+/// batch files; std::nullopt if the directory or files are missing.
+std::optional<CifarSplits> load_cifar10(const std::string& dir);
+
+}  // namespace mpcnn::data

@@ -1,0 +1,262 @@
+#include "data/hd_scene.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::data {
+namespace {
+
+float clamp01(float v) { return std::clamp(v, 0.0f, 1.0f); }
+
+// Bilinear sample of one channel plane at fractional coordinates.
+float bilinear(const float* plane, Dim h, Dim w, float y, float x) {
+  const float cy = std::clamp(y, 0.0f, static_cast<float>(h - 1));
+  const float cx = std::clamp(x, 0.0f, static_cast<float>(w - 1));
+  const Dim y0 = static_cast<Dim>(cy);
+  const Dim x0 = static_cast<Dim>(cx);
+  const Dim y1 = std::min(y0 + 1, h - 1);
+  const Dim x1 = std::min(x0 + 1, w - 1);
+  const float fy = cy - static_cast<float>(y0);
+  const float fx = cx - static_cast<float>(x0);
+  const float top = plane[y0 * w + x0] * (1 - fx) + plane[y0 * w + x1] * fx;
+  const float bot = plane[y1 * w + x0] * (1 - fx) + plane[y1 * w + x1] * fx;
+  return top * (1 - fy) + bot * fy;
+}
+
+// Integral images over intensity and squared intensity: O(1) box sums
+// for the saliency scan.
+struct Integral {
+  Dim h = 0, w = 0;
+  std::vector<double> sum, sq;
+
+  explicit Integral(const Tensor& frame) {
+    h = frame.shape()[2];
+    w = frame.shape()[3];
+    sum.assign(static_cast<std::size_t>((h + 1) * (w + 1)), 0.0);
+    sq.assign(static_cast<std::size_t>((h + 1) * (w + 1)), 0.0);
+    const Dim plane = h * w;
+    for (Dim y = 0; y < h; ++y) {
+      for (Dim x = 0; x < w; ++x) {
+        // Luma: mean over the RGB channels.
+        const float v = (frame[0 * plane + y * w + x] +
+                         frame[1 * plane + y * w + x] +
+                         frame[2 * plane + y * w + x]) /
+                        3.0f;
+        const std::size_t idx =
+            static_cast<std::size_t>((y + 1) * (w + 1) + (x + 1));
+        sum[idx] = v + sum[idx - 1] +
+                   sum[idx - static_cast<std::size_t>(w + 1)] -
+                   sum[idx - static_cast<std::size_t>(w + 1) - 1];
+        sq[idx] = static_cast<double>(v) * v + sq[idx - 1] +
+                  sq[idx - static_cast<std::size_t>(w + 1)] -
+                  sq[idx - static_cast<std::size_t>(w + 1) - 1];
+      }
+    }
+  }
+
+  double box_sum(const std::vector<double>& table, Dim y, Dim x,
+                 Dim size) const {
+    const Dim y1 = std::min(y + size, h);
+    const Dim x1 = std::min(x + size, w);
+    auto at = [&](Dim yy, Dim xx) {
+      return table[static_cast<std::size_t>(yy * (w + 1) + xx)];
+    };
+    return at(y1, x1) - at(y, x1) - at(y1, x) + at(y, x);
+  }
+
+  // Variance of the box contents — high where structured objects sit on
+  // a smooth background.
+  double box_variance(Dim y, Dim x, Dim size) const {
+    const Dim y1 = std::min(y + size, h);
+    const Dim x1 = std::min(x + size, w);
+    const double count = static_cast<double>((y1 - y) * (x1 - x));
+    if (count <= 0.0) return 0.0;
+    const double mean = box_sum(sum, y, x, size) / count;
+    return box_sum(sq, y, x, size) / count - mean * mean;
+  }
+};
+
+}  // namespace
+
+double Roi::iou(const SceneObject& object) const {
+  const Dim ix0 = std::max(x, object.x);
+  const Dim iy0 = std::max(y, object.y);
+  const Dim ix1 = std::min(x + size, object.x + object.size);
+  const Dim iy1 = std::min(y + size, object.y + object.size);
+  if (ix1 <= ix0 || iy1 <= iy0) return 0.0;
+  const double inter = static_cast<double>((ix1 - ix0) * (iy1 - iy0));
+  const double uni = static_cast<double>(size * size) +
+                     static_cast<double>(object.size * object.size) - inter;
+  return inter / uni;
+}
+
+SceneGenerator::SceneGenerator(const CifarLikeGenerator& objects,
+                               Config config)
+    : objects_(objects), config_(config) {
+  MPCNN_CHECK(config_.height >= config_.max_object &&
+                  config_.width >= config_.max_object,
+              "frame smaller than the largest object");
+  MPCNN_CHECK(config_.min_object >= 8 &&
+                  config_.min_object <= config_.max_object,
+              "bad object size range");
+}
+
+Scene SceneGenerator::generate(Dim max_objects, Rng& rng) const {
+  const Dim H = config_.height, W = config_.width;
+  Scene scene;
+  scene.frame = Tensor(Shape{1, 3, H, W});
+  // Smooth background: low-frequency gradient plus light noise.
+  const float base_r = static_cast<float>(rng.uniform(0.2, 0.5));
+  const float base_g = static_cast<float>(rng.uniform(0.2, 0.5));
+  const float base_b = static_cast<float>(rng.uniform(0.2, 0.5));
+  const float gx = static_cast<float>(rng.uniform(-0.15, 0.15));
+  const float gy = static_cast<float>(rng.uniform(-0.15, 0.15));
+  for (Dim y = 0; y < H; ++y) {
+    for (Dim x = 0; x < W; ++x) {
+      const float fy = static_cast<float>(y) / static_cast<float>(H);
+      const float fx = static_cast<float>(x) / static_cast<float>(W);
+      const float noise =
+          config_.background_noise * static_cast<float>(rng.normal());
+      scene.frame.at4(0, 0, y, x) = clamp01(base_r + gx * fx + gy * fy + noise);
+      scene.frame.at4(0, 1, y, x) = clamp01(base_g + gx * fx + gy * fy + noise);
+      scene.frame.at4(0, 2, y, x) = clamp01(base_b + gx * fx + gy * fy + noise);
+    }
+  }
+
+  // Paste objects at random non-overlapping positions, bilinearly
+  // upscaled from their 32x32 renders.
+  for (Dim attempt = 0, placed = 0;
+       placed < max_objects && attempt < max_objects * 8; ++attempt) {
+    SceneObject object;
+    object.label = static_cast<int>(rng.uniform_int(10));
+    object.size = config_.min_object +
+                  static_cast<Dim>(rng.uniform_int(static_cast<std::uint64_t>(
+                      config_.max_object - config_.min_object + 1)));
+    object.x = static_cast<Dim>(
+        rng.uniform_int(static_cast<std::uint64_t>(W - object.size)));
+    object.y = static_cast<Dim>(
+        rng.uniform_int(static_cast<std::uint64_t>(H - object.size)));
+    // Reject overlaps so ground truth stays unambiguous.
+    bool overlaps = false;
+    for (const SceneObject& other : scene.objects) {
+      const Dim margin = 4;
+      if (object.x < other.x + other.size + margin &&
+          other.x < object.x + object.size + margin &&
+          object.y < other.y + other.size + margin &&
+          other.y < object.y + object.size + margin) {
+        overlaps = true;
+        break;
+      }
+    }
+    if (overlaps) continue;
+
+    Rng item = rng.split();
+    const Tensor render = objects_.render(object.label, item);
+    const float scale = 32.0f / static_cast<float>(object.size);
+    for (int c = 0; c < 3; ++c) {
+      const float* src = render.data() + c * 32 * 32;
+      for (Dim y = 0; y < object.size; ++y) {
+        for (Dim x = 0; x < object.size; ++x) {
+          const float v = bilinear(src, 32, 32,
+                                   (static_cast<float>(y) + 0.5f) * scale -
+                                       0.5f,
+                                   (static_cast<float>(x) + 0.5f) * scale -
+                                       0.5f);
+          scene.frame.at4(0, c, object.y + y, object.x + x) = v;
+        }
+      }
+    }
+    scene.objects.push_back(object);
+    ++placed;
+  }
+  return scene;
+}
+
+std::vector<Roi> propose_rois(const Tensor& frame, Dim max_rois,
+                              Dim min_size, Dim max_size) {
+  MPCNN_CHECK(frame.shape().rank() == 4 && frame.shape()[0] == 1 &&
+                  frame.shape()[1] == 3,
+              "propose_rois expects one RGB frame");
+  MPCNN_CHECK(max_rois >= 1 && min_size >= 8 && min_size <= max_size,
+              "bad ROI parameters");
+  const Integral integral(frame);
+  const Dim H = frame.shape()[2], W = frame.shape()[3];
+
+  // Scan a coarse grid at a few scales; stride = size/4 keeps the scan
+  // cheap while localising well enough for a 32x32 classifier crop.
+  std::vector<Roi> candidates;
+  for (Dim size = min_size; size <= max_size;
+       size = std::max(size + size / 2, size + 8)) {
+    const Dim stride = std::max<Dim>(4, size / 4);
+    for (Dim y = 0; y + size <= H; y += stride) {
+      for (Dim x = 0; x + size <= W; x += stride) {
+        Roi roi;
+        roi.x = x;
+        roi.y = y;
+        roi.size = size;
+        // Centre–surround contrast: a tight box over an object has high
+        // internal variance while its surround (background) stays flat;
+        // an oversized or off-centre box loses on both counts.
+        const double centre = integral.box_variance(y, x, size);
+        const Dim margin = size / 2;
+        const Dim sy = std::max<Dim>(0, y - margin);
+        const Dim sx = std::max<Dim>(0, x - margin);
+        const double surround = integral.box_variance(sy, sx, size * 2);
+        roi.saliency = static_cast<float>(centre - 0.9 * surround);
+        candidates.push_back(roi);
+      }
+    }
+  }
+  std::sort(candidates.begin(), candidates.end(),
+            [](const Roi& a, const Roi& b) {
+              return a.saliency > b.saliency;
+            });
+
+  // Greedy non-maximum suppression on centre distance.
+  std::vector<Roi> picked;
+  for (const Roi& roi : candidates) {
+    if (static_cast<Dim>(picked.size()) >= max_rois) break;
+    bool suppressed = false;
+    for (const Roi& kept : picked) {
+      const double cx0 = roi.x + roi.size / 2.0;
+      const double cy0 = roi.y + roi.size / 2.0;
+      const double cx1 = kept.x + kept.size / 2.0;
+      const double cy1 = kept.y + kept.size / 2.0;
+      const double dist =
+          std::hypot(cx0 - cx1, cy0 - cy1);
+      if (dist < 0.6 * static_cast<double>(std::max(roi.size, kept.size))) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) picked.push_back(roi);
+  }
+  return picked;
+}
+
+Tensor extract_roi(const Tensor& frame, const Roi& roi) {
+  MPCNN_CHECK(frame.shape().rank() == 4 && frame.shape()[0] == 1 &&
+                  frame.shape()[1] == 3,
+              "extract_roi expects one RGB frame");
+  MPCNN_CHECK(roi.size >= 1, "empty ROI");
+  const Dim H = frame.shape()[2], W = frame.shape()[3];
+  Tensor crop(Shape{1, 3, 32, 32});
+  const float scale = static_cast<float>(roi.size) / 32.0f;
+  for (int c = 0; c < 3; ++c) {
+    const float* plane = frame.data() + c * H * W;
+    for (Dim y = 0; y < 32; ++y) {
+      for (Dim x = 0; x < 32; ++x) {
+        const float sy = static_cast<float>(roi.y) +
+                         (static_cast<float>(y) + 0.5f) * scale - 0.5f;
+        const float sx = static_cast<float>(roi.x) +
+                         (static_cast<float>(x) + 0.5f) * scale - 0.5f;
+        crop.at4(0, c, y, x) = bilinear(plane, H, W, sy, sx);
+      }
+    }
+  }
+  return crop;
+}
+
+}  // namespace mpcnn::data

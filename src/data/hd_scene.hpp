@@ -1,0 +1,78 @@
+// HD-frame scene synthesis and region-of-interest extraction.
+//
+// §III-A motivates minimising the classifier's BRAM with exactly this
+// companion workload: "hardware that could extract regions of interest
+// in a large HD frame and then scale to 32x32 sub-frames for use in [the]
+// CIFAR-10 network".  This module provides both halves in software:
+//
+//  * SceneGenerator composites CIFAR-like objects at random scales onto
+//    a textured HD background (ground truth retained);
+//  * propose_rois() is a saliency detector (local contrast over an
+//    integral-image pyramid with greedy non-maximum suppression) that
+//    recovers candidate boxes without knowing the ground truth;
+//  * extract_roi() bilinearly rescales any box to the classifier's
+//    32×32 input.
+#pragma once
+
+#include "data/cifar_like.hpp"
+
+namespace mpcnn::data {
+
+/// Ground-truth object placed in a scene.
+struct SceneObject {
+  int label = 0;
+  Dim x = 0, y = 0;    ///< top-left corner in the frame
+  Dim size = 32;       ///< square extent in pixels
+};
+
+/// One synthesised frame plus its ground truth.
+struct Scene {
+  Tensor frame;  ///< (1, 3, H, W), values in [0, 1]
+  std::vector<SceneObject> objects;
+};
+
+/// Candidate box from the ROI detector.
+struct Roi {
+  Dim x = 0, y = 0, size = 0;
+  float saliency = 0.0f;
+
+  /// Intersection-over-union with a ground-truth object.
+  double iou(const SceneObject& object) const;
+};
+
+/// Composites scenes out of CifarLikeGenerator objects.
+class SceneGenerator {
+ public:
+  struct Config {
+    Dim height = 360;       ///< frame height (360p default keeps the
+    Dim width = 640;        ///<   example fast; 720p works too)
+    Dim min_object = 32;    ///< smallest pasted object extent
+    Dim max_object = 80;    ///< largest pasted object extent
+    float background_noise = 0.02f;
+  };
+
+  SceneGenerator(const CifarLikeGenerator& objects, Config config);
+  explicit SceneGenerator(const CifarLikeGenerator& objects)
+      : SceneGenerator(objects, Config()) {}
+
+  /// Generates a scene with up to `max_objects` non-overlapping objects.
+  Scene generate(Dim max_objects, Rng& rng) const;
+
+  const Config& config() const { return config_; }
+
+ private:
+  const CifarLikeGenerator& objects_;
+  Config config_;
+};
+
+/// Saliency-driven ROI proposal: returns up to `max_rois` boxes of
+/// extents within [min_size, max_size], strongest first, with overlaps
+/// suppressed (IoU-style centre-distance NMS).
+std::vector<Roi> propose_rois(const Tensor& frame, Dim max_rois,
+                              Dim min_size = 32, Dim max_size = 96);
+
+/// Crops `roi` from the frame and bilinearly resamples it to 32×32
+/// (the classifier input).  Out-of-frame boxes are clamped.
+Tensor extract_roi(const Tensor& frame, const Roi& roi);
+
+}  // namespace mpcnn::data

@@ -1,0 +1,90 @@
+#include "finn/dataflow.hpp"
+
+#include <algorithm>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::finn {
+
+FinnDesign::FinnDesign(std::vector<Engine> engines, Device device,
+                       ResourceModelConfig resource_config)
+    : engines_(std::move(engines)),
+      device_(std::move(device)),
+      resource_config_(resource_config) {
+  MPCNN_CHECK(!engines_.empty(), "design with no engines");
+  for (const Engine& e : engines_) {
+    MPCNN_CHECK(e.folding_valid(),
+                "invalid folding for engine " << e.layer.label);
+  }
+}
+
+Dim FinnDesign::total_pe() const {
+  Dim total = 0;
+  for (const Engine& e : engines_) total += e.folding.pe;
+  return total;
+}
+
+std::int64_t FinnDesign::bottleneck_cycles() const {
+  std::int64_t worst = 0;
+  for (const Engine& e : engines_) {
+    worst = std::max(worst, e.cycles_per_image());
+  }
+  return worst;
+}
+
+Dim FinnDesign::input_bytes_per_image() const {
+  const bnn::CnvLayerInfo& first = engines_.front().layer;
+  return first.in_ch * first.in_h * first.in_w;  // one byte per pixel
+}
+
+DesignPerformance FinnDesign::evaluate(Dim batch_size) const {
+  MPCNN_CHECK(batch_size >= 1, "batch size " << batch_size);
+  DesignPerformance perf;
+  perf.bottleneck_cycles = bottleneck_cycles();
+  std::int64_t latency = 0;
+  for (const Engine& e : engines_) latency += e.cycles_per_image();
+  perf.latency_cycles = latency;
+  perf.usage = estimate_design(engines_, resource_config_);
+  perf.clock_mhz =
+      achievable_clock_mhz(device_, perf.usage, resource_config_);
+  const double hz = perf.clock_mhz * 1e6;
+  perf.expected_fps =
+      device_.clock_mhz * 1e6 / static_cast<double>(perf.bottleneck_cycles);
+  perf.latency_s = static_cast<double>(latency) / hz;
+  perf.obtained_fps =
+      static_cast<double>(batch_size) / seconds_per_batch(batch_size);
+  return perf;
+}
+
+double FinnDesign::steady_seconds_per_image() const {
+  const ResourceUsage usage = estimate_design(engines_, resource_config_);
+  const double hz =
+      achievable_clock_mhz(device_, usage, resource_config_) * 1e6;
+  const double compute_s = static_cast<double>(bottleneck_cycles()) / hz;
+  const double interface_s =
+      1.0 / device_.interface_fps_cap(input_bytes_per_image());
+  return std::max(compute_s, interface_s);
+}
+
+double FinnDesign::seconds_per_batch(Dim batch_size) const {
+  MPCNN_CHECK(batch_size >= 1, "batch size " << batch_size);
+  const ResourceUsage usage = estimate_design(engines_, resource_config_);
+  const double hz =
+      achievable_clock_mhz(device_, usage, resource_config_) * 1e6;
+  std::int64_t latency = 0;
+  for (const Engine& e : engines_) latency += e.cycles_per_image();
+  const std::int64_t ii = bottleneck_cycles();
+  // Pipeline: first image pays the full latency, the rest stream at II.
+  const double compute_s =
+      (static_cast<double>(latency) +
+       static_cast<double>(batch_size - 1) * static_cast<double>(ii)) /
+      hz;
+  // Host interface: per-image DMA overhead + payload, overlapped with
+  // compute (SDS async), so the batch takes the larger of the two.
+  const double interface_s =
+      static_cast<double>(batch_size) /
+      device_.interface_fps_cap(input_bytes_per_image());
+  return std::max(compute_s, interface_s);
+}
+
+}  // namespace mpcnn::finn

@@ -1,0 +1,70 @@
+// The streaming multi-layer dataflow model of a complete FINN design.
+//
+// Engines are chained stage-to-stage with FIFO buffers; all layers work
+// concurrently on different images.  Steady-state throughput is set by
+// the slowest engine (Eq. 5); batch execution additionally pays pipeline
+// ramp-up/down and the host↔fabric interface cost, which is what the
+// paper's "obtained" curve measures against the Eq.(3)-(5) "expected".
+#pragma once
+
+#include <vector>
+
+#include "finn/engine.hpp"
+#include "finn/resource.hpp"
+#include "finn/zynq.hpp"
+
+namespace mpcnn::finn {
+
+/// Evaluated performance of a design at a given batch size.
+struct DesignPerformance {
+  std::int64_t bottleneck_cycles = 0;  ///< max engine CC (the II)
+  std::int64_t latency_cycles = 0;     ///< Σ engine CC (first image)
+  double clock_mhz = 0.0;              ///< post-partitioning clock
+  double expected_fps = 0.0;           ///< Eq. (5)
+  double obtained_fps = 0.0;           ///< with ramp + interface effects
+  double latency_s = 0.0;              ///< one-image latency through fabric
+  ResourceUsage usage;
+};
+
+/// A complete design: one engine per compute layer, a device and an
+/// allocation policy.
+class FinnDesign {
+ public:
+  FinnDesign(std::vector<Engine> engines, Device device,
+             ResourceModelConfig resource_config);
+
+  const std::vector<Engine>& engines() const { return engines_; }
+  const Device& device() const { return device_; }
+  const ResourceModelConfig& resource_config() const {
+    return resource_config_;
+  }
+
+  /// Σ P over engines — the x axis of Fig. 3/4.
+  Dim total_pe() const;
+
+  /// Initiation interval: cycles of the slowest engine.
+  std::int64_t bottleneck_cycles() const;
+
+  /// Bytes entering the fabric per image (8-bit RGB pixels).
+  Dim input_bytes_per_image() const;
+
+  /// Full evaluation at a batch size (paper uses large test batches).
+  DesignPerformance evaluate(Dim batch_size = 1000) const;
+
+  /// Seconds the fabric needs for one batch (compute + interface
+  /// overlap; the larger of the two dominates).  Includes the pipeline
+  /// ramp-up — the cost of dispatching into an idle fabric.
+  double seconds_per_batch(Dim batch_size) const;
+
+  /// Steady-state per-image interval when the pipeline is already full
+  /// (back-to-back batches): max of the bottleneck II and the interface
+  /// rate, no ramp.
+  double steady_seconds_per_image() const;
+
+ private:
+  std::vector<Engine> engines_;
+  Device device_;
+  ResourceModelConfig resource_config_;
+};
+
+}  // namespace mpcnn::finn

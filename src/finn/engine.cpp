@@ -1,0 +1,68 @@
+#include "finn/engine.hpp"
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::finn {
+
+bool Engine::folding_valid() const {
+  const Dim rows = layer.weight_rows();
+  const Dim cols = layer.weight_cols();
+  if (rows == 0 || cols == 0) return false;  // pools carry no engine
+  return folding.pe >= 1 && folding.simd >= 1 && rows % folding.pe == 0 &&
+         cols % folding.simd == 0;
+}
+
+std::int64_t Engine::cycles_per_image() const {
+  MPCNN_CHECK(folding_valid(), "invalid folding P=" << folding.pe << " S="
+                                                    << folding.simd
+                                                    << " for "
+                                                    << layer.label);
+  const Dim rows = layer.weight_rows();
+  const Dim cols = layer.weight_cols();
+  const std::int64_t folds =
+      (rows / folding.pe) * (cols / folding.simd);
+  if (layer.kind == bnn::CnvLayerInfo::Kind::kConv) {
+    return folds * layer.out_h * layer.out_w;  // Eq. (3)
+  }
+  return folds;  // Eq. (4)
+}
+
+Dim Engine::weight_depth() const {
+  MPCNN_CHECK(folding_valid(), "invalid folding for " << layer.label);
+  return layer.weight_bits() / (folding.pe * folding.simd);
+}
+
+Dim Engine::threshold_depth() const {
+  MPCNN_CHECK(folding_valid(), "invalid folding for " << layer.label);
+  return layer.weight_rows() / folding.pe;
+}
+
+std::vector<Dim> divisors(Dim n) {
+  MPCNN_CHECK(n > 0, "divisors of non-positive " << n);
+  std::vector<Dim> low, high;
+  for (Dim d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      low.push_back(d);
+      if (d != n / d) high.push_back(n / d);
+    }
+  }
+  for (auto it = high.rbegin(); it != high.rend(); ++it) low.push_back(*it);
+  return low;
+}
+
+std::vector<Folding> valid_foldings(const bnn::CnvLayerInfo& layer,
+                                    Dim max_simd) {
+  std::vector<Folding> out;
+  const Dim rows = layer.weight_rows();
+  const Dim cols = layer.weight_cols();
+  if (rows == 0 || cols == 0) return out;
+  for (Dim p : divisors(rows)) {
+    for (Dim s : divisors(cols)) {
+      if (s > max_simd) continue;
+      out.push_back(Folding{p, s});
+    }
+  }
+  return out;
+}
+
+}  // namespace mpcnn::finn

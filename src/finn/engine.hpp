@@ -1,0 +1,57 @@
+// The FINN matrix-vector-threshold engine model.
+//
+// Every conv / FC layer maps to one engine with P processing elements,
+// each with S SIMD lanes; a P×S tile of the layer's weight matrix is
+// consumed per clock.  Equations (3) and (4) of the paper give the clock
+// cycles to produce all activations of a layer:
+//
+//   CC_conv = (OD/P) · (K·K·ID/S) · OH · OW          (3)
+//   CC_fc   = (OD/P) · (ID/S)                        (4)
+//
+// and FPS = clock / CC of the slowest engine (5).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bnn/topology.hpp"
+
+namespace mpcnn::finn {
+
+/// Folding parameters of one engine.
+struct Folding {
+  Dim pe = 1;    ///< P: processing elements (rows of the weight tile)
+  Dim simd = 1;  ///< S: SIMD lanes per PE (columns of the weight tile)
+};
+
+/// One engine instance: a layer plus its folding.
+struct Engine {
+  bnn::CnvLayerInfo layer;
+  Folding folding;
+
+  /// Eq. (3)/(4): cycles to emit every activation of this layer for one
+  /// input image.  Requires valid folding (P | OD and S | cols).
+  std::int64_t cycles_per_image() const;
+
+  /// True when P divides the weight-matrix rows and S the columns, the
+  /// no-padding condition from §III-A.
+  bool folding_valid() const;
+
+  /// Weight memory geometry: P files, each `weight_depth()` words of S
+  /// bits (paper §III-A).
+  Dim weight_depth() const;
+
+  /// Threshold memory: P files of OD/P entries, each `layer.accum_bits`
+  /// wide.
+  Dim threshold_depth() const;
+};
+
+/// Divisors of n in ascending order (folding candidates).
+std::vector<Dim> divisors(Dim n);
+
+/// All valid foldings of a layer (P over rows, S over cols), optionally
+/// capped by a max SIMD width (hardware lane limit).
+std::vector<Folding> valid_foldings(const bnn::CnvLayerInfo& layer,
+                                    Dim max_simd = 64);
+
+}  // namespace mpcnn::finn

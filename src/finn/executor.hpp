@@ -1,0 +1,54 @@
+// Folded functional execution of a compiled BNN on the engine model.
+//
+// Executes every engine exactly the way the hardware is folded: per
+// output position, the P×S weight tile walk — PE p owns output channels
+// congruent to p mod P, and each "clock cycle" consumes S weight columns
+// per PE.  The produced activations are bit-exact against the
+// bnn::run_reference executor (integration-tested), and the executed
+// cycle count equals the Eq. (3)/(4) model exactly, which validates the
+// performance model against a working implementation.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bnn/compile.hpp"
+#include "finn/engine.hpp"
+
+namespace mpcnn::finn {
+
+/// Cycle accounting produced by a folded run.
+struct ExecutionTrace {
+  std::vector<std::int64_t> engine_cycles;  ///< per compute engine
+  std::int64_t total_cycles = 0;            ///< Σ engine cycles
+  std::int64_t bottleneck_cycles = 0;       ///< max engine cycles
+};
+
+/// Engine set matching the compute stages of a compiled net, balanced
+/// for the given target II.
+std::vector<Engine> engines_for_compiled(const bnn::CompiledBnn& net,
+                                         std::int64_t target_cycles,
+                                         Dim max_simd = 32);
+
+/// Functional folded executor.
+class FoldedExecutor {
+ public:
+  /// `engines` must have one entry per conv/dense stage of `net`, in
+  /// order, with geometry matching the compiled stages.
+  FoldedExecutor(const bnn::CompiledBnn& net, std::vector<Engine> engines);
+
+  /// Runs one image; returns class scores, optionally the cycle trace.
+  std::vector<std::int32_t> run(const Tensor& image,
+                                ExecutionTrace* trace = nullptr) const;
+
+  /// Argmax labels for a batch.
+  std::vector<int> classify(const Tensor& images) const;
+
+  const std::vector<Engine>& engines() const { return engines_; }
+
+ private:
+  const bnn::CompiledBnn& net_;
+  std::vector<Engine> engines_;
+};
+
+}  // namespace mpcnn::finn

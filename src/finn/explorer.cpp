@@ -1,0 +1,123 @@
+#include "finn/explorer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::finn {
+
+Folding balance_layer(const bnn::CnvLayerInfo& layer,
+                      std::int64_t target_cycles, Dim max_simd) {
+  MPCNN_CHECK(target_cycles >= 1, "target cycles " << target_cycles);
+  const std::vector<Folding> candidates = valid_foldings(layer, max_simd);
+  MPCNN_CHECK(!candidates.empty(), "layer " << layer.label
+                                            << " has no valid folding");
+  Folding best{};
+  std::int64_t best_cost = 0;  // 0 = none found yet
+  Folding fastest = candidates.front();
+  std::int64_t fastest_cycles =
+      Engine{layer, fastest}.cycles_per_image();
+  for (const Folding& f : candidates) {
+    const std::int64_t cycles = Engine{layer, f}.cycles_per_image();
+    const std::int64_t cost = f.pe * f.simd;
+    if (cycles < fastest_cycles ||
+        (cycles == fastest_cycles && cost < fastest.pe * fastest.simd)) {
+      fastest = f;
+      fastest_cycles = cycles;
+    }
+    if (cycles <= target_cycles &&
+        (best_cost == 0 || cost < best_cost ||
+         (cost == best_cost && f.pe < best.pe))) {
+      best = f;
+      best_cost = cost;
+    }
+  }
+  if (best_cost > 0) return best;
+  return fastest;
+}
+
+std::vector<Engine> balanced_engines(
+    const std::vector<bnn::CnvLayerInfo>& engine_layers,
+    std::int64_t target_cycles, Dim max_simd) {
+  std::vector<Engine> engines;
+  engines.reserve(engine_layers.size());
+  for (const bnn::CnvLayerInfo& layer : engine_layers) {
+    MPCNN_CHECK(layer.kind != bnn::CnvLayerInfo::Kind::kPool,
+                "pool layers carry no engine");
+    engines.push_back(
+        Engine{layer, balance_layer(layer, target_cycles, max_simd)});
+  }
+  return engines;
+}
+
+std::pair<std::int64_t, std::int64_t> ii_range(
+    const std::vector<bnn::CnvLayerInfo>& engine_layers, Dim max_simd) {
+  std::int64_t fastest = 0;
+  std::int64_t slowest = 0;
+  for (const bnn::CnvLayerInfo& layer : engine_layers) {
+    std::int64_t layer_fastest = 0;
+    for (const Folding& f : valid_foldings(layer, max_simd)) {
+      const std::int64_t cycles = Engine{layer, f}.cycles_per_image();
+      if (layer_fastest == 0 || cycles < layer_fastest) {
+        layer_fastest = cycles;
+      }
+    }
+    const std::int64_t layer_slowest =
+        Engine{layer, Folding{1, 1}}.cycles_per_image();
+    fastest = std::max(fastest, layer_fastest);
+    slowest = std::max(slowest, layer_slowest);
+  }
+  return {fastest, slowest};
+}
+
+std::vector<FinnDesign> design_space(
+    const std::vector<bnn::CnvLayerInfo>& engine_layers,
+    const Device& device, const ResourceModelConfig& resource_config,
+    const ExplorerConfig& explorer_config, int points) {
+  MPCNN_CHECK(points >= 2, "need at least two sweep points");
+  const auto [fast_ii, slow_ii] =
+      ii_range(engine_layers, explorer_config.max_simd);
+  const double log_lo = std::log(static_cast<double>(fast_ii));
+  const double log_hi = std::log(static_cast<double>(slow_ii));
+  std::vector<FinnDesign> designs;
+  std::set<Dim> seen_pe;
+  for (int i = 0; i < points; ++i) {
+    const double t = static_cast<double>(i) / static_cast<double>(points - 1);
+    const auto target = static_cast<std::int64_t>(
+        std::exp(log_lo + t * (log_hi - log_lo)));
+    std::vector<Engine> engines = balanced_engines(
+        engine_layers, std::max<std::int64_t>(1, target),
+        explorer_config.max_simd);
+    FinnDesign design(std::move(engines), device, resource_config);
+    if (seen_pe.insert(design.total_pe()).second) {
+      designs.push_back(std::move(design));
+    }
+  }
+  std::sort(designs.begin(), designs.end(),
+            [](const FinnDesign& a, const FinnDesign& b) {
+              return a.total_pe() < b.total_pe();
+            });
+  return designs;
+}
+
+std::size_t pick_operating_point(const std::vector<FinnDesign>& designs,
+                                 double min_fps, Dim batch_size) {
+  MPCNN_CHECK(!designs.empty(), "empty design list");
+  std::size_t best = designs.size();
+  Dim best_bram = 0;
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const DesignPerformance perf = designs[i].evaluate(batch_size);
+    if (perf.obtained_fps < min_fps) continue;
+    if (best == designs.size() || perf.usage.bram_18k < best_bram) {
+      best = i;
+      best_bram = perf.usage.bram_18k;
+    }
+  }
+  MPCNN_CHECK(best != designs.size(),
+              "no design meets the " << min_fps << " fps floor");
+  return best;
+}
+
+}  // namespace mpcnn::finn

@@ -1,0 +1,52 @@
+// Design-space exploration: rate-balancing the heterogeneous streaming
+// layers (§III-A).
+//
+// The layer with the highest cycle count determines throughput, so for a
+// desired initiation interval every layer independently picks the
+// cheapest folding (P, S) that meets it, with P and S restricted to
+// divisors of the weight-matrix rows/columns to avoid memory padding.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "finn/dataflow.hpp"
+
+namespace mpcnn::finn {
+
+/// Exploration knobs.
+struct ExplorerConfig {
+  Dim max_simd = 32;     ///< widest SIMD lane bundle per PE
+  Dim batch_size = 1000; ///< batch used when evaluating designs
+};
+
+/// Cheapest folding of one layer meeting `target_cycles` (min P·S, then
+/// min P).  Falls back to the fastest possible folding when the target
+/// is unreachable.
+Folding balance_layer(const bnn::CnvLayerInfo& layer,
+                      std::int64_t target_cycles, Dim max_simd);
+
+/// Rate-balanced engine set for a network at a target II.
+std::vector<Engine> balanced_engines(
+    const std::vector<bnn::CnvLayerInfo>& engine_layers,
+    std::int64_t target_cycles, Dim max_simd);
+
+/// [fastest achievable II, II of the all-minimal design] for a network.
+std::pair<std::int64_t, std::int64_t> ii_range(
+    const std::vector<bnn::CnvLayerInfo>& engine_layers, Dim max_simd);
+
+/// Sweeps `points` log-spaced II targets and returns the distinct
+/// balanced designs, ordered by ascending total PE count (the Fig. 3/4
+/// x axis).
+std::vector<FinnDesign> design_space(
+    const std::vector<bnn::CnvLayerInfo>& engine_layers,
+    const Device& device, const ResourceModelConfig& resource_config,
+    const ExplorerConfig& explorer_config, int points);
+
+/// The paper's §III-A operating-point rule: the lowest-BRAM design whose
+/// obtained throughput still meets `min_fps` (they pick 32 total PEs,
+/// 430 images/s, 65% BRAM).  Returns index into `designs`.
+std::size_t pick_operating_point(const std::vector<FinnDesign>& designs,
+                                 double min_fps, Dim batch_size = 1000);
+
+}  // namespace mpcnn::finn

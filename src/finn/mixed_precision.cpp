@@ -1,0 +1,141 @@
+#include "finn/mixed_precision.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "tensor/error.hpp"
+
+namespace mpcnn::finn {
+namespace {
+
+void check_precision(const Precision& p) {
+  MPCNN_CHECK(p.weight_bits >= 1 && p.weight_bits <= 8 &&
+                  p.activation_bits >= 1 && p.activation_bits <= 8,
+              "precision out of the modelled 1..8 bit range");
+}
+
+}  // namespace
+
+DesignPerformance evaluate_mixed(const FinnDesign& design,
+                                 const std::vector<Precision>& layers,
+                                 Dim batch_size) {
+  const std::vector<Engine>& engines = design.engines();
+  MPCNN_CHECK(layers.size() == engines.size(),
+              "precision list size " << layers.size() << " != engines "
+                                     << engines.size());
+  for (const Precision& p : layers) check_precision(p);
+
+  // Cycle side: bit-serial execution multiplies each engine's cycles.
+  std::int64_t bottleneck = 0;
+  std::int64_t latency = 0;
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    const std::int64_t factor = static_cast<std::int64_t>(
+        layers[i].weight_bits * layers[i].activation_bits);
+    const std::int64_t cycles = engines[i].cycles_per_image() * factor;
+    bottleneck = std::max(bottleneck, cycles);
+    latency += cycles;
+  }
+
+  // Resource side: wider weight memories and shift-add datapaths.
+  ResourceModelConfig config = design.resource_config();
+  ResourceUsage usage;
+  usage.bram_18k = config.bram_base_network;
+  double luts = config.lut_base_network;
+  for (std::size_t i = 0; i < engines.size(); ++i) {
+    const Engine& e = engines[i];
+    const Precision& p = layers[i];
+    const Dim pe = e.folding.pe;
+    const Dim simd = e.folding.simd;
+    const double datapath_scale =
+        0.5 * static_cast<double>(p.weight_bits + p.activation_bits);
+    luts += config.lut_per_engine +
+            config.lut_per_pe * static_cast<double>(pe) +
+            config.lut_per_pe_simd * datapath_scale *
+                static_cast<double>(pe * simd);
+    const MemoryAllocation wmem = allocate_memory(
+        e.weight_depth(), simd * p.weight_bits, config);
+    usage.bram_18k += pe * wmem.brams;
+    usage.luts += pe * wmem.lutram_luts;
+    usage.allocated_mem_bits += pe * wmem.allocated_bits;
+    usage.used_mem_bits += pe * wmem.used_bits;
+    usage.max_partition_factor =
+        std::max(usage.max_partition_factor, wmem.partition_factor);
+    if (e.layer.has_threshold) {
+      const MemoryAllocation tmem = allocate_memory(
+          e.threshold_depth(), e.layer.accum_bits, config);
+      usage.bram_18k += pe * tmem.brams;
+      usage.luts += pe * tmem.lutram_luts;
+      usage.allocated_mem_bits += pe * tmem.allocated_bits;
+      usage.used_mem_bits += pe * tmem.used_bits;
+    }
+    usage.bram_18k += std::max<Dim>(
+        1, e.layer.out_ch * p.activation_bits / 72);
+  }
+  usage.luts += static_cast<Dim>(luts);
+
+  DesignPerformance perf;
+  perf.bottleneck_cycles = bottleneck;
+  perf.latency_cycles = latency;
+  perf.usage = usage;
+  perf.clock_mhz =
+      achievable_clock_mhz(design.device(), usage, config);
+  const double hz = perf.clock_mhz * 1e6;
+  perf.expected_fps = design.device().clock_mhz * 1e6 /
+                      static_cast<double>(bottleneck);
+  perf.latency_s = static_cast<double>(latency) / hz;
+  const double compute_s =
+      (static_cast<double>(latency) +
+       static_cast<double>(batch_size - 1) * static_cast<double>(bottleneck)) /
+      hz;
+  const double interface_s =
+      static_cast<double>(batch_size) /
+      design.device().interface_fps_cap(design.input_bytes_per_image());
+  perf.obtained_fps =
+      static_cast<double>(batch_size) / std::max(compute_s, interface_s);
+  return perf;
+}
+
+DesignPerformance evaluate_with_precision(const FinnDesign& design,
+                                          const Precision& precision,
+                                          Dim batch_size) {
+  return evaluate_mixed(
+      design,
+      std::vector<Precision>(design.engines().size(), precision),
+      batch_size);
+}
+
+int quantize_net_weights(nn::Net& net, int bits) {
+  MPCNN_CHECK(bits >= 1 && bits <= 16, "quantize bits " << bits);
+  const int levels = (1 << (bits - 1)) - 1;  // symmetric signed range
+  int quantized = 0;
+  for (auto& layer : net.layers()) {
+    const bool is_weighted = dynamic_cast<nn::Conv2D*>(layer.get()) ||
+                             dynamic_cast<nn::Dense*>(layer.get());
+    if (!is_weighted) continue;
+    for (nn::Param* param : layer->params()) {
+      Tensor& w = param->value;
+      float max_abs = 0.0f;
+      for (Dim i = 0; i < w.numel(); ++i)
+        max_abs = std::max(max_abs, std::fabs(w[i]));
+      if (max_abs == 0.0f) continue;
+      if (levels == 0) {
+        // 1-bit: sign × mean magnitude (BinaryConnect-style).
+        float mean_abs = 0.0f;
+        for (Dim i = 0; i < w.numel(); ++i) mean_abs += std::fabs(w[i]);
+        mean_abs /= static_cast<float>(w.numel());
+        for (Dim i = 0; i < w.numel(); ++i)
+          w[i] = w[i] >= 0.0f ? mean_abs : -mean_abs;
+      } else {
+        const float scale = max_abs / static_cast<float>(levels);
+        for (Dim i = 0; i < w.numel(); ++i)
+          w[i] = std::round(w[i] / scale) * scale;
+      }
+      ++quantized;
+    }
+  }
+  return quantized;
+}
+
+}  // namespace mpcnn::finn

@@ -1,0 +1,44 @@
+// Mixed-precision extension (the paper's §IV future-work direction:
+// "considering use of mixed precision on the FPGA hardware as well").
+//
+// Models FINN-style engines whose weights/activations carry more than
+// one bit, executed bit-serially over the existing SIMD lanes:
+//
+//  * cycles scale by (weight_bits × activation_bits) — one partial
+//    product plane per bit pair;
+//  * weight memory width scales by weight_bits;
+//  * the popcount datapath grows into shift-add reduction trees.
+//
+// It also provides a weight-quantisation utility so the accuracy side of
+// the precision trade-off can be measured on the float framework.
+#pragma once
+
+#include "finn/dataflow.hpp"
+#include "nn/net.hpp"
+
+namespace mpcnn::finn {
+
+/// Precision choice for an engine or a whole design.
+struct Precision {
+  int weight_bits = 1;
+  int activation_bits = 1;
+};
+
+/// Performance/resource estimate of a design re-equipped with the given
+/// uniform precision (batch as in FinnDesign::evaluate).
+DesignPerformance evaluate_with_precision(const FinnDesign& design,
+                                          const Precision& precision,
+                                          Dim batch_size = 1000);
+
+/// Per-layer precisions — the "mixed" configuration proper.  `layers`
+/// must match the design's engine count.
+DesignPerformance evaluate_mixed(const FinnDesign& design,
+                                 const std::vector<Precision>& layers,
+                                 Dim batch_size = 1000);
+
+/// In-place symmetric uniform quantisation of all conv/dense weights of a
+/// float network to `bits` (per-tensor scale).  Returns the number of
+/// quantised tensors.  Used for precision-vs-accuracy ablations.
+int quantize_net_weights(nn::Net& net, int bits);
+
+}  // namespace mpcnn::finn

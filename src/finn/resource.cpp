@@ -1,0 +1,135 @@
+#include "finn/resource.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::finn {
+
+Dim next_pow2(Dim v) {
+  MPCNN_CHECK(v >= 0, "next_pow2 of negative");
+  if (v <= 1) return 1;
+  Dim p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+namespace {
+
+// BRAM count for a single memory instance of the given geometry, after
+// optional power-of-two depth rounding.
+Dim brams_for_instance(Dim depth, Dim width_bits, bool pow2_round) {
+  const Dim effective_depth = pow2_round ? next_pow2(depth) : depth;
+  Dim best = std::numeric_limits<Dim>::max();
+  for (const BramAspect& aspect : kBramAspects) {
+    const Dim cols = (width_bits + aspect.width - 1) / aspect.width;
+    const Dim rows = (effective_depth + aspect.depth - 1) / aspect.depth;
+    best = std::min(best, cols * rows);
+  }
+  return best;
+}
+
+}  // namespace
+
+MemoryAllocation allocate_memory(Dim depth, Dim width_bits,
+                                 const ResourceModelConfig& config) {
+  MPCNN_CHECK(depth >= 1 && width_bits >= 1, "bad memory geometry "
+                                                 << depth << "x"
+                                                 << width_bits);
+  MemoryAllocation alloc;
+  alloc.used_bits = depth * width_bits;
+  if (alloc.used_bits <= kLutRamThresholdBits) {
+    // Small instances are distributed-RAM (LUTs); no pow-2 waste worth
+    // modelling.
+    alloc.lutram_luts = static_cast<Dim>(std::ceil(
+        static_cast<double>(alloc.used_bits) / config.lutram_bits_per_lut));
+    alloc.allocated_bits = alloc.used_bits;
+    return alloc;
+  }
+  constexpr Dim kBramBits = 18 * 1024;
+  if (!config.block_partition) {
+    alloc.brams =
+        brams_for_instance(depth, width_bits, config.pow2_depth_rounding);
+    alloc.allocated_bits = alloc.brams * kBramBits;
+    return alloc;
+  }
+  // Block partitioning: try factors F; each sub-array has ceil(depth/F)
+  // rows and is allocated independently.  Sub-arrays that fit a fraction
+  // of one BRAM cannot be improved further (paper §III-A), which the
+  // per-instance minimum of one BRAM models naturally.
+  Dim best_total = std::numeric_limits<Dim>::max();
+  Dim best_factor = 1;
+  for (Dim f = 1; f <= config.max_partition_factor; ++f) {
+    const Dim sub_depth = (depth + f - 1) / f;
+    const Dim sub =
+        brams_for_instance(sub_depth, width_bits, config.pow2_depth_rounding);
+    const Dim total = sub * f;
+    if (total < best_total) {
+      best_total = total;
+      best_factor = f;
+    }
+  }
+  alloc.brams = best_total;
+  alloc.partition_factor = best_factor;
+  alloc.allocated_bits = best_total * kBramBits;
+  return alloc;
+}
+
+ResourceUsage estimate_design(const std::vector<Engine>& engines,
+                              const ResourceModelConfig& config) {
+  ResourceUsage usage;
+  usage.bram_18k = config.bram_base_network;
+  double luts = config.lut_base_network;
+  for (const Engine& engine : engines) {
+    MPCNN_CHECK(engine.folding_valid(), "invalid folding in design for "
+                                            << engine.layer.label);
+    const Dim p = engine.folding.pe;
+    const Dim s = engine.folding.simd;
+    luts += config.lut_per_engine + config.lut_per_pe * static_cast<double>(p) +
+            config.lut_per_pe_simd * static_cast<double>(p * s);
+    // P weight memories: depth = bits/(P·S), width = S.
+    const MemoryAllocation wmem =
+        allocate_memory(engine.weight_depth(), s, config);
+    // P threshold memories: depth = OD/P, width = accum bits.
+    usage.bram_18k += p * wmem.brams;
+    usage.luts += p * wmem.lutram_luts;
+    usage.allocated_mem_bits += p * wmem.allocated_bits;
+    usage.used_mem_bits += p * wmem.used_bits;
+    usage.max_partition_factor =
+        std::max(usage.max_partition_factor, wmem.partition_factor);
+    if (engine.layer.has_threshold) {
+      const MemoryAllocation tmem = allocate_memory(
+          engine.threshold_depth(), engine.layer.accum_bits, config);
+      usage.bram_18k += p * tmem.brams;
+      usage.luts += p * tmem.lutram_luts;
+      usage.allocated_mem_bits += p * tmem.allocated_bits;
+      usage.used_mem_bits += p * tmem.used_bits;
+      usage.max_partition_factor =
+          std::max(usage.max_partition_factor, tmem.partition_factor);
+    }
+  }
+  // Inter-layer stream FIFOs also consume BRAM (§III-A): one per engine
+  // boundary, sized by the widest activation row.
+  for (const Engine& engine : engines) {
+    const Dim activation_bits = engine.layer.out_ch;
+    usage.bram_18k += std::max<Dim>(1, activation_bits / 72);
+  }
+  usage.luts += static_cast<Dim>(luts);
+  return usage;
+}
+
+double achievable_clock_mhz(const Device& device, const ResourceUsage& usage,
+                            const ResourceModelConfig& config) {
+  if (!config.block_partition || usage.max_partition_factor <= 1) {
+    return device.clock_mhz;
+  }
+  // Each doubling of the partition factor adds a read-side mux level on
+  // the weight fetch path (~4% of the cycle each).
+  const double levels =
+      std::log2(static_cast<double>(usage.max_partition_factor));
+  return device.clock_mhz / (1.0 + 0.04 * levels);
+}
+
+}  // namespace mpcnn::finn

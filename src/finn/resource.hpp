@@ -1,0 +1,103 @@
+// FPGA resource estimation for FINN designs.
+//
+// Models the two effects the paper analyses on the ZC702:
+//
+//  * Vivado HLS assigns every memory instance larger than ~1 Kbit to
+//    BRAM and rounds the allocated depth to the next power of two
+//    "for performance" (§III-A, citing Fraser et al.'s ~22% average
+//    BRAM occupancy).  Each engine owns P weight memories and P
+//    threshold memories, so the rounding waste multiplies.
+//
+//  * Block-type array_partition splits an instance into F smaller
+//    memories, shrinking the power-of-two gap (Fig. 4: BRAM drops
+//    15–18%) at the price of read-mux levels that slow the achievable
+//    clock for deep (low-parallelism) memories.
+#pragma once
+
+#include <cstdint>
+
+#include "finn/engine.hpp"
+#include "finn/zynq.hpp"
+
+namespace mpcnn::finn {
+
+/// BRAM_18K primitive aspect ratios (depth × width).
+struct BramAspect {
+  Dim depth;
+  Dim width;
+};
+inline constexpr BramAspect kBramAspects[] = {
+    {512, 36}, {1024, 18}, {2048, 9}, {4096, 4}, {8192, 2}, {16384, 1}};
+
+/// Memory instances at or below this bit count go to LUTRAM, not BRAM.
+inline constexpr Dim kLutRamThresholdBits = 1024;
+
+/// Allocation policy knobs.
+struct ResourceModelConfig {
+  bool pow2_depth_rounding = true;  ///< Vivado HLS default behaviour
+  bool block_partition = false;     ///< apply the Fig. 4 optimisation
+  Dim max_partition_factor = 16;    ///< explored partition factors
+  // LUT model coefficients (calibrated against Fig. 3's utilisation band;
+  // see DESIGN.md).
+  double lut_base_network = 11'000.0;  ///< DMA, FIFOs, pooling, control
+  /// BRAMs outside the engines: AXI DMA + SDSoC data-mover buffering and
+  /// the input/output staging FIFOs of the accelerator wrapper.
+  Dim bram_base_network = 32;
+  double lut_per_engine = 620.0;       ///< engine FSM + stream plumbing
+  double lut_per_pe = 140.0;           ///< accumulator + threshold compare
+  double lut_per_pe_simd = 2.4;        ///< XNOR + popcount tree per lane
+  double lutram_bits_per_lut = 32.0;   ///< small memories land in LUTs
+};
+
+/// Resource usage of one memory instance.
+struct MemoryAllocation {
+  Dim brams = 0;
+  Dim lutram_luts = 0;
+  Dim partition_factor = 1;  ///< F chosen when block_partition is on
+  Dim allocated_bits = 0;    ///< post-rounding capacity
+  Dim used_bits = 0;         ///< actual contents
+};
+
+/// Allocates a (depth × width-bit) memory instance under the policy.
+MemoryAllocation allocate_memory(Dim depth, Dim width_bits,
+                                 const ResourceModelConfig& config);
+
+/// Aggregate usage of a full design.
+struct ResourceUsage {
+  Dim bram_18k = 0;
+  Dim luts = 0;
+  Dim max_partition_factor = 1;
+  Dim allocated_mem_bits = 0;
+  Dim used_mem_bits = 0;
+
+  double bram_utilisation(const Device& device) const {
+    return static_cast<double>(bram_18k) /
+           static_cast<double>(device.bram_18k);
+  }
+  double lut_utilisation(const Device& device) const {
+    return static_cast<double>(luts) / static_cast<double>(device.luts);
+  }
+  /// Fraction of allocated BRAM bits actually holding parameters — the
+  /// ~22% figure of Fraser et al. for the naive allocation.
+  double memory_efficiency() const {
+    return allocated_mem_bits == 0
+               ? 1.0
+               : static_cast<double>(used_mem_bits) /
+                     static_cast<double>(allocated_mem_bits);
+  }
+};
+
+/// Estimates the whole design: per-engine weight + threshold memories,
+/// datapath LUTs, and the shared network overhead.
+ResourceUsage estimate_design(const std::vector<Engine>& engines,
+                              const ResourceModelConfig& config);
+
+/// Clock degradation from partition read muxes: designs whose deepest
+/// partitioned memory needed factor F lose a little frequency per mux
+/// level.  Returns the achievable clock in MHz.
+double achievable_clock_mhz(const Device& device, const ResourceUsage& usage,
+                            const ResourceModelConfig& config);
+
+Dim next_pow2(Dim v);
+
+}  // namespace mpcnn::finn

@@ -1,0 +1,54 @@
+// Target device models.
+//
+// The paper deploys on a Xilinx ZC702 board (XC7Z020 SoC: Artix-7 fabric
+// + dual Cortex-A9).  We model the fabric resources the Fig. 3/4 plots
+// report (BRAM_18K and LUT counts) plus the AXI interface behaviour that
+// caps obtained throughput at high parallelism.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "tensor/shape.hpp"
+
+namespace mpcnn::finn {
+
+/// Programmable-logic resource budget and interface behaviour of a board.
+struct Device {
+  std::string name = "ZC702 (XC7Z020)";
+  Dim bram_18k = 280;      ///< 140 × RAMB36E1, each splittable into 2 × 18K
+  Dim luts = 53'200;
+  Dim ffs = 106'400;
+  double clock_mhz = 100.0;  ///< achievable fabric clock for FINN engines
+
+  /// Effective per-image host↔fabric interface time (seconds): DMA setup
+  /// dominates for CIFAR-sized 3 KiB transfers through the SDSoC data
+  /// movers.  This is what bends "obtained" away from "expected" in
+  /// Fig. 3 at high PE counts.
+  double interface_overhead_s = 540e-6;
+  double interface_bandwidth_bytes_per_s = 1.0e9;
+
+  /// Interface-imposed throughput ceiling for a given image byte size.
+  double interface_fps_cap(Dim bytes_per_image) const {
+    const double t = interface_overhead_s +
+                     static_cast<double>(bytes_per_image) /
+                         interface_bandwidth_bytes_per_s;
+    return 1.0 / t;
+  }
+};
+
+/// The board used throughout the paper.
+inline Device zc702() { return Device{}; }
+
+/// A larger Zynq for design-space exploration examples (ZC706-class).
+inline Device zc706() {
+  Device d;
+  d.name = "ZC706 (XC7Z045)";
+  d.bram_18k = 1090;
+  d.luts = 218'600;
+  d.ffs = 437'200;
+  d.clock_mhz = 200.0;
+  return d;
+}
+
+}  // namespace mpcnn::finn

@@ -1,0 +1,126 @@
+#include "nn/conv.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <vector>
+
+#include "tensor/gemm.hpp"
+
+namespace mpcnn::nn {
+
+Conv2D::Conv2D(Dim in_channels, Dim out_channels, Dim kernel, Dim stride,
+               Dim pad, bool bias)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      pad_(pad),
+      has_bias_(bias),
+      weight_("conv.weight",
+              Shape{out_channels, in_channels * kernel * kernel}),
+      bias_("conv.bias", Shape{bias ? out_channels : 0}) {
+  MPCNN_CHECK(in_channels > 0 && out_channels > 0 && kernel > 0 &&
+                  stride > 0 && pad >= 0,
+              "bad Conv2D config");
+}
+
+void Conv2D::init(Rng& rng) {
+  const float fan_in = static_cast<float>(in_channels_ * kernel_ * kernel_);
+  weight_.value.fill_normal(rng, 0.0f, std::sqrt(2.0f / fan_in));
+  if (has_bias_) bias_.value.fill(0.0f);
+}
+
+ConvGeometry Conv2D::geometry(const Shape& in) const {
+  MPCNN_CHECK(in.rank() == 4, "Conv2D expects NCHW, got " << in.str());
+  MPCNN_CHECK(in[1] == in_channels_, "Conv2D channel mismatch: input "
+                                         << in[1] << " vs layer "
+                                         << in_channels_);
+  ConvGeometry g;
+  g.in_channels = in_channels_;
+  g.in_h = in[2];
+  g.in_w = in[3];
+  g.kernel = kernel_;
+  g.stride = stride_;
+  g.pad = pad_;
+  MPCNN_CHECK(g.valid(), "degenerate conv output for input " << in.str());
+  return g;
+}
+
+Shape Conv2D::output_shape(const Shape& in) const {
+  const ConvGeometry g = geometry(in);
+  return Shape{in[0], out_channels_, g.out_h(), g.out_w()};
+}
+
+std::int64_t Conv2D::macs(const Shape& in) const {
+  const ConvGeometry g = geometry(in);
+  return out_channels_ * g.patch_size() * g.positions();
+}
+
+Tensor Conv2D::forward(const Tensor& in) {
+  const ConvGeometry g = geometry(in.shape());
+  cached_in_ = in;
+  const Dim N = in.shape()[0];
+  const Dim patch = g.patch_size(), pos = g.positions();
+  Tensor out(output_shape(in.shape()));
+  std::vector<float> col(static_cast<std::size_t>(patch * pos));
+  const Dim in_per = in.numel() / N;
+  const Dim out_per = out.numel() / N;
+  for (Dim n = 0; n < N; ++n) {
+    im2col(g, in.data() + n * in_per, col.data());
+    gemm(out_channels_, pos, patch, 1.0f, weight_.value.data(), col.data(),
+         0.0f, out.data() + n * out_per);
+    if (has_bias_) {
+      float* o = out.data() + n * out_per;
+      for (Dim oc = 0; oc < out_channels_; ++oc) {
+        const float b = bias_.value[oc];
+        for (Dim p = 0; p < pos; ++p) o[oc * pos + p] += b;
+      }
+    }
+  }
+  return out;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const ConvGeometry g = geometry(cached_in_.shape());
+  const Dim N = cached_in_.shape()[0];
+  const Dim patch = g.patch_size(), pos = g.positions();
+  Tensor grad_in(cached_in_.shape());
+  std::vector<float> col(static_cast<std::size_t>(patch * pos));
+  std::vector<float> dcol(static_cast<std::size_t>(patch * pos));
+  const Dim in_per = cached_in_.numel() / N;
+  const Dim out_per = grad_out.numel() / N;
+  for (Dim n = 0; n < N; ++n) {
+    const float* go = grad_out.data() + n * out_per;
+    // dW += dOut (OD x pos) * col^T (pos x patch)
+    im2col(g, cached_in_.data() + n * in_per, col.data());
+    gemm_bt(out_channels_, patch, pos, 1.0f, go, col.data(), 1.0f,
+            weight_.grad.data());
+    if (has_bias_) {
+      for (Dim oc = 0; oc < out_channels_; ++oc) {
+        float acc = 0.0f;
+        for (Dim p = 0; p < pos; ++p) acc += go[oc * pos + p];
+        bias_.grad[oc] += acc;
+      }
+    }
+    // dcol = W^T (patch x OD) * dOut (OD x pos)
+    gemm_at(patch, pos, out_channels_, 1.0f, weight_.value.data(), go, 0.0f,
+            dcol.data());
+    col2im(g, dcol.data(), grad_in.data() + n * in_per);
+  }
+  return grad_in;
+}
+
+std::vector<Param*> Conv2D::params() {
+  std::vector<Param*> p{&weight_};
+  if (has_bias_) p.push_back(&bias_);
+  return p;
+}
+
+std::string Conv2D::name() const {
+  std::ostringstream os;
+  os << kernel_ << "x" << kernel_ << "-conv-" << out_channels_;
+  if (stride_ != 1) os << "/s" << stride_;
+  return os.str();
+}
+
+}  // namespace mpcnn::nn

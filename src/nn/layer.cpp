@@ -1,0 +1,4 @@
+#include "nn/layer.hpp"
+
+// Layer is header-only today; this TU anchors the vtable.
+namespace mpcnn::nn {}

@@ -1,0 +1,121 @@
+#include "nn/model_zoo.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cmath>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/lrn.hpp"
+#include "nn/pool.hpp"
+
+namespace mpcnn::nn {
+
+Dim scaled_channels(Dim channels, float width) {
+  MPCNN_CHECK(width > 0.0f, "non-positive width multiplier");
+  return std::max<Dim>(
+      4, static_cast<Dim>(std::lround(static_cast<float>(channels) * width)));
+}
+
+Net make_model_a(const ModelOptions& o) {
+  const Dim c1 = scaled_channels(32, o.width);
+  const Dim c2 = scaled_channels(32, o.width);
+  const Dim c3 = scaled_channels(64, o.width);
+  Net net("model_a", Shape{1, 3, 32, 32});
+  net.add<Conv2D>(3, c1, 5, 1, 2);
+  net.add<Pool2D>(PoolMode::kMax, 3, 2);
+  net.add<LRN>(3, 5e-5f, 0.75f);
+  net.add<Conv2D>(c1, c2, 5, 1, 2);
+  net.add<ReLU>();
+  net.add<Pool2D>(PoolMode::kAverage, 3, 2);
+  net.add<LRN>(3, 5e-5f, 0.75f);
+  net.add<Conv2D>(c2, c3, 5, 1, 2);
+  net.add<ReLU>();
+  net.add<Pool2D>(PoolMode::kAverage, 3, 2);
+  const Shape head_in = net.output_shape();
+  net.add<Dense>(head_in.numel(), o.classes);
+  return net;
+}
+
+Net make_model_b(const ModelOptions& o) {
+  const Dim c192 = scaled_channels(192, o.width);
+  const Dim c160 = scaled_channels(160, o.width);
+  const Dim c96 = scaled_channels(96, o.width);
+  Net net("model_b", Shape{1, 3, 32, 32});
+  net.add<Conv2D>(3, c192, 5, 1, 2);
+  net.add<ReLU>();
+  net.add<Conv2D>(c192, c160, 1);
+  net.add<ReLU>();
+  net.add<Conv2D>(c160, c96, 1);
+  net.add<ReLU>();
+  net.add<Pool2D>(PoolMode::kMax, 3, 2);
+  net.add<Dropout>(o.dropout, o.seed + 11);
+  net.add<Conv2D>(c96, c192, 5, 1, 2);
+  net.add<ReLU>();
+  net.add<Conv2D>(c192, c192, 1);
+  net.add<ReLU>();
+  net.add<Conv2D>(c192, c192, 1);
+  net.add<ReLU>();
+  net.add<Pool2D>(PoolMode::kMax, 3, 2);
+  net.add<Dropout>(o.dropout, o.seed + 13);
+  net.add<Conv2D>(c192, c192, 3, 1, 1);
+  net.add<ReLU>();
+  net.add<Conv2D>(c192, c192, 1);
+  net.add<ReLU>();
+  net.add<Conv2D>(c192, o.classes, 1);
+  net.add<ReLU>();
+  net.add<GlobalAvgPool>();
+  net.add<Flatten>();
+  return net;
+}
+
+Net make_model_c(const ModelOptions& o) {
+  const Dim c96 = scaled_channels(96, o.width);
+  const Dim c192 = scaled_channels(192, o.width);
+  Net net("model_c", Shape{1, 3, 32, 32});
+  if (o.input_dropout > 0.0f) net.add<Dropout>(o.input_dropout, o.seed + 17);
+  net.add<Conv2D>(3, c96, 3, 1, 1);
+  net.add<ReLU>();
+  net.add<Conv2D>(c96, c96, 3, 1, 1);
+  net.add<ReLU>();
+  net.add<Conv2D>(c96, c96, 3, 2, 1);  // stride-2 "pooling" convolution
+  net.add<ReLU>();
+  net.add<Dropout>(o.dropout, o.seed + 19);
+  net.add<Conv2D>(c96, c192, 3, 1, 1);
+  net.add<ReLU>();
+  net.add<Conv2D>(c192, c192, 3, 1, 1);
+  net.add<ReLU>();
+  net.add<Conv2D>(c192, c192, 3, 2, 1);  // stride-2 "pooling" convolution
+  net.add<ReLU>();
+  net.add<Dropout>(o.dropout, o.seed + 23);
+  net.add<Conv2D>(c192, c192, 3, 1, 1);
+  net.add<ReLU>();
+  net.add<Conv2D>(c192, c192, 1);
+  net.add<ReLU>();
+  net.add<Conv2D>(c192, o.classes, 1);
+  net.add<ReLU>();
+  net.add<GlobalAvgPool>();
+  net.add<Flatten>();
+  return net;
+}
+
+Net make_model(const std::string& which, const ModelOptions& options) {
+  MPCNN_CHECK(which.size() == 1, "model name must be A, B or C: " << which);
+  switch (std::toupper(static_cast<unsigned char>(which[0]))) {
+    case 'A':
+      return make_model_a(options);
+    case 'B':
+      return make_model_b(options);
+    case 'C':
+      return make_model_c(options);
+    default:
+      MPCNN_CHECK(false, "unknown model " << which);
+  }
+  // unreachable
+  return make_model_a(options);
+}
+
+}  // namespace mpcnn::nn

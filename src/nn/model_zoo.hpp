@@ -1,0 +1,48 @@
+// Table III model zoo: the three floating-point host networks.
+//
+//   Model A — Alex Krizhevsky's cuda-convnet CIFAR-10 network
+//   Model B — Network in Network (Lin et al.)
+//   Model C — ALL Convolutional Net (Springenberg et al.)
+//
+// Every builder accepts a width multiplier.  width = 1.0 reproduces the
+// paper's topologies exactly; the bench suite trains width-scaled
+// variants (documented substitution in DESIGN.md) because the original
+// widths need GPU-hours, not single-core-CPU-minutes.
+#pragma once
+
+#include <string>
+
+#include "nn/net.hpp"
+
+namespace mpcnn::nn {
+
+struct ModelOptions {
+  float width = 1.0f;      ///< channel multiplier applied to hidden convs
+  Dim classes = 10;        ///< output classes
+  float dropout = 0.5f;    ///< dropout rate where the topology has one
+  /// ALL-CNN's input dropout (paper: 0.2).  Width-scaled variants train
+  /// on small budgets where corrupting the input stalls convergence;
+  /// set 0 to skip the layer.
+  float input_dropout = 0.2f;
+  std::uint64_t seed = 7;  ///< dropout mask stream seed
+};
+
+/// Model A: 5×5-conv-32, pool, LRN, 5×5-conv-32+ReLU, pool, LRN,
+/// 5×5-conv-64+ReLU, pool, FC-10.
+Net make_model_a(const ModelOptions& options = {});
+
+/// Model B: NiN — three mlpconv blocks with 1×1 convolutions and a global
+/// average pooling classifier head.
+Net make_model_b(const ModelOptions& options = {});
+
+/// Model C: ALL-CNN — convolution-only network; downsampling via stride-2
+/// convolutions, global average pooling head.
+Net make_model_c(const ModelOptions& options = {});
+
+/// Lookup by letter "A"/"B"/"C" (case-insensitive).
+Net make_model(const std::string& which, const ModelOptions& options = {});
+
+/// Channel count after width scaling (min 4, never scales class heads).
+Dim scaled_channels(Dim channels, float width);
+
+}  // namespace mpcnn::nn

@@ -1,0 +1,90 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace mpcnn::nn {
+namespace {
+
+constexpr char kMagic[4] = {'M', 'P', 'C', 'N'};
+constexpr std::uint32_t kVersion = 1;
+
+template <class T>
+void write_pod(std::ofstream& os, const T& value) {
+  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <class T>
+T read_pod(std::ifstream& is) {
+  T value{};
+  is.read(reinterpret_cast<char*>(&value), sizeof(T));
+  MPCNN_CHECK(is.good(), "truncated net file");
+  return value;
+}
+
+std::vector<Tensor*> all_state(Net& net) {
+  std::vector<Tensor*> state;
+  for (auto& layer : net.layers()) {
+    for (Tensor* t : layer->state()) state.push_back(t);
+  }
+  return state;
+}
+
+}  // namespace
+
+void save_net(Net& net, const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  MPCNN_CHECK(os.is_open(), "cannot open " << path << " for writing");
+  os.write(kMagic, sizeof(kMagic));
+  write_pod(os, kVersion);
+  const std::vector<Tensor*> state = all_state(net);
+  write_pod(os, static_cast<std::uint64_t>(state.size()));
+  for (const Tensor* t : state) {
+    write_pod(os, static_cast<std::uint32_t>(t->shape().rank()));
+    for (Dim d : t->shape().dims()) write_pod(os, static_cast<std::int64_t>(d));
+    os.write(reinterpret_cast<const char*>(t->data()),
+             static_cast<std::streamsize>(t->numel() * sizeof(float)));
+  }
+  MPCNN_CHECK(os.good(), "write failure on " << path);
+}
+
+void load_net(Net& net, const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  MPCNN_CHECK(is.is_open(), "cannot open " << path);
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  MPCNN_CHECK(is.good() && std::memcmp(magic, kMagic, 4) == 0,
+              "bad magic in " << path);
+  const auto version = read_pod<std::uint32_t>(is);
+  MPCNN_CHECK(version == kVersion, "unsupported net file version "
+                                       << version);
+  const std::vector<Tensor*> state = all_state(net);
+  const auto count = read_pod<std::uint64_t>(is);
+  MPCNN_CHECK(count == state.size(), "net file has " << count
+                                                     << " tensors, net needs "
+                                                     << state.size());
+  for (Tensor* t : state) {
+    const auto rank = read_pod<std::uint32_t>(is);
+    std::vector<Dim> dims(rank);
+    for (auto& d : dims) d = read_pod<std::int64_t>(is);
+    MPCNN_CHECK(Shape(dims) == t->shape(),
+                "tensor shape mismatch in " << path << ": file "
+                                            << Shape(dims).str() << " vs net "
+                                            << t->shape().str());
+    is.read(reinterpret_cast<char*>(t->data()),
+            static_cast<std::streamsize>(t->numel() * sizeof(float)));
+    MPCNN_CHECK(is.good(), "truncated tensor data in " << path);
+  }
+}
+
+bool is_net_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is.is_open()) return false;
+  char magic[4];
+  is.read(magic, sizeof(magic));
+  return is.good() && std::memcmp(magic, kMagic, 4) == 0;
+}
+
+}  // namespace mpcnn::nn

@@ -1,0 +1,25 @@
+// Binary weight serialisation.
+//
+// Format (little-endian):
+//   magic "MPCN", u32 version, u64 tensor count,
+//   per tensor: u32 rank, i64 dims..., f32 data...
+// Loading validates shape-for-shape against the destination net, so a
+// file trained for one topology cannot be silently loaded into another.
+#pragma once
+
+#include <string>
+
+#include "nn/net.hpp"
+
+namespace mpcnn::nn {
+
+/// Writes all layer state of `net` to `path`.  Throws Error on I/O failure.
+void save_net(Net& net, const std::string& path);
+
+/// Reads layer state from `path` into `net`.  Throws Error on mismatch.
+void load_net(Net& net, const std::string& path);
+
+/// True if `path` exists and carries the serialisation magic.
+bool is_net_file(const std::string& path);
+
+}  // namespace mpcnn::nn

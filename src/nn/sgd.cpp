@@ -1,0 +1,111 @@
+#include "nn/sgd.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpcnn::nn {
+
+void Sgd::step(const std::vector<Param*>& params) {
+  if (velocity_.size() != params.size()) {
+    velocity_.clear();
+    second_.clear();
+    velocity_.reserve(params.size());
+    second_.reserve(params.size());
+    for (const Param* p : params) {
+      velocity_.emplace_back(p->value.shape());
+      second_.emplace_back(p->value.shape());
+    }
+  }
+  ++step_count_;
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Param& p = *params[i];
+    Tensor& v = velocity_[i];
+    MPCNN_CHECK(v.same_shape(p.value), "optimizer/param shape drift");
+    const float lr = config_.learning_rate;
+    const float wd = config_.weight_decay;
+    float* vel = v.data();
+    float* val = p.value.data();
+    const float* grad = p.grad.data();
+    const Dim n = p.value.numel();
+    if (config_.kind == OptimizerKind::kSgdMomentum) {
+      const float mu = config_.momentum;
+      for (Dim j = 0; j < n; ++j) {
+        vel[j] = mu * vel[j] - lr * (grad[j] + wd * val[j]);
+        val[j] += vel[j];
+      }
+    } else {
+      float* sec = second_[i].data();
+      const float b1 = config_.beta1, b2 = config_.beta2;
+      const float bc1 =
+          1.0f - std::pow(b1, static_cast<float>(step_count_));
+      const float bc2 =
+          1.0f - std::pow(b2, static_cast<float>(step_count_));
+      for (Dim j = 0; j < n; ++j) {
+        const float g = grad[j] + wd * val[j];
+        vel[j] = b1 * vel[j] + (1.0f - b1) * g;
+        sec[j] = b2 * sec[j] + (1.0f - b2) * g * g;
+        const float mhat = vel[j] / bc1;
+        const float vhat = sec[j] / bc2;
+        val[j] -= lr * mhat / (std::sqrt(vhat) + config_.epsilon);
+      }
+    }
+  }
+}
+
+EpochStats Trainer::fit(Net& net, const Tensor& images,
+                        const std::vector<int>& labels) {
+  const Dim total = images.shape()[0];
+  MPCNN_CHECK(total > 0, "empty training set");
+  MPCNN_CHECK(static_cast<Dim>(labels.size()) == total,
+              "trainer label count mismatch");
+  Rng rng(config_.seed);
+  Sgd sgd(config_.sgd);
+  SoftmaxCrossEntropy loss;
+  EpochStats stats;
+  std::vector<Dim> item_dims = images.shape().dims();
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    net.set_training(true);
+    const std::vector<std::size_t> order =
+        rng.permutation(static_cast<std::size_t>(total));
+    float loss_sum = 0.0f;
+    Dim batches = 0;
+    Dim correct = 0, seen = 0;
+    for (Dim start = 0; start < total; start += config_.batch_size) {
+      const Dim n = std::min(config_.batch_size, total - start);
+      item_dims[0] = n;
+      Tensor batch{Shape(item_dims)};
+      std::vector<int> batch_labels(static_cast<std::size_t>(n));
+      for (Dim i = 0; i < n; ++i) {
+        const std::size_t src = order[static_cast<std::size_t>(start + i)];
+        batch.set_batch(i, images, static_cast<Dim>(src));
+        batch_labels[static_cast<std::size_t>(i)] = labels[src];
+      }
+      net.zero_grads();
+      const Tensor logits = net.forward(batch);
+      loss_sum += loss.forward(logits, batch_labels);
+      ++batches;
+      // Track in-batch accuracy from the already-computed logits.
+      const Dim C = logits.shape()[1];
+      for (Dim i = 0; i < n; ++i) {
+        const float* row = logits.data() + i * C;
+        const int pred = static_cast<int>(
+            std::distance(row, std::max_element(row, row + C)));
+        if (pred == batch_labels[static_cast<std::size_t>(i)]) ++correct;
+        ++seen;
+      }
+      net.backward(loss.backward());
+      sgd.step(net.params());
+    }
+    stats.epoch = epoch + 1;
+    stats.mean_loss = loss_sum / static_cast<float>(batches);
+    stats.train_accuracy =
+        static_cast<float>(correct) / static_cast<float>(seen);
+    stats.learning_rate = sgd.learning_rate();
+    if (config_.on_epoch) config_.on_epoch(stats);
+    sgd.set_learning_rate(sgd.learning_rate() * config_.lr_decay);
+  }
+  net.set_training(false);
+  return stats;
+}
+
+}  // namespace mpcnn::nn

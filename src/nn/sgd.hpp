@@ -1,0 +1,76 @@
+// Stochastic gradient descent with momentum, plus a mini-batch trainer.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "nn/loss.hpp"
+#include "nn/net.hpp"
+
+namespace mpcnn::nn {
+
+/// Optimiser family.  Binarised nets train far better under Adam
+/// (Courbariaux et al. use it); the float models are fine with SGD.
+enum class OptimizerKind { kSgdMomentum, kAdam };
+
+/// SGD with classical momentum, or Adam, both with L2 weight decay.
+class Sgd {
+ public:
+  struct Config {
+    OptimizerKind kind = OptimizerKind::kSgdMomentum;
+    float learning_rate = 0.01f;
+    float momentum = 0.9f;  ///< SGD momentum
+    float weight_decay = 1e-4f;
+    float beta1 = 0.9f;   ///< Adam
+    float beta2 = 0.999f;  ///< Adam
+    float epsilon = 1e-8f;  ///< Adam
+  };
+
+  explicit Sgd(Config config) : config_(config) {}
+
+  /// Applies one update step to the given parameters using their
+  /// accumulated gradients; gradients are NOT cleared.
+  void step(const std::vector<Param*>& params);
+
+  void set_learning_rate(float lr) { config_.learning_rate = lr; }
+  float learning_rate() const { return config_.learning_rate; }
+
+ private:
+  Config config_;
+  std::vector<Tensor> velocity_;  // SGD momentum / Adam first moment
+  std::vector<Tensor> second_;    // Adam second moment
+  std::int64_t step_count_ = 0;
+};
+
+/// Epoch-level progress report passed to the trainer callback.
+struct EpochStats {
+  int epoch = 0;
+  float mean_loss = 0.0f;
+  float train_accuracy = 0.0f;  // on the sampled monitoring subset
+  float learning_rate = 0.0f;
+};
+
+/// Mini-batch trainer for classification nets.
+class Trainer {
+ public:
+  struct Config {
+    int epochs = 10;
+    Dim batch_size = 32;
+    Sgd::Config sgd;
+    float lr_decay = 0.95f;  ///< multiplicative per-epoch decay
+    std::uint64_t seed = 1;
+    std::function<void(const EpochStats&)> on_epoch;  ///< optional
+  };
+
+  explicit Trainer(Config config) : config_(std::move(config)) {}
+
+  /// Trains `net` on (images, labels); returns the final epoch stats.
+  EpochStats fit(Net& net, const Tensor& images,
+                 const std::vector<int>& labels);
+
+ private:
+  Config config_;
+};
+
+}  // namespace mpcnn::nn

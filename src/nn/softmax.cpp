@@ -1,0 +1,56 @@
+#include "nn/softmax.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpcnn::nn {
+
+Tensor Softmax::forward(const Tensor& in) {
+  MPCNN_CHECK(in.shape().rank() == 2, "Softmax expects (N, classes)");
+  const Dim N = in.shape()[0], C = in.shape()[1];
+  Tensor out(in.shape());
+  for (Dim n = 0; n < N; ++n) {
+    const float* row = in.data() + n * C;
+    float* orow = out.data() + n * C;
+    const float mx = *std::max_element(row, row + C);
+    float denom = 0.0f;
+    for (Dim c = 0; c < C; ++c) {
+      orow[c] = std::exp(row[c] - mx);
+      denom += orow[c];
+    }
+    for (Dim c = 0; c < C; ++c) orow[c] /= denom;
+  }
+  cached_out_ = out;
+  return out;
+}
+
+Tensor Softmax::backward(const Tensor& grad_out) {
+  MPCNN_CHECK(grad_out.same_shape(cached_out_),
+              "Softmax backward before forward");
+  const Dim N = cached_out_.shape()[0], C = cached_out_.shape()[1];
+  Tensor grad_in(cached_out_.shape());
+  for (Dim n = 0; n < N; ++n) {
+    const float* y = cached_out_.data() + n * C;
+    const float* go = grad_out.data() + n * C;
+    float dot = 0.0f;
+    for (Dim c = 0; c < C; ++c) dot += y[c] * go[c];
+    float* gi = grad_in.data() + n * C;
+    for (Dim c = 0; c < C; ++c) gi[c] = y[c] * (go[c] - dot);
+  }
+  return grad_in;
+}
+
+std::vector<float> softmax(const std::vector<float>& scores) {
+  MPCNN_CHECK(!scores.empty(), "softmax of empty vector");
+  const float mx = *std::max_element(scores.begin(), scores.end());
+  std::vector<float> out(scores.size());
+  float denom = 0.0f;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    out[i] = std::exp(scores[i] - mx);
+    denom += out[i];
+  }
+  for (float& v : out) v /= denom;
+  return out;
+}
+
+}  // namespace mpcnn::nn

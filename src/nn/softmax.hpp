@@ -1,0 +1,25 @@
+// Softmax over the last dimension (numerically stabilised).
+#pragma once
+
+#include "nn/layer.hpp"
+
+namespace mpcnn::nn {
+
+/// Softmax layer (per batch row).  For training, prefer the fused
+/// SoftmaxCrossEntropy loss; this layer exists for probability outputs.
+class Softmax final : public Layer {
+ public:
+  Softmax() = default;
+  Tensor forward(const Tensor& in) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string name() const override { return "softmax"; }
+  Shape output_shape(const Shape& in) const override { return in; }
+
+ private:
+  Tensor cached_out_;
+};
+
+/// Free-function softmax over a flat score vector.
+std::vector<float> softmax(const std::vector<float>& scores);
+
+}  // namespace mpcnn::nn

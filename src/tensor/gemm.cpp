@@ -1,0 +1,127 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <vector>
+
+namespace mpcnn {
+namespace {
+
+// Cache-blocking parameters chosen for a typical 32 KiB L1 / 256 KiB L2.
+constexpr std::int64_t kBlockM = 64;
+constexpr std::int64_t kBlockN = 256;
+constexpr std::int64_t kBlockK = 256;
+
+// Inner kernel: accumulate a (mb x nb) tile of C from (mb x kb)·(kb x nb).
+// The j-loop is the innermost unit-stride loop so the compiler can
+// auto-vectorise; i is unrolled by 4 to amortise the A-loads.
+void tile_kernel(std::int64_t mb, std::int64_t nb, std::int64_t kb,
+                 float alpha, const float* A, std::int64_t lda,
+                 const float* B, std::int64_t ldb, float* C,
+                 std::int64_t ldc) {
+  std::int64_t i = 0;
+  for (; i + 4 <= mb; i += 4) {
+    for (std::int64_t k = 0; k < kb; ++k) {
+      const float a0 = alpha * A[(i + 0) * lda + k];
+      const float a1 = alpha * A[(i + 1) * lda + k];
+      const float a2 = alpha * A[(i + 2) * lda + k];
+      const float a3 = alpha * A[(i + 3) * lda + k];
+      const float* b = B + k * ldb;
+      float* c0 = C + (i + 0) * ldc;
+      float* c1 = C + (i + 1) * ldc;
+      float* c2 = C + (i + 2) * ldc;
+      float* c3 = C + (i + 3) * ldc;
+      for (std::int64_t j = 0; j < nb; ++j) {
+        const float bj = b[j];
+        c0[j] += a0 * bj;
+        c1[j] += a1 * bj;
+        c2[j] += a2 * bj;
+        c3[j] += a3 * bj;
+      }
+    }
+  }
+  for (; i < mb; ++i) {
+    for (std::int64_t k = 0; k < kb; ++k) {
+      const float a0 = alpha * A[i * lda + k];
+      const float* b = B + k * ldb;
+      float* c0 = C + i * ldc;
+      for (std::int64_t j = 0; j < nb; ++j) c0[j] += a0 * b[j];
+    }
+  }
+}
+
+void scale_c(std::int64_t M, std::int64_t N, float beta, float* C) {
+  if (beta == 1.0f) return;
+  if (beta == 0.0f) {
+    std::fill(C, C + M * N, 0.0f);
+    return;
+  }
+  for (std::int64_t i = 0; i < M * N; ++i) C[i] *= beta;
+}
+
+}  // namespace
+
+void gemm(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
+          const float* A, const float* B, float beta, float* C) {
+  scale_c(M, N, beta, C);
+  for (std::int64_t k0 = 0; k0 < K; k0 += kBlockK) {
+    const std::int64_t kb = std::min(kBlockK, K - k0);
+    for (std::int64_t i0 = 0; i0 < M; i0 += kBlockM) {
+      const std::int64_t mb = std::min(kBlockM, M - i0);
+      for (std::int64_t j0 = 0; j0 < N; j0 += kBlockN) {
+        const std::int64_t nb = std::min(kBlockN, N - j0);
+        tile_kernel(mb, nb, kb, alpha, A + i0 * K + k0, K, B + k0 * N + j0,
+                    N, C + i0 * N + j0, N);
+      }
+    }
+  }
+}
+
+void gemm_at(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
+             const float* A, const float* B, float beta, float* C) {
+  // A is (K x M); transpose it into a scratch buffer then reuse gemm.
+  // The scratch cost is negligible against the O(M·N·K) multiply and keeps
+  // a single highly-tuned kernel.
+  std::vector<float> At(static_cast<std::size_t>(M * K));
+  for (std::int64_t k = 0; k < K; ++k)
+    for (std::int64_t m = 0; m < M; ++m) At[m * K + k] = A[k * M + m];
+  gemm(M, N, K, alpha, At.data(), B, beta, C);
+}
+
+void gemm_bt(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
+             const float* A, const float* B, float beta, float* C) {
+  // B is (N x K); dot-product formulation is already cache-friendly since
+  // both A rows and B rows are unit-stride.
+  scale_c(M, N, beta, C);
+  for (std::int64_t i = 0; i < M; ++i) {
+    const float* a = A + i * K;
+    for (std::int64_t j = 0; j < N; ++j) {
+      const float* b = B + j * K;
+      float acc = 0.0f;
+      for (std::int64_t k = 0; k < K; ++k) acc += a[k] * b[k];
+      C[i * N + j] += alpha * acc;
+    }
+  }
+}
+
+void gemm_naive(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
+                const float* A, const float* B, float beta, float* C) {
+  for (std::int64_t i = 0; i < M; ++i) {
+    for (std::int64_t j = 0; j < N; ++j) {
+      float acc = 0.0f;
+      for (std::int64_t k = 0; k < K; ++k) acc += A[i * K + k] * B[k * N + j];
+      C[i * N + j] = alpha * acc + beta * C[i * N + j];
+    }
+  }
+}
+
+void gemv(std::int64_t M, std::int64_t N, const float* A, const float* x,
+          float beta, float* y) {
+  for (std::int64_t i = 0; i < M; ++i) {
+    const float* a = A + i * N;
+    float acc = 0.0f;
+    for (std::int64_t j = 0; j < N; ++j) acc += a[j] * x[j];
+    y[i] = beta * y[i] + acc;
+  }
+}
+
+}  // namespace mpcnn

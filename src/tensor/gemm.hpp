@@ -1,0 +1,33 @@
+// Single-precision GEMM kernels.
+//
+// All convolution and dense layers lower to these routines (the same way
+// the paper's host network rides on OpenBLAS).  Row-major layout:
+//   C[M×N] = alpha · op(A) · op(B) + beta · C
+#pragma once
+
+#include <cstdint>
+
+namespace mpcnn {
+
+/// C = alpha * A(MxK) * B(KxN) + beta * C.  Row-major, no transposition.
+void gemm(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
+          const float* A, const float* B, float beta, float* C);
+
+/// C = alpha * A^T(KxM stored MxK? no: A is KxM stored row-major) * B(KxN)
+/// + beta*C.  Here A has K rows and M columns; C is MxN.
+void gemm_at(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
+             const float* A, const float* B, float beta, float* C);
+
+/// C = alpha * A(MxK) * B^T (B is NxK row-major) + beta * C.  C is MxN.
+void gemm_bt(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
+             const float* A, const float* B, float beta, float* C);
+
+/// Reference implementation used by tests to validate the blocked kernel.
+void gemm_naive(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
+                const float* A, const float* B, float beta, float* C);
+
+/// y = A(MxN) * x + beta*y (matrix-vector product).
+void gemv(std::int64_t M, std::int64_t N, const float* A, const float* x,
+          float beta, float* y);
+
+}  // namespace mpcnn

@@ -1,0 +1,35 @@
+#include "tensor/gradcheck.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mpcnn {
+
+Tensor numeric_gradient(const std::function<float(const Tensor&)>& f,
+                        const Tensor& x, float eps) {
+  Tensor grad(x.shape());
+  Tensor probe = x;
+  for (Dim i = 0; i < x.numel(); ++i) {
+    const float orig = probe[i];
+    probe[i] = orig + eps;
+    const float fp = f(probe);
+    probe[i] = orig - eps;
+    const float fm = f(probe);
+    probe[i] = orig;
+    grad[i] = (fp - fm) / (2.0f * eps);
+  }
+  return grad;
+}
+
+float max_relative_error(const Tensor& a, const Tensor& b) {
+  MPCNN_CHECK(a.same_shape(b), "shape mismatch in max_relative_error");
+  float worst = 0.0f;
+  for (Dim i = 0; i < a.numel(); ++i) {
+    const float denom =
+        std::max({1.0f, std::fabs(a[i]), std::fabs(b[i])});
+    worst = std::max(worst, std::fabs(a[i] - b[i]) / denom);
+  }
+  return worst;
+}
+
+}  // namespace mpcnn

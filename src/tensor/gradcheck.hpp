@@ -1,0 +1,19 @@
+// Central-difference numeric gradients, used by the test suite to verify
+// every analytic backward pass.
+#pragma once
+
+#include <functional>
+
+#include "tensor/tensor.hpp"
+
+namespace mpcnn {
+
+/// Numeric gradient of scalar function `f` at `x` via central differences.
+Tensor numeric_gradient(const std::function<float(const Tensor&)>& f,
+                        const Tensor& x, float eps = 1e-3f);
+
+/// Max |a-b| / max(1, |a|, |b|) over all elements — the relative error
+/// metric used by the gradient-check tests.
+float max_relative_error(const Tensor& a, const Tensor& b);
+
+}  // namespace mpcnn

@@ -1,0 +1,59 @@
+#include "tensor/im2col.hpp"
+
+#include "tensor/error.hpp"
+
+namespace mpcnn {
+
+void im2col(const ConvGeometry& g, const float* im, float* col) {
+  MPCNN_CHECK(g.valid(), "invalid conv geometry");
+  const std::int64_t OH = g.out_h(), OW = g.out_w();
+  const std::int64_t positions = OH * OW;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    const float* chan = im + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        float* out_row = col + row * positions;
+        for (std::int64_t oh = 0; oh < OH; ++oh) {
+          const std::int64_t ih = oh * g.stride + kh - g.pad;
+          if (ih < 0 || ih >= g.in_h) {
+            for (std::int64_t ow = 0; ow < OW; ++ow) out_row[oh * OW + ow] = 0;
+            continue;
+          }
+          const float* in_row = chan + ih * g.in_w;
+          for (std::int64_t ow = 0; ow < OW; ++ow) {
+            const std::int64_t iw = ow * g.stride + kw - g.pad;
+            out_row[oh * OW + ow] =
+                (iw >= 0 && iw < g.in_w) ? in_row[iw] : 0.0f;
+          }
+        }
+      }
+    }
+  }
+}
+
+void col2im(const ConvGeometry& g, const float* col, float* im) {
+  MPCNN_CHECK(g.valid(), "invalid conv geometry");
+  const std::int64_t OH = g.out_h(), OW = g.out_w();
+  const std::int64_t positions = OH * OW;
+  std::int64_t row = 0;
+  for (std::int64_t c = 0; c < g.in_channels; ++c) {
+    float* chan = im + c * g.in_h * g.in_w;
+    for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
+      for (std::int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+        const float* in_row = col + row * positions;
+        for (std::int64_t oh = 0; oh < OH; ++oh) {
+          const std::int64_t ih = oh * g.stride + kh - g.pad;
+          if (ih < 0 || ih >= g.in_h) continue;
+          float* out_row = chan + ih * g.in_w;
+          for (std::int64_t ow = 0; ow < OW; ++ow) {
+            const std::int64_t iw = ow * g.stride + kw - g.pad;
+            if (iw >= 0 && iw < g.in_w) out_row[iw] += in_row[oh * OW + ow];
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace mpcnn

@@ -1,0 +1,50 @@
+#include "tensor/shape.hpp"
+
+#include <sstream>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn {
+
+Shape::Shape(std::initializer_list<Dim> dims) : dims_(dims) {
+  for (Dim d : dims_) MPCNN_CHECK(d >= 0, "negative dimension in " << str());
+}
+
+Shape::Shape(std::vector<Dim> dims) : dims_(std::move(dims)) {
+  for (Dim d : dims_) MPCNN_CHECK(d >= 0, "negative dimension in " << str());
+}
+
+Dim Shape::dim(std::int64_t i) const {
+  const auto r = static_cast<std::int64_t>(rank());
+  if (i < 0) i += r;
+  MPCNN_CHECK(i >= 0 && i < r, "dim index " << i << " out of range for rank "
+                                            << r);
+  return dims_[static_cast<std::size_t>(i)];
+}
+
+Dim Shape::numel() const {
+  Dim n = 1;
+  for (Dim d : dims_) n *= d;
+  return n;
+}
+
+std::vector<Dim> Shape::strides() const {
+  std::vector<Dim> s(rank(), 1);
+  for (std::size_t i = rank(); i-- > 1;) {
+    s[i - 1] = s[i] * dims_[i];
+  }
+  return s;
+}
+
+std::string Shape::str() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < dims_.size(); ++i) {
+    if (i) os << ", ";
+    os << dims_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace mpcnn

@@ -1,0 +1,48 @@
+// Shape algebra for dense row-major tensors.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn {
+
+using Dim = std::int64_t;
+
+/// Dense row-major tensor shape.  For image tensors the convention is
+/// NCHW: (batch, channels, height, width).
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<Dim> dims);
+  explicit Shape(std::vector<Dim> dims);
+
+  /// Number of dimensions.
+  std::size_t rank() const { return dims_.size(); }
+
+  /// Dimension `i`; negative `i` indexes from the back (Python-style).
+  Dim dim(std::int64_t i) const;
+  Dim operator[](std::int64_t i) const { return dim(i); }
+
+  /// Total element count (1 for a scalar/empty shape).
+  Dim numel() const;
+
+  /// Row-major strides, in elements.
+  std::vector<Dim> strides() const;
+
+  const std::vector<Dim>& dims() const { return dims_; }
+
+  bool operator==(const Shape& other) const { return dims_ == other.dims_; }
+  bool operator!=(const Shape& other) const { return !(*this == other); }
+
+  /// Human-readable form, e.g. "(2, 3, 32, 32)".
+  std::string str() const;
+
+ private:
+  std::vector<Dim> dims_;
+};
+
+}  // namespace mpcnn

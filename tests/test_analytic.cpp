@@ -1,0 +1,56 @@
+#include "core/analytic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpcnn::core {
+namespace {
+
+TEST(AnalyticThroughput, HostBoundRegime) {
+  // t_fp = 33.7 ms (Model A on the A9 ≈ 29.68 img/s), t_bnn = 2.3 ms
+  // (430 img/s), R = 0.251 → host side dominates: ≈ 118 img/s upper
+  // bound for the measured 90.82 img/s of Table V.
+  const double t_fp = 1.0 / 29.68, t_bnn = 1.0 / 430.0;
+  const double t = analytic_seconds_per_image(t_fp, t_bnn, 0.251);
+  EXPECT_NEAR(t, t_fp * 0.251, 1e-12);
+  EXPECT_NEAR(analytic_fps(t_fp, t_bnn, 0.251), 118.2, 0.5);
+}
+
+TEST(AnalyticThroughput, BnnBoundRegime) {
+  // Tiny rerun ratio: the fabric is the bottleneck.
+  const double t_fp = 1.0 / 30.0, t_bnn = 1.0 / 430.0;
+  EXPECT_NEAR(analytic_fps(t_fp, t_bnn, 0.01), 430.0, 1e-9);
+}
+
+TEST(AnalyticThroughput, CrossoverPoint) {
+  const double t_fp = 0.1, t_bnn = 0.01;
+  // t_fp · R = t_bnn at R = 0.1.
+  EXPECT_NEAR(analytic_seconds_per_image(t_fp, t_bnn, 0.1), 0.01, 1e-12);
+  EXPECT_GT(analytic_seconds_per_image(t_fp, t_bnn, 0.11), 0.01);
+  EXPECT_NEAR(analytic_seconds_per_image(t_fp, t_bnn, 0.09), 0.01, 1e-12);
+}
+
+TEST(AnalyticAccuracy, PaperOperatingPoint) {
+  // Eq. (2) with Table II numbers: Acc_bnn = 0.785, R = 0.251,
+  // R_err = 0.123; a 65% host on the hard subset gives ≈ 82.5%.
+  const double acc = analytic_accuracy(0.785, 0.65, 0.251, 0.123);
+  EXPECT_NEAR(acc, 0.785 + 0.65 * 0.251 - 0.123, 1e-12);
+  EXPECT_NEAR(acc, 0.825, 0.005);
+}
+
+TEST(AnalyticAccuracy, NoRerunsIsBnnAccuracy) {
+  EXPECT_NEAR(analytic_accuracy(0.785, 0.9, 0.0, 0.0), 0.785, 1e-12);
+}
+
+TEST(AnalyticAccuracy, PerfectGateAddsHostAccuracyOnReruns) {
+  // R_err = 0 (never reruns a correct BNN answer).
+  EXPECT_NEAR(analytic_accuracy(0.7, 0.8, 0.3, 0.0), 0.94, 1e-12);
+}
+
+TEST(AnalyticHostSavings, ScalesWithKeptFraction) {
+  EXPECT_NEAR(analytic_host_time_saved(0.0337, 0.251), 0.0337 * 0.749,
+              1e-12);
+  EXPECT_NEAR(analytic_host_time_saved(0.0337, 1.0), 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mpcnn::core

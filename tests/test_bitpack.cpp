@@ -1,0 +1,122 @@
+#include "bnn/bitpack.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace mpcnn::bnn {
+namespace {
+
+TEST(BitVector, SetGetClear) {
+  BitVector v(100);
+  EXPECT_EQ(v.size(), 100);
+  v.set(0, true);
+  v.set(63, true);
+  v.set(64, true);
+  v.set(99, true);
+  EXPECT_TRUE(v.get(0));
+  EXPECT_TRUE(v.get(63));
+  EXPECT_TRUE(v.get(64));
+  EXPECT_TRUE(v.get(99));
+  EXPECT_FALSE(v.get(1));
+  EXPECT_EQ(v.popcount(), 4);
+  v.set(63, false);
+  EXPECT_FALSE(v.get(63));
+  v.clear();
+  EXPECT_EQ(v.popcount(), 0);
+}
+
+TEST(BitVector, BoundsChecked) {
+  BitVector v(10);
+  EXPECT_THROW(v.get(10), Error);
+  EXPECT_THROW(v.set(-1, true), Error);
+}
+
+class BitVectorDot : public ::testing::TestWithParam<int> {};
+
+TEST_P(BitVectorDot, BipolarDotMatchesFloatReference) {
+  const int n = GetParam();
+  Rng rng(static_cast<std::uint64_t>(n) * 7919);
+  BitVector a(n), b(n);
+  std::vector<float> fa(static_cast<std::size_t>(n)),
+      fb(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const bool ba = rng.bernoulli(0.5);
+    const bool bb = rng.bernoulli(0.5);
+    a.set(i, ba);
+    b.set(i, bb);
+    fa[static_cast<std::size_t>(i)] = ba ? 1.0f : -1.0f;
+    fb[static_cast<std::size_t>(i)] = bb ? 1.0f : -1.0f;
+  }
+  float expected = 0.0f;
+  for (int i = 0; i < n; ++i) {
+    expected += fa[static_cast<std::size_t>(i)] *
+                fb[static_cast<std::size_t>(i)];
+  }
+  EXPECT_EQ(static_cast<float>(a.dot_bipolar(b)), expected);
+  // matches = (dot + n) / 2
+  EXPECT_EQ(a.xnor_matches(b), (a.dot_bipolar(b) + n) / 2);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorDot,
+                         ::testing::Values(1, 7, 63, 64, 65, 100, 127, 128,
+                                           576, 2304));
+
+TEST(BitVector, PaddingBitsDoNotCountAsMatches) {
+  // Two all-zero vectors of size 65: every real position matches (both
+  // encode −1), the 63 padding bits must not inflate the count.
+  BitVector a(65), b(65);
+  EXPECT_EQ(a.xnor_matches(b), 65);
+  EXPECT_EQ(a.dot_bipolar(b), 65);
+}
+
+TEST(BitVector, SizeMismatchThrows) {
+  BitVector a(10), b(11);
+  EXPECT_THROW(a.xnor_matches(b), Error);
+}
+
+TEST(BitVector, EqualityOperator) {
+  BitVector a(20), b(20), c(21);
+  a.set(5, true);
+  EXPECT_FALSE(a == b);
+  b.set(5, true);
+  EXPECT_TRUE(a == b);
+  EXPECT_FALSE(a == c);
+}
+
+TEST(BitMatrix, RowDotMatchesVectorDot) {
+  Rng rng(31);
+  const Dim rows = 5, cols = 200;
+  BitMatrix m(rows, cols);
+  BitVector v(cols);
+  for (Dim c = 0; c < cols; ++c) v.set(c, rng.bernoulli(0.5));
+  for (Dim r = 0; r < rows; ++r) {
+    BitVector row(cols);
+    for (Dim c = 0; c < cols; ++c) {
+      const bool bit = rng.bernoulli(0.5);
+      m.set(r, c, bit);
+      row.set(c, bit);
+    }
+    EXPECT_EQ(m.row_dot_bipolar(r, v), row.dot_bipolar(v));
+    EXPECT_EQ(m.row_xnor_matches(r, v), row.xnor_matches(v));
+  }
+}
+
+TEST(BitMatrix, BoundsChecked) {
+  BitMatrix m(2, 10);
+  EXPECT_THROW(m.get(2, 0), Error);
+  EXPECT_THROW(m.set(0, 10, true), Error);
+  BitVector wrong(11);
+  EXPECT_THROW(m.row_xnor_matches(0, wrong), Error);
+}
+
+TEST(SignBit, ZeroMapsToPlusOne) {
+  EXPECT_TRUE(sign_bit(0.0f));
+  EXPECT_TRUE(sign_bit(1.0f));
+  EXPECT_FALSE(sign_bit(-1e-9f));
+}
+
+}  // namespace
+}  // namespace mpcnn::bnn

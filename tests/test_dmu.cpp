@@ -1,0 +1,143 @@
+#include "core/dmu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/error.hpp"
+#include "tensor/rng.hpp"
+
+namespace mpcnn::core {
+namespace {
+
+// Synthetic gate-training data mimicking BNN behaviour: "correct" items
+// have a large top-score margin, "incorrect" items are flat/ambiguous.
+std::vector<ScoredExample> make_examples(std::size_t n, double correct_rate,
+                                         std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ScoredExample> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    ScoredExample e;
+    e.bnn_correct = rng.bernoulli(correct_rate);
+    e.scores.resize(10);
+    for (float& s : e.scores) {
+      s = static_cast<float>(rng.normal(0.0, 6.0));
+    }
+    const std::size_t top = static_cast<std::size_t>(rng.uniform_int(10));
+    // Correct examples: decisive winner; incorrect: small margin.
+    e.scores[top] += e.bnn_correct
+                         ? static_cast<float>(rng.uniform(18.0, 30.0))
+                         : static_cast<float>(rng.uniform(0.0, 5.0));
+    out.push_back(std::move(e));
+  }
+  return out;
+}
+
+TEST(Dmu, UntrainedThrows) {
+  Dmu dmu;
+  EXPECT_FALSE(dmu.trained());
+  EXPECT_THROW(dmu.confidence({1.0f}), Error);
+}
+
+TEST(Dmu, LearnsSeparableConfidence) {
+  const auto train = make_examples(2000, 0.7, 1);
+  const auto test = make_examples(500, 0.7, 2);
+  Dmu dmu;
+  dmu.train(train);
+  // Gate accuracy at threshold 0.5 should be far above chance.
+  const DmuConfusion c = dmu.confusion(test, 0.5f);
+  EXPECT_GT(c.gate_accuracy(), 0.85);
+}
+
+TEST(Dmu, ConfidenceIsAProbability) {
+  const auto train = make_examples(500, 0.6, 3);
+  Dmu dmu;
+  dmu.train(train);
+  for (const auto& e : make_examples(100, 0.6, 4)) {
+    const float p = dmu.confidence(e.scores);
+    EXPECT_GE(p, 0.0f);
+    EXPECT_LE(p, 1.0f);
+  }
+}
+
+TEST(Dmu, ConfusionSharesSumToOne) {
+  const auto train = make_examples(800, 0.75, 5);
+  Dmu dmu;
+  dmu.train(train);
+  for (float threshold : {0.3f, 0.5f, 0.84f, 0.95f}) {
+    const DmuConfusion c = dmu.confusion(train, threshold);
+    EXPECT_NEAR(c.fs + c.fnot_snot + c.fnot_s + c.fs_not, 1.0, 1e-9);
+    EXPECT_NEAR(c.rerun_ratio() + c.fs + c.fnot_s, 1.0, 1e-9);
+    EXPECT_NEAR(c.max_achievable_accuracy(), 1.0 - c.fnot_s, 1e-12);
+  }
+}
+
+TEST(Dmu, ThresholdSweepIsMonotone) {
+  // Fig. 5: raising the threshold reruns more — F̄S falls, FS̄ rises.
+  const auto train = make_examples(2000, 0.7, 7);
+  Dmu dmu;
+  dmu.train(train);
+  std::vector<float> thresholds;
+  for (float t = 0.5f; t <= 0.99f; t += 0.05f) thresholds.push_back(t);
+  const auto sweep = dmu.sweep(train, thresholds);
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_LE(sweep[i].second.fnot_s, sweep[i - 1].second.fnot_s + 1e-9);
+    EXPECT_GE(sweep[i].second.fs_not, sweep[i - 1].second.fs_not - 1e-9);
+    EXPECT_GE(sweep[i].second.rerun_ratio(),
+              sweep[i - 1].second.rerun_ratio() - 1e-9);
+  }
+}
+
+TEST(Dmu, ExtremeThresholds) {
+  const auto train = make_examples(500, 0.7, 9);
+  Dmu dmu;
+  dmu.train(train);
+  // Threshold 0: accept everything (no reruns).
+  const DmuConfusion none = dmu.confusion(train, 0.0f);
+  EXPECT_NEAR(none.rerun_ratio(), 0.0, 1e-12);
+  // Threshold > 1: rerun everything.
+  const DmuConfusion all = dmu.confusion(train, 1.01f);
+  EXPECT_NEAR(all.rerun_ratio(), 1.0, 1e-12);
+}
+
+TEST(Dmu, SortedFeaturesArePermutationInvariant) {
+  const auto train = make_examples(800, 0.7, 11);
+  Dmu dmu;
+  dmu.train(train);
+  ASSERT_EQ(dmu.features(), DmuFeatures::kSortedScores);
+  std::vector<float> scores = {5, -3, 20, 1, 0, -7, 2, 3, -1, 4};
+  std::vector<float> shuffled = {20, 5, 4, 3, 2, 1, 0, -1, -3, -7};
+  EXPECT_FLOAT_EQ(dmu.confidence(scores), dmu.confidence(shuffled));
+}
+
+TEST(Dmu, RawFeatureVariantTrains) {
+  const auto train = make_examples(1000, 0.7, 13);
+  Dmu dmu;
+  Dmu::TrainConfig config;
+  config.features = DmuFeatures::kRawScores;
+  dmu.train(train, config);
+  EXPECT_TRUE(dmu.trained());
+  EXPECT_EQ(dmu.weights().size(), 10u);
+}
+
+TEST(Dmu, InferenceCostIsTenMultiplications) {
+  // The paper stresses the DMU is light-weight: ten multiplies, a sum, a
+  // bias add and a sigmoid.  The weight vector must stay at width 10.
+  const auto train = make_examples(300, 0.7, 15);
+  Dmu dmu;
+  dmu.train(train);
+  EXPECT_EQ(dmu.weights().size(), 10u);
+}
+
+TEST(Dmu, RejectsBadTrainingData) {
+  Dmu dmu;
+  EXPECT_THROW(dmu.train({}), Error);
+  std::vector<ScoredExample> ragged(2);
+  ragged[0].scores = {1, 2, 3};
+  ragged[1].scores = {1, 2};
+  EXPECT_THROW(dmu.train(ragged), Error);
+}
+
+}  // namespace
+}  // namespace mpcnn::core

@@ -1,0 +1,199 @@
+// Compiled-network serialisation and the streaming session API.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "bnn/export.hpp"
+#include "bnn/topology.hpp"
+#include "core/stream.hpp"
+#include "core/workbench.hpp"
+
+namespace mpcnn {
+namespace {
+
+bnn::CompiledBnn make_compiled(int activation_bits, std::uint64_t seed) {
+  bnn::CnvConfig config;
+  config.width = 0.125f;
+  config.activation_bits = activation_bits;
+  nn::Net net = bnn::make_cnv_net(config);
+  Rng rng(seed);
+  net.init(rng);
+  return bnn::compile_bnn(net);
+}
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(CompiledExport, RoundTripPreservesScores) {
+  for (int bits : {1, 2}) {
+    const bnn::CompiledBnn original = make_compiled(bits, 31);
+    const std::string path = temp_path("mpcnn_compiled.bin");
+    bnn::save_compiled(original, path);
+    EXPECT_TRUE(bnn::is_compiled_file(path));
+    const bnn::CompiledBnn loaded = bnn::load_compiled(path);
+    EXPECT_EQ(loaded.classes, original.classes);
+    EXPECT_EQ(loaded.input_levels, original.input_levels);
+    EXPECT_EQ(loaded.stages.size(), original.stages.size());
+    EXPECT_EQ(loaded.fully_binary(), original.fully_binary());
+
+    Rng rng(37);
+    Tensor images(Shape{4, 3, 32, 32});
+    images.fill_uniform(rng, 0.0f, 1.0f);
+    for (Dim i = 0; i < 4; ++i) {
+      const Tensor image = images.slice_batch(i);
+      EXPECT_EQ(bnn::run_reference(original, image),
+                bnn::run_reference(loaded, image))
+          << "bits " << bits << " image " << i;
+    }
+    std::filesystem::remove(path);
+  }
+}
+
+TEST(CompiledExport, RejectsGarbage) {
+  const std::string path = temp_path("mpcnn_compiled_garbage.bin");
+  {
+    std::ofstream os(path, std::ios::binary);
+    os.write("MPBNxxxx-corrupt", 16);
+  }
+  EXPECT_THROW(bnn::load_compiled(path), Error);
+  EXPECT_THROW(bnn::load_compiled("/no/such/file.bin"), Error);
+  EXPECT_FALSE(bnn::is_compiled_file("/no/such/file.bin"));
+  std::filesystem::remove(path);
+}
+
+TEST(CompiledExport, RefusesEmptyNet) {
+  bnn::CompiledBnn empty;
+  EXPECT_THROW(bnn::save_compiled(empty, temp_path("mpcnn_empty.bin")),
+               Error);
+}
+
+// ------------------------------------------------------------- stream
+
+class StreamTest : public ::testing::Test {
+ protected:
+  static core::Workbench& workbench() {
+    static core::Workbench wb([] {
+      core::WorkbenchConfig config;
+      config.cache_dir =
+          (std::filesystem::temp_directory_path() / "mpcnn_tiny_shared")
+              .string();
+      config.train_size = 300;
+      config.test_size = 100;
+      config.model_a_width = 0.125f;
+      config.model_b_width = 0.125f;
+      config.model_c_width = 0.125f;
+      config.bnn_width = 0.125f;
+      config.float_epochs = 2;
+      config.bnn_epochs = 2;
+      config.verbose = false;
+      return config;
+    }());
+    return wb;
+  }
+
+  core::StreamSession make_session(Dim batch, float threshold) {
+    core::Workbench& wb = workbench();
+    core::StreamSession::Config config;
+    config.batch_size = batch;
+    config.dmu_threshold = threshold;
+    return core::StreamSession(
+        wb.compiled_bnn(), wb.operating_design(), wb.model('A'),
+        wb.host_profile('A').seconds_per_image, wb.dmu(), config);
+  }
+};
+
+TEST_F(StreamTest, ResultsArriveForEveryImage) {
+  core::Workbench& wb = workbench();
+  core::StreamSession session = make_session(8, 0.5f);
+  const Dim n = 20;
+  for (Dim i = 0; i < n; ++i) {
+    session.submit(wb.test_set().images.slice_batch(i),
+                   static_cast<double>(i) * 0.001);
+  }
+  session.flush();
+  const auto results = session.drain();
+  ASSERT_EQ(results.size(), static_cast<std::size_t>(n));
+  EXPECT_EQ(session.completed(), n);
+  // Results are ordered by completion and never finish before arrival.
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    EXPECT_GE(results[i].latency(), 0.0);
+    if (i > 0) {
+      EXPECT_GE(results[i].ready_at, results[i - 1].ready_at);
+    }
+  }
+}
+
+TEST_F(StreamTest, DrainIsDestructive) {
+  core::Workbench& wb = workbench();
+  core::StreamSession session = make_session(4, 0.5f);
+  for (Dim i = 0; i < 4; ++i) {
+    session.submit(wb.test_set().images.slice_batch(i), 0.0);
+  }
+  EXPECT_EQ(session.drain().size(), 4u);
+  EXPECT_TRUE(session.drain().empty());
+}
+
+TEST_F(StreamTest, RerunsFinishAfterFabricResults) {
+  core::Workbench& wb = workbench();
+  // Threshold 1.01: everything reruns on the host.
+  core::StreamSession all_rerun = make_session(4, 1.01f);
+  for (Dim i = 0; i < 4; ++i) {
+    all_rerun.submit(wb.test_set().images.slice_batch(i), 0.0);
+  }
+  const auto rerun_results = all_rerun.drain();
+  // Threshold 0: nothing reruns.
+  core::StreamSession no_rerun = make_session(4, 0.0f);
+  for (Dim i = 0; i < 4; ++i) {
+    no_rerun.submit(wb.test_set().images.slice_batch(i), 0.0);
+  }
+  const auto fast_results = no_rerun.drain();
+  ASSERT_EQ(rerun_results.size(), 4u);
+  ASSERT_EQ(fast_results.size(), 4u);
+  for (std::size_t i = 0; i < 4; ++i) {
+    EXPECT_TRUE(rerun_results[i].rerun);
+    EXPECT_FALSE(fast_results[i].rerun);
+    EXPECT_GT(rerun_results[i].ready_at, fast_results[i].ready_at);
+  }
+}
+
+TEST_F(StreamTest, MatchesClassifyOneLabels) {
+  core::Workbench& wb = workbench();
+  core::MultiPrecisionSystem system = wb.make_system('A', 0.5f, 8);
+  core::StreamSession session = make_session(1, 0.5f);  // dispatch each
+  for (Dim i = 0; i < 10; ++i) {
+    const Tensor image = wb.test_set().images.slice_batch(i);
+    const auto decision = system.classify_one(image);
+    session.submit(image, static_cast<double>(i));
+    const auto results = session.drain();
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_EQ(results[0].label, decision.final_label);
+    EXPECT_EQ(results[0].rerun, decision.rerun);
+  }
+}
+
+TEST_F(StreamTest, RejectsNonMonotoneArrivals) {
+  core::Workbench& wb = workbench();
+  core::StreamSession session = make_session(8, 0.5f);
+  session.submit(wb.test_set().images.slice_batch(0), 1.0);
+  EXPECT_THROW(session.submit(wb.test_set().images.slice_batch(1), 0.5),
+               Error);
+}
+
+TEST_F(StreamTest, FabricBacklogDelaysLaterBatches) {
+  core::Workbench& wb = workbench();
+  core::StreamSession session = make_session(4, 0.0f);
+  // Two batches arriving at the same instant: the second waits for the
+  // fabric to free up.
+  for (Dim i = 0; i < 8; ++i) {
+    session.submit(wb.test_set().images.slice_batch(i), 0.0);
+  }
+  const auto results = session.drain();
+  ASSERT_EQ(results.size(), 8u);
+  EXPECT_GT(results[7].ready_at, results[0].ready_at);
+  EXPECT_GT(session.fpga_busy_until(), 0.0);
+}
+
+}  // namespace
+}  // namespace mpcnn

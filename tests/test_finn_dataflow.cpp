@@ -1,0 +1,161 @@
+#include <gtest/gtest.h>
+
+#include "bnn/topology.hpp"
+#include "finn/dataflow.hpp"
+#include "finn/explorer.hpp"
+
+namespace mpcnn::finn {
+namespace {
+
+std::vector<bnn::CnvLayerInfo> layers() { return bnn::cnv_engine_infos(); }
+
+TEST(BalanceLayer, MeetsTargetWhenReachable) {
+  for (const auto& layer : layers()) {
+    const Folding f = balance_layer(layer, 250'000, 32);
+    Engine e{layer, f};
+    EXPECT_LE(e.cycles_per_image(), 250'000) << layer.label;
+  }
+}
+
+TEST(BalanceLayer, PicksCheapestFolding) {
+  // A generous target must be met with P=S=1 wherever possible.
+  const auto all = layers();
+  const bnn::CnvLayerInfo& fc = all[7];  // FC-64 (64x64)
+  const Folding f = balance_layer(fc, 1'000'000, 32);
+  EXPECT_EQ(f.pe, 1);
+  EXPECT_EQ(f.simd, 1);
+}
+
+TEST(BalanceLayer, FallsBackToFastestWhenUnreachable) {
+  const bnn::CnvLayerInfo conv2 = layers()[1];
+  const Folding f = balance_layer(conv2, 1, 32);  // impossible target
+  Engine e{conv2, f};
+  // Fastest possible folding under the SIMD cap.
+  const auto [fastest, slowest] =
+      ii_range({conv2}, 32);
+  (void)slowest;
+  EXPECT_EQ(e.cycles_per_image(), fastest);
+}
+
+TEST(BalancedEngines, RejectsPoolLayers) {
+  auto infos = bnn::cnv_layer_infos();  // includes pools
+  EXPECT_THROW(balanced_engines(infos, 100'000, 32), Error);
+}
+
+TEST(IiRange, OrderedAndPositive) {
+  const auto [fast, slow] = ii_range(layers(), 32);
+  EXPECT_GT(fast, 0);
+  EXPECT_GT(slow, fast);
+}
+
+TEST(DesignSpace, SortedDistinctAndValid) {
+  const auto designs = design_space(layers(), zc702(),
+                                    ResourceModelConfig{}, ExplorerConfig{},
+                                    25);
+  ASSERT_GE(designs.size(), 5u);
+  for (std::size_t i = 1; i < designs.size(); ++i) {
+    EXPECT_GT(designs[i].total_pe(), designs[i - 1].total_pe());
+  }
+}
+
+TEST(Design, BottleneckIsMaxEngineCycles) {
+  const auto engines = balanced_engines(layers(), 250'000, 32);
+  FinnDesign design(engines, zc702(), ResourceModelConfig{});
+  std::int64_t expected = 0;
+  for (const Engine& e : engines) {
+    expected = std::max(expected, e.cycles_per_image());
+  }
+  EXPECT_EQ(design.bottleneck_cycles(), expected);
+}
+
+TEST(Design, ExpectedFpsFollowsEquationFive) {
+  const auto engines = balanced_engines(layers(), 250'000, 32);
+  FinnDesign design(engines, zc702(), ResourceModelConfig{});
+  const DesignPerformance perf = design.evaluate(1000);
+  EXPECT_NEAR(perf.expected_fps,
+              zc702().clock_mhz * 1e6 /
+                  static_cast<double>(design.bottleneck_cycles()),
+              1e-6);
+}
+
+TEST(Design, ObtainedNeverExceedsExpected) {
+  for (std::int64_t target : {30'000, 100'000, 400'000}) {
+    const auto engines = balanced_engines(layers(), target, 32);
+    FinnDesign design(engines, zc702(), ResourceModelConfig{});
+    const DesignPerformance perf = design.evaluate(1000);
+    EXPECT_LE(perf.obtained_fps, perf.expected_fps * 1.0001);
+  }
+}
+
+TEST(Design, InterfaceCapBindsOnlyFastDesigns) {
+  // Slow design: compute bound, obtained ≈ expected.
+  const auto slow = balanced_engines(layers(), 1'000'000, 32);
+  FinnDesign slow_design(slow, zc702(), ResourceModelConfig{});
+  const DesignPerformance sp = slow_design.evaluate(1000);
+  EXPECT_NEAR(sp.obtained_fps / sp.expected_fps, 1.0, 0.05);
+
+  // Fast design: interface bound, obtained well below expected — the
+  // Fig. 3 divergence.
+  const auto [fast_ii, slow_ii] = ii_range(layers(), 32);
+  (void)slow_ii;
+  const auto fast = balanced_engines(layers(), fast_ii, 32);
+  FinnDesign fast_design(fast, zc702(), ResourceModelConfig{});
+  const DesignPerformance fp = fast_design.evaluate(1000);
+  EXPECT_LT(fp.obtained_fps, 0.8 * fp.expected_fps);
+  EXPECT_NEAR(fp.obtained_fps,
+              zc702().interface_fps_cap(3 * 32 * 32), 100.0);
+}
+
+TEST(Design, BatchRampEffects) {
+  const auto engines = balanced_engines(layers(), 250'000, 32);
+  FinnDesign design(engines, zc702(), ResourceModelConfig{});
+  // Larger batches amortise the pipeline ramp: per-image time falls.
+  const double t1 = design.seconds_per_batch(1);
+  const double t100 = design.seconds_per_batch(100) / 100.0;
+  const double t1000 = design.seconds_per_batch(1000) / 1000.0;
+  EXPECT_GT(t1, t100);
+  EXPECT_GE(t100, t1000 * 0.999);
+  // One-image latency through the fabric is the full layer walk.
+  const DesignPerformance perf = design.evaluate(1);
+  EXPECT_GT(perf.latency_cycles, design.bottleneck_cycles());
+}
+
+TEST(Design, InputBytesMatchCifar) {
+  const auto engines = balanced_engines(layers(), 250'000, 32);
+  FinnDesign design(engines, zc702(), ResourceModelConfig{});
+  EXPECT_EQ(design.input_bytes_per_image(), 3 * 32 * 32);
+}
+
+TEST(PickOperatingPoint, LowestBramMeetingFloor) {
+  ResourceModelConfig part;
+  part.block_partition = true;
+  const auto designs = design_space(layers(), zc702(), part,
+                                    ExplorerConfig{}, 30);
+  const std::size_t pick = pick_operating_point(designs, 400.0);
+  const DesignPerformance perf = designs[pick].evaluate(1000);
+  EXPECT_GE(perf.obtained_fps, 400.0);
+  // Every other design meeting the floor uses at least as much BRAM.
+  for (const auto& d : designs) {
+    const DesignPerformance other = d.evaluate(1000);
+    if (other.obtained_fps >= 400.0) {
+      EXPECT_GE(other.usage.bram_18k, perf.usage.bram_18k);
+    }
+  }
+}
+
+TEST(PickOperatingPoint, ThrowsWhenFloorUnreachable) {
+  ResourceModelConfig config;
+  const auto designs = design_space(layers(), zc702(), config,
+                                    ExplorerConfig{}, 10);
+  EXPECT_THROW(pick_operating_point(designs, 1e9), Error);
+}
+
+TEST(Design, RejectsEmptyOrInvalid) {
+  EXPECT_THROW(FinnDesign({}, zc702(), ResourceModelConfig{}), Error);
+  auto engines = balanced_engines(layers(), 250'000, 32);
+  engines[0].folding.pe = 7;  // 7 ∤ 64
+  EXPECT_THROW(FinnDesign(engines, zc702(), ResourceModelConfig{}), Error);
+}
+
+}  // namespace
+}  // namespace mpcnn::finn

@@ -1,0 +1,124 @@
+#include "finn/engine.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mpcnn::finn {
+namespace {
+
+bnn::CnvLayerInfo conv_layer() {
+  // Second CNV conv: 64→64, 3x3, 28x28 outputs.
+  bnn::CnvLayerInfo info;
+  info.kind = bnn::CnvLayerInfo::Kind::kConv;
+  info.label = "conv";
+  info.in_ch = 64;
+  info.in_h = 30;
+  info.in_w = 30;
+  info.kernel = 3;
+  info.out_ch = 64;
+  info.out_h = 28;
+  info.out_w = 28;
+  return info;
+}
+
+bnn::CnvLayerInfo dense_layer() {
+  bnn::CnvLayerInfo info;
+  info.kind = bnn::CnvLayerInfo::Kind::kDense;
+  info.label = "fc";
+  info.in_ch = 256;
+  info.out_ch = 64;
+  info.out_h = info.out_w = 1;
+  return info;
+}
+
+TEST(Engine, ConvCyclesMatchEquationThree) {
+  // CC = (OD/P) · (K·K·ID/S) · OH · OW
+  Engine e{conv_layer(), Folding{4, 36}};
+  EXPECT_EQ(e.cycles_per_image(), (64 / 4) * (576 / 36) * 28 * 28);
+  Engine full{conv_layer(), Folding{64, 64}};
+  EXPECT_EQ(full.cycles_per_image(), 1 * 9 * 784);
+  Engine minimal{conv_layer(), Folding{1, 1}};
+  EXPECT_EQ(minimal.cycles_per_image(), 64 * 576 * 784);
+}
+
+TEST(Engine, DenseCyclesMatchEquationFour) {
+  // CC = (OD/P) · (ID/S)
+  Engine e{dense_layer(), Folding{8, 16}};
+  EXPECT_EQ(e.cycles_per_image(), (64 / 8) * (256 / 16));
+}
+
+TEST(Engine, FoldingValidityRequiresDivisors) {
+  Engine ok{conv_layer(), Folding{4, 36}};
+  EXPECT_TRUE(ok.folding_valid());
+  Engine bad_pe{conv_layer(), Folding{3, 36}};  // 3 ∤ 64
+  EXPECT_FALSE(bad_pe.folding_valid());
+  Engine bad_simd{conv_layer(), Folding{4, 35}};  // 35 ∤ 576
+  EXPECT_FALSE(bad_simd.folding_valid());
+  EXPECT_THROW(bad_pe.cycles_per_image(), Error);
+}
+
+TEST(Engine, WeightAndThresholdMemoryGeometry) {
+  // §III-A: P files each of total/(P·S) arrays of S-bit values.
+  Engine e{conv_layer(), Folding{4, 36}};
+  EXPECT_EQ(e.weight_depth(), 64 * 576 / (4 * 36));
+  EXPECT_EQ(e.threshold_depth(), 64 / 4);
+}
+
+TEST(Divisors, KnownSets) {
+  EXPECT_EQ(divisors(1), (std::vector<Dim>{1}));
+  EXPECT_EQ(divisors(12), (std::vector<Dim>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(divisors(64),
+            (std::vector<Dim>{1, 2, 4, 8, 16, 32, 64}));
+  EXPECT_THROW(divisors(0), Error);
+}
+
+TEST(Divisors, PerfectSquare) {
+  EXPECT_EQ(divisors(36), (std::vector<Dim>{1, 2, 3, 4, 6, 9, 12, 18, 36}));
+}
+
+TEST(ValidFoldings, AllDivisorPairsUnderSimdCap) {
+  const auto foldings = valid_foldings(dense_layer(), 16);
+  // P ∈ divisors(64) (7 of them), S ∈ divisors(256) with S ≤ 16 (5).
+  EXPECT_EQ(foldings.size(), 7u * 5u);
+  for (const Folding& f : foldings) {
+    EXPECT_LE(f.simd, 16);
+    Engine e{dense_layer(), f};
+    EXPECT_TRUE(e.folding_valid());
+  }
+}
+
+class FoldingMonotonicity : public ::testing::TestWithParam<int> {};
+
+TEST_P(FoldingMonotonicity, MorePeOrSimdNeverSlower) {
+  // Property: cycles are inversely proportional to P·S — doubling either
+  // folding dimension halves the cycle count exactly (Eqs. 3-4).
+  const int p = GetParam();
+  const bnn::CnvLayerInfo layer = conv_layer();
+  for (Dim s : {1, 2, 4, 8}) {
+    Engine base{layer, Folding{p, s}};
+    Engine more_pe{layer, Folding{2 * p, s}};
+    Engine more_simd{layer, Folding{p, 2 * s}};
+    EXPECT_EQ(base.cycles_per_image(), 2 * more_pe.cycles_per_image());
+    EXPECT_EQ(base.cycles_per_image(), 2 * more_simd.cycles_per_image());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(PeValues, FoldingMonotonicity,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Engine, WeightBitsConservedAcrossFoldings) {
+  // P files × depth × S bits = total weight bits, for every folding.
+  const bnn::CnvLayerInfo layer = conv_layer();
+  for (const Folding& f : valid_foldings(layer, 64)) {
+    Engine e{layer, f};
+    EXPECT_EQ(f.pe * e.weight_depth() * f.simd, layer.weight_bits());
+  }
+}
+
+TEST(ValidFoldings, PoolLayersHaveNone) {
+  bnn::CnvLayerInfo pool;
+  pool.kind = bnn::CnvLayerInfo::Kind::kPool;
+  EXPECT_TRUE(valid_foldings(pool, 64).empty());
+}
+
+}  // namespace
+}  // namespace mpcnn::finn

@@ -1,0 +1,93 @@
+#include "finn/executor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bnn/topology.hpp"
+
+namespace mpcnn::finn {
+namespace {
+
+struct CompiledFixture {
+  bnn::CompiledBnn net;
+  Tensor images{Shape{0}};
+
+  explicit CompiledFixture(std::uint64_t seed) {
+    bnn::CnvConfig config;
+    config.width = 0.125f;  // 8/16/32 channels — fast to execute
+    nn::Net graph = bnn::make_cnv_net(config);
+    Rng rng(seed);
+    graph.init(rng);
+    net = bnn::compile_bnn(graph);
+    images = Tensor(Shape{4, 3, 32, 32});
+    images.fill_uniform(rng, 0.0f, 1.0f);
+  }
+};
+
+class FoldedVsReference : public ::testing::TestWithParam<std::int64_t> {};
+
+TEST_P(FoldedVsReference, BitExactScoresAtAnyFolding) {
+  CompiledFixture fx(17);
+  const std::int64_t target = GetParam();
+  const auto engines = engines_for_compiled(fx.net, target, 32);
+  FoldedExecutor executor(fx.net, engines);
+  for (Dim i = 0; i < fx.images.shape()[0]; ++i) {
+    const Tensor image = fx.images.slice_batch(i);
+    const auto folded = executor.run(image);
+    const auto reference = bnn::run_reference(fx.net, image);
+    ASSERT_EQ(folded, reference) << "image " << i << " target " << target;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FoldingTargets, FoldedVsReference,
+                         ::testing::Values(1, 5'000, 50'000, 500'000,
+                                           5'000'000));
+
+TEST(FoldedExecutor, TraceCyclesMatchEquations) {
+  // The executed tile-walk count must equal the Eq. (3)/(4) closed form —
+  // the performance model is validated by a working implementation.
+  CompiledFixture fx(19);
+  const auto engines = engines_for_compiled(fx.net, 20'000, 32);
+  FoldedExecutor executor(fx.net, engines);
+  ExecutionTrace trace;
+  (void)executor.run(fx.images.slice_batch(0), &trace);
+  ASSERT_EQ(trace.engine_cycles.size(), engines.size());
+  for (std::size_t e = 0; e < engines.size(); ++e) {
+    EXPECT_EQ(trace.engine_cycles[e], engines[e].cycles_per_image())
+        << "engine " << e;
+  }
+  EXPECT_EQ(trace.bottleneck_cycles,
+            *std::max_element(trace.engine_cycles.begin(),
+                              trace.engine_cycles.end()));
+}
+
+TEST(FoldedExecutor, ClassifyAgreesWithReference) {
+  CompiledFixture fx(23);
+  const auto engines = engines_for_compiled(fx.net, 100'000, 32);
+  FoldedExecutor executor(fx.net, engines);
+  EXPECT_EQ(executor.classify(fx.images),
+            bnn::classify_reference(fx.net, fx.images));
+}
+
+TEST(FoldedExecutor, RejectsMismatchedEngines) {
+  CompiledFixture fx(29);
+  auto engines = engines_for_compiled(fx.net, 100'000, 32);
+  engines.pop_back();
+  EXPECT_THROW(FoldedExecutor(fx.net, engines), Error);
+
+  auto engines2 = engines_for_compiled(fx.net, 100'000, 32);
+  engines2[0].folding.pe = 3;  // 3 ∤ 8 output channels
+  EXPECT_THROW(FoldedExecutor(fx.net, engines2), Error);
+}
+
+TEST(EnginesForCompiled, OnePerComputeStage) {
+  CompiledFixture fx(31);
+  const auto engines = engines_for_compiled(fx.net, 100'000, 32);
+  // 6 convs + 3 dense = 9 engines; pools are not engines.
+  EXPECT_EQ(engines.size(), 9u);
+  EXPECT_FALSE(engines.front().layer.binarised_input);
+  EXPECT_TRUE(engines[1].layer.binarised_input);
+  EXPECT_FALSE(engines.back().layer.has_threshold);
+}
+
+}  // namespace
+}  // namespace mpcnn::finn

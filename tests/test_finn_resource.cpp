@@ -1,0 +1,149 @@
+#include "finn/resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include "bnn/topology.hpp"
+#include "finn/explorer.hpp"
+
+namespace mpcnn::finn {
+namespace {
+
+TEST(NextPow2, KnownValues) {
+  EXPECT_EQ(next_pow2(0), 1);
+  EXPECT_EQ(next_pow2(1), 1);
+  EXPECT_EQ(next_pow2(2), 2);
+  EXPECT_EQ(next_pow2(3), 4);
+  EXPECT_EQ(next_pow2(512), 512);
+  EXPECT_EQ(next_pow2(513), 1024);
+}
+
+TEST(AllocateMemory, SmallInstancesGoToLutram) {
+  ResourceModelConfig config;
+  const MemoryAllocation alloc = allocate_memory(16, 16, config);  // 256 bits
+  EXPECT_EQ(alloc.brams, 0);
+  EXPECT_GT(alloc.lutram_luts, 0);
+}
+
+TEST(AllocateMemory, SingleBramCase) {
+  ResourceModelConfig config;
+  // 512 x 36 = exactly one BRAM_18K.
+  const MemoryAllocation alloc = allocate_memory(512, 36, config);
+  EXPECT_EQ(alloc.brams, 1);
+}
+
+TEST(AllocateMemory, Pow2RoundingWastesDepth) {
+  ResourceModelConfig rounded;
+  ResourceModelConfig exact;
+  exact.pow2_depth_rounding = false;
+  // Depth 600 rounds to 1024: with width 36 that is 2 columns of 512 vs
+  // exactly ceil(600/512)=2... use a case where rounding matters:
+  // depth 1100 → pow2 2048 (4 rows of 512) vs exact 3 rows.
+  const MemoryAllocation a = allocate_memory(1100, 36, rounded);
+  const MemoryAllocation b = allocate_memory(1100, 36, exact);
+  EXPECT_GT(a.brams, b.brams);
+  EXPECT_GE(a.allocated_bits, b.allocated_bits);
+}
+
+TEST(AllocateMemory, PartitioningNeverIncreasesBrams) {
+  ResourceModelConfig naive;
+  ResourceModelConfig part;
+  part.block_partition = true;
+  for (Dim depth : {600, 1100, 3000, 9000, 20000}) {
+    for (Dim width : {1, 2, 8, 16, 32}) {
+      if (depth * width <= kLutRamThresholdBits) continue;
+      const MemoryAllocation a = allocate_memory(depth, width, naive);
+      const MemoryAllocation b = allocate_memory(depth, width, part);
+      EXPECT_LE(b.brams, a.brams) << depth << "x" << width;
+      EXPECT_GE(b.partition_factor, 1);
+    }
+  }
+}
+
+TEST(AllocateMemory, PartitioningShrinksPow2Waste) {
+  ResourceModelConfig part;
+  part.block_partition = true;
+  // Depth 1100, width 32: naive pow2 alloc is 2048·32; a partition into
+  // roughly-512 chunks should cut the allocation significantly.
+  ResourceModelConfig naive;
+  const MemoryAllocation a = allocate_memory(1100, 32, naive);
+  const MemoryAllocation b = allocate_memory(1100, 32, part);
+  EXPECT_LT(b.allocated_bits, a.allocated_bits);
+  EXPECT_GT(b.partition_factor, 1);
+}
+
+TEST(AllocateMemory, RejectsBadGeometry) {
+  ResourceModelConfig config;
+  EXPECT_THROW(allocate_memory(0, 8, config), Error);
+  EXPECT_THROW(allocate_memory(8, 0, config), Error);
+}
+
+TEST(EstimateDesign, FullNetworkFitsZc702Envelope) {
+  const auto layers = bnn::cnv_engine_infos();
+  const auto engines = balanced_engines(layers, 250'000, 32);
+  ResourceModelConfig config;
+  const ResourceUsage usage = estimate_design(engines, config);
+  const Device device = zc702();
+  // Fig. 3: utilisation is meaningful but under the device budget for
+  // mid-size configurations.
+  EXPECT_GT(usage.bram_utilisation(device), 0.2);
+  EXPECT_LT(usage.bram_utilisation(device), 1.0);
+  EXPECT_GT(usage.lut_utilisation(device), 0.2);
+  EXPECT_LT(usage.lut_utilisation(device), 1.0);
+}
+
+TEST(EstimateDesign, NaiveAllocationWastesMostBits) {
+  // Fraser et al. (§III-A) report heavy under-occupancy of allocated BRAM
+  // storage under the naive allocation (~22% on their configurations).
+  // Our rate-balanced ZC702 point wastes a third; the property under
+  // test is that partitioning recovers a large part of it.
+  const auto layers = bnn::cnv_engine_infos();
+  const auto engines = balanced_engines(layers, 250'000, 32);
+  ResourceModelConfig naive;
+  const ResourceUsage usage = estimate_design(engines, naive);
+  EXPECT_LT(usage.memory_efficiency(), 0.75);
+
+  ResourceModelConfig part;
+  part.block_partition = true;
+  const ResourceUsage better = estimate_design(engines, part);
+  EXPECT_GT(better.memory_efficiency(), usage.memory_efficiency());
+}
+
+TEST(EstimateDesign, PartitioningReducesBram) {
+  const auto layers = bnn::cnv_engine_infos();
+  for (std::int64_t target : {100'000, 250'000, 1'000'000}) {
+    const auto engines = balanced_engines(layers, target, 32);
+    ResourceModelConfig naive;
+    ResourceModelConfig part;
+    part.block_partition = true;
+    const ResourceUsage a = estimate_design(engines, naive);
+    const ResourceUsage b = estimate_design(engines, part);
+    EXPECT_LE(b.bram_18k, a.bram_18k) << "target " << target;
+  }
+}
+
+TEST(AchievableClock, PartitionMuxesSlowTheClock) {
+  const Device device = zc702();
+  ResourceModelConfig part;
+  part.block_partition = true;
+  ResourceUsage flat;
+  flat.max_partition_factor = 1;
+  EXPECT_DOUBLE_EQ(achievable_clock_mhz(device, flat, part),
+                   device.clock_mhz);
+  ResourceUsage deep;
+  deep.max_partition_factor = 8;
+  EXPECT_LT(achievable_clock_mhz(device, deep, part), device.clock_mhz);
+  // Without partitioning enabled there is no penalty.
+  ResourceModelConfig naive;
+  EXPECT_DOUBLE_EQ(achievable_clock_mhz(device, deep, naive),
+                   device.clock_mhz);
+}
+
+TEST(Device, InterfaceCapIsFinite) {
+  const Device device = zc702();
+  const double cap = device.interface_fps_cap(3 * 32 * 32);
+  EXPECT_GT(cap, 100.0);
+  EXPECT_LT(cap, 20'000.0);
+}
+
+}  // namespace
+}  // namespace mpcnn::finn

@@ -1,0 +1,204 @@
+#include "data/hd_scene.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <set>
+
+namespace mpcnn::data {
+namespace {
+
+CifarLikeGenerator& objects() {
+  static CifarLikeGenerator gen{SyntheticConfig{}};
+  return gen;
+}
+
+TEST(SceneGenerator, FrameGeometryAndRange) {
+  SceneGenerator::Config config;
+  config.height = 180;
+  config.width = 320;
+  SceneGenerator gen(objects(), config);
+  Rng rng(3);
+  const Scene scene = gen.generate(5, rng);
+  EXPECT_EQ(scene.frame.shape(), Shape({1, 3, 180, 320}));
+  EXPECT_GE(scene.frame.min(), 0.0f);
+  EXPECT_LE(scene.frame.max(), 1.0f);
+  EXPECT_GE(scene.objects.size(), 1u);
+  EXPECT_LE(scene.objects.size(), 5u);
+}
+
+TEST(SceneGenerator, ObjectsStayInFrameAndDisjoint) {
+  SceneGenerator::Config config;
+  config.height = 240;
+  config.width = 320;
+  SceneGenerator gen(objects(), config);
+  Rng rng(5);
+  const Scene scene = gen.generate(6, rng);
+  for (const SceneObject& object : scene.objects) {
+    EXPECT_GE(object.x, 0);
+    EXPECT_GE(object.y, 0);
+    EXPECT_LE(object.x + object.size, 320);
+    EXPECT_LE(object.y + object.size, 240);
+    EXPECT_GE(object.size, config.min_object);
+    EXPECT_LE(object.size, config.max_object);
+  }
+  for (std::size_t i = 0; i < scene.objects.size(); ++i) {
+    for (std::size_t j = i + 1; j < scene.objects.size(); ++j) {
+      Roi as_roi;
+      as_roi.x = scene.objects[i].x;
+      as_roi.y = scene.objects[i].y;
+      as_roi.size = scene.objects[i].size;
+      EXPECT_EQ(as_roi.iou(scene.objects[j]), 0.0);
+    }
+  }
+}
+
+TEST(SceneGenerator, RejectsTinyFrames) {
+  SceneGenerator::Config config;
+  config.height = 40;
+  config.width = 40;
+  EXPECT_THROW(SceneGenerator(objects(), config), Error);
+}
+
+TEST(Roi, IouKnownValues) {
+  Roi roi;
+  roi.x = 0;
+  roi.y = 0;
+  roi.size = 10;
+  SceneObject same;
+  same.x = 0;
+  same.y = 0;
+  same.size = 10;
+  EXPECT_NEAR(roi.iou(same), 1.0, 1e-12);
+  SceneObject half;
+  half.x = 5;
+  half.y = 0;
+  half.size = 10;
+  EXPECT_NEAR(roi.iou(half), 50.0 / 150.0, 1e-12);
+  SceneObject apart;
+  apart.x = 50;
+  apart.y = 50;
+  apart.size = 10;
+  EXPECT_EQ(roi.iou(apart), 0.0);
+}
+
+TEST(ProposeRois, FindsPlantedObjects) {
+  SceneGenerator::Config config;
+  config.height = 240;
+  config.width = 320;
+  config.background_noise = 0.01f;
+  SceneGenerator gen(objects(), config);
+  Rng rng(7);
+  const Scene scene = gen.generate(4, rng);
+  ASSERT_GE(scene.objects.size(), 2u);
+  const auto rois = propose_rois(scene.frame, 12, 32, 96);
+  ASSERT_FALSE(rois.empty());
+  // Every planted object should be hit by at least one proposal.
+  Dim found = 0;
+  for (const SceneObject& object : scene.objects) {
+    for (const Roi& roi : rois) {
+      if (roi.iou(object) > 0.2) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_GE(found, static_cast<Dim>(scene.objects.size()) - 1)
+      << "detector missed too many objects";
+}
+
+TEST(ProposeRois, OrderedBySaliencyAndSuppressed) {
+  SceneGenerator::Config config;
+  config.height = 180;
+  config.width = 320;
+  SceneGenerator gen(objects(), config);
+  Rng rng(9);
+  const Scene scene = gen.generate(3, rng);
+  const auto rois = propose_rois(scene.frame, 8, 32, 96);
+  for (std::size_t i = 1; i < rois.size(); ++i) {
+    EXPECT_LE(rois[i].saliency, rois[i - 1].saliency);
+  }
+  // No two picked boxes share (almost) the same centre.
+  for (std::size_t i = 0; i < rois.size(); ++i) {
+    for (std::size_t j = i + 1; j < rois.size(); ++j) {
+      const double dx = (rois[i].x + rois[i].size / 2.0) -
+                        (rois[j].x + rois[j].size / 2.0);
+      const double dy = (rois[i].y + rois[i].size / 2.0) -
+                        (rois[j].y + rois[j].size / 2.0);
+      EXPECT_GT(std::hypot(dx, dy), 1.0);
+    }
+  }
+}
+
+TEST(ProposeRois, ValidatesArguments) {
+  Tensor frame(Shape{1, 3, 64, 64});
+  EXPECT_THROW(propose_rois(frame, 0), Error);
+  EXPECT_THROW(propose_rois(frame, 4, 64, 32), Error);
+  EXPECT_THROW(propose_rois(Tensor(Shape{1, 1, 64, 64}), 4), Error);
+}
+
+TEST(ExtractRoi, IdentityAt32) {
+  // A 32-pixel ROI over a 32-aligned region reproduces the pixels.
+  Tensor frame(Shape{1, 3, 64, 64});
+  Rng rng(11);
+  frame.fill_uniform(rng, 0.0f, 1.0f);
+  Roi roi;
+  roi.x = 16;
+  roi.y = 8;
+  roi.size = 32;
+  const Tensor crop = extract_roi(frame, roi);
+  EXPECT_EQ(crop.shape(), Shape({1, 3, 32, 32}));
+  for (Dim c = 0; c < 3; ++c) {
+    for (Dim y = 0; y < 32; ++y) {
+      for (Dim x = 0; x < 32; ++x) {
+        ASSERT_NEAR(crop.at4(0, c, y, x), frame.at4(0, c, y + 8, x + 16),
+                    1e-5f);
+      }
+    }
+  }
+}
+
+TEST(ExtractRoi, DownscalePreservesMean) {
+  // Bilinear downscale of a constant region stays constant.
+  Tensor frame(Shape{1, 3, 128, 128});
+  frame.fill(0.7f);
+  Roi roi;
+  roi.x = 10;
+  roi.y = 10;
+  roi.size = 96;
+  const Tensor crop = extract_roi(frame, roi);
+  for (Dim i = 0; i < crop.numel(); ++i) {
+    ASSERT_NEAR(crop[i], 0.7f, 1e-5f);
+  }
+}
+
+TEST(ExtractRoi, RoundTripClassifiable) {
+  // Paste one object, extract the ground-truth box, and check the crop
+  // resembles the original render (correlation well above chance).
+  SceneGenerator::Config config;
+  config.height = 180;
+  config.width = 320;
+  config.background_noise = 0.0f;
+  SceneGenerator gen(objects(), config);
+  Rng rng(13);
+  const Scene scene = gen.generate(1, rng);
+  ASSERT_EQ(scene.objects.size(), 1u);
+  const SceneObject& object = scene.objects[0];
+  Roi roi;
+  roi.x = object.x;
+  roi.y = object.y;
+  roi.size = object.size;
+  const Tensor crop = extract_roi(scene.frame, roi);
+  // The crop's variance must be object-like (not flat background).
+  float mean = crop.mean();
+  float var = 0.0f;
+  for (Dim i = 0; i < crop.numel(); ++i) {
+    var += (crop[i] - mean) * (crop[i] - mean);
+  }
+  var /= static_cast<float>(crop.numel());
+  EXPECT_GT(var, 1e-3f);
+}
+
+}  // namespace
+}  // namespace mpcnn::data

@@ -1,0 +1,143 @@
+#include "finn/mixed_precision.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "bnn/topology.hpp"
+#include "finn/explorer.hpp"
+#include "nn/conv.hpp"
+#include "nn/model_zoo.hpp"
+
+namespace mpcnn::finn {
+namespace {
+
+FinnDesign make_design() {
+  const auto layers = bnn::cnv_engine_infos();
+  return FinnDesign(balanced_engines(layers, 250'000, 32), zc702(),
+                    ResourceModelConfig{});
+}
+
+TEST(MixedPrecision, OneBitMatchesBaseline) {
+  const FinnDesign design = make_design();
+  const DesignPerformance base = design.evaluate(1000);
+  const DesignPerformance one = evaluate_with_precision(
+      design, Precision{1, 1}, 1000);
+  EXPECT_EQ(one.bottleneck_cycles, base.bottleneck_cycles);
+  EXPECT_NEAR(one.expected_fps, base.expected_fps, 1e-6);
+}
+
+TEST(MixedPrecision, CyclesScaleWithBitProduct) {
+  const FinnDesign design = make_design();
+  const DesignPerformance base = evaluate_with_precision(
+      design, Precision{1, 1}, 1000);
+  const DesignPerformance w2a1 = evaluate_with_precision(
+      design, Precision{2, 1}, 1000);
+  const DesignPerformance w2a2 = evaluate_with_precision(
+      design, Precision{2, 2}, 1000);
+  EXPECT_EQ(w2a1.bottleneck_cycles, 2 * base.bottleneck_cycles);
+  EXPECT_EQ(w2a2.bottleneck_cycles, 4 * base.bottleneck_cycles);
+  EXPECT_LT(w2a2.expected_fps, w2a1.expected_fps);
+}
+
+TEST(MixedPrecision, MemoryGrowsWithWeightBits) {
+  const FinnDesign design = make_design();
+  const DesignPerformance w1 = evaluate_with_precision(
+      design, Precision{1, 1}, 1000);
+  const DesignPerformance w4 = evaluate_with_precision(
+      design, Precision{4, 1}, 1000);
+  EXPECT_GT(w4.usage.used_mem_bits, 3 * w1.usage.used_mem_bits);
+  EXPECT_GE(w4.usage.bram_18k, w1.usage.bram_18k);
+}
+
+TEST(MixedPrecision, PerLayerConfiguration) {
+  const FinnDesign design = make_design();
+  std::vector<Precision> layers(design.engines().size(), Precision{1, 1});
+  // Make only the bottleneck layer multi-bit: the II scales accordingly.
+  std::size_t bottleneck = 0;
+  std::int64_t worst = 0;
+  for (std::size_t i = 0; i < design.engines().size(); ++i) {
+    const std::int64_t cycles = design.engines()[i].cycles_per_image();
+    if (cycles > worst) {
+      worst = cycles;
+      bottleneck = i;
+    }
+  }
+  layers[bottleneck] = Precision{2, 2};
+  const DesignPerformance perf = evaluate_mixed(design, layers, 1000);
+  EXPECT_EQ(perf.bottleneck_cycles, 4 * worst);
+}
+
+TEST(MixedPrecision, RejectsBadConfigs) {
+  const FinnDesign design = make_design();
+  EXPECT_THROW(evaluate_with_precision(design, Precision{0, 1}, 1000),
+               Error);
+  EXPECT_THROW(evaluate_with_precision(design, Precision{1, 9}, 1000),
+               Error);
+  EXPECT_THROW(
+      evaluate_mixed(design, std::vector<Precision>(2, Precision{}), 1000),
+      Error);
+}
+
+TEST(QuantizeNetWeights, OneBitBinarisesToMeanMagnitude) {
+  nn::ModelOptions options;
+  options.width = 0.125f;
+  nn::Net net = nn::make_model_a(options);
+  Rng rng(3);
+  net.init(rng);
+  const int count = quantize_net_weights(net, 1);
+  EXPECT_GT(count, 0);
+  // Every conv weight now takes exactly two values ±alpha per tensor.
+  auto* conv = dynamic_cast<nn::Conv2D*>(net.layers()[0].get());
+  ASSERT_NE(conv, nullptr);
+  const Tensor& w = conv->weight().value;
+  const float alpha = std::fabs(w[0]);
+  for (Dim i = 0; i < w.numel(); ++i) {
+    EXPECT_NEAR(std::fabs(w[i]), alpha, 1e-6f);
+  }
+}
+
+TEST(QuantizeNetWeights, HighBitsArePracticallyLossless) {
+  nn::ModelOptions options;
+  options.width = 0.125f;
+  nn::Net net = nn::make_model_a(options);
+  Rng rng(5);
+  net.init(rng);
+  net.set_training(false);
+  Tensor probe(Shape{1, 3, 32, 32});
+  probe.fill_uniform(rng, 0.0f, 1.0f);
+  const Tensor before = net.forward(probe);
+  quantize_net_weights(net, 12);
+  const Tensor after = net.forward(probe);
+  for (Dim i = 0; i < before.numel(); ++i) {
+    EXPECT_NEAR(before[i], after[i], 2e-2f * std::fabs(before[i]) + 1e-3f);
+  }
+}
+
+TEST(QuantizeNetWeights, FewerBitsMoreDistortion) {
+  nn::ModelOptions options;
+  options.width = 0.125f;
+  Rng rng(7);
+  Tensor probe(Shape{1, 3, 32, 32});
+  probe.fill_uniform(rng, 0.0f, 1.0f);
+
+  auto distortion = [&](int bits) {
+    nn::Net net = nn::make_model_a(options);
+    Rng init_rng(9);
+    net.init(init_rng);
+    net.set_training(false);
+    const Tensor before = net.forward(probe);
+    quantize_net_weights(net, bits);
+    const Tensor after = net.forward(probe);
+    double err = 0.0;
+    for (Dim i = 0; i < before.numel(); ++i) {
+      err += std::fabs(before[i] - after[i]);
+    }
+    return err;
+  };
+  EXPECT_GT(distortion(2), distortion(4));
+  EXPECT_GT(distortion(4), distortion(8));
+}
+
+}  // namespace
+}  // namespace mpcnn::finn

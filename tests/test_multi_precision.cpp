@@ -1,0 +1,181 @@
+// Integration tests: the assembled cascade on a miniature workbench.
+// Training budgets are tiny — these tests verify wiring and invariants,
+// not headline accuracy (the bench suite does that).
+#include "core/multi_precision.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/workbench.hpp"
+
+namespace mpcnn::core {
+namespace {
+
+WorkbenchConfig tiny_config(const std::string& tag) {
+  WorkbenchConfig config;
+  config.cache_dir =
+      (std::filesystem::temp_directory_path() / ("mpcnn_tiny_" + tag))
+          .string();
+  config.train_size = 300;
+  config.test_size = 100;
+  config.model_a_width = 0.125f;
+  config.model_b_width = 0.125f;
+  config.model_c_width = 0.125f;
+  config.bnn_width = 0.125f;
+  config.float_epochs = 2;
+  config.bnn_epochs = 2;
+  config.verbose = false;
+  return config;
+}
+
+class MultiPrecisionTest : public ::testing::Test {
+ protected:
+  static Workbench& workbench() {
+    static Workbench wb(tiny_config("shared"));
+    return wb;
+  }
+};
+
+TEST_F(MultiPrecisionTest, WorkbenchProducesAllComponents) {
+  Workbench& wb = workbench();
+  EXPECT_EQ(wb.train_set().size(), 300);
+  EXPECT_EQ(wb.test_set().size(), 100);
+  EXPECT_GT(wb.bnn_accuracy(), 0.05);  // better than broken
+  EXPECT_TRUE(wb.dmu().trained());
+  EXPECT_EQ(wb.train_scores().size(), 300u);
+  const auto& design = wb.operating_design();
+  EXPECT_GE(design.evaluate(1000).obtained_fps, 400.0);
+}
+
+TEST_F(MultiPrecisionTest, ReportInvariants) {
+  Workbench& wb = workbench();
+  MultiPrecisionSystem system = wb.make_system('A', 0.84f, 25);
+  const MultiPrecisionReport report = system.run(wb.test_set());
+
+  EXPECT_EQ(report.images, 100);
+  // Confusion shares partition the set.
+  EXPECT_NEAR(report.confusion.fs + report.confusion.fnot_snot +
+                  report.confusion.fnot_s + report.confusion.fs_not,
+              1.0, 1e-9);
+  // Rerun ratio equals the flagged shares.
+  EXPECT_NEAR(report.rerun_ratio,
+              report.confusion.fnot_snot + report.confusion.fs_not, 1e-9);
+  // Rerun error ratio is the FS̄ share.
+  EXPECT_NEAR(report.rerun_err_ratio, report.confusion.fs_not, 1e-9);
+  // BNN accuracy equals FS + F̄S (the accepted-correct plus missed-wrong
+  // complement): FS + FS̄.
+  EXPECT_NEAR(report.bnn_accuracy,
+              report.confusion.fs + report.confusion.fs_not, 1e-9);
+  // The cascade can never beat the DMU cap.
+  EXPECT_LE(report.system_accuracy,
+            report.confusion.max_achievable_accuracy() + 1e-9);
+  // Probabilities and rates are fractions.
+  EXPECT_GE(report.system_accuracy, 0.0);
+  EXPECT_LE(report.system_accuracy, 1.0);
+  EXPECT_GE(report.rerun_ratio, 0.0);
+  EXPECT_LE(report.rerun_ratio, 1.0);
+  // Throughput sits between the host-alone and fabric-alone rates (a
+  // full-rerun cascade degrades to host speed minus the fabric batch
+  // overhead, which is material when the measured host is very fast).
+  EXPECT_GE(report.images_per_second, report.host_images_per_second * 0.5);
+  EXPECT_LE(report.images_per_second, report.bnn_images_per_second * 1.01);
+}
+
+TEST_F(MultiPrecisionTest, ThresholdControlsRerunRatio) {
+  Workbench& wb = workbench();
+  MultiPrecisionSystem low = wb.make_system('A', 0.3f, 25);
+  MultiPrecisionSystem high = wb.make_system('A', 0.95f, 25);
+  const MultiPrecisionReport r_low = low.run(wb.test_set());
+  const MultiPrecisionReport r_high = high.run(wb.test_set());
+  EXPECT_LE(r_low.rerun_ratio, r_high.rerun_ratio + 1e-9);
+  // More reruns cannot make the cascade faster.
+  EXPECT_GE(r_low.images_per_second, r_high.images_per_second - 1e-6);
+}
+
+TEST_F(MultiPrecisionTest, ZeroThresholdReproducesBnn) {
+  Workbench& wb = workbench();
+  MultiPrecisionSystem system = wb.make_system('A', 0.0f, 25);
+  const MultiPrecisionReport report = system.run(wb.test_set());
+  EXPECT_NEAR(report.rerun_ratio, 0.0, 1e-12);
+  EXPECT_NEAR(report.system_accuracy, report.bnn_accuracy, 1e-12);
+}
+
+TEST_F(MultiPrecisionTest, ClassifyOneConsistentWithRun) {
+  Workbench& wb = workbench();
+  MultiPrecisionSystem system = wb.make_system('A', 0.84f, 25);
+  const Tensor image = wb.test_set().images.slice_batch(0);
+  const auto decision = system.classify_one(image);
+  EXPECT_GE(decision.confidence, 0.0f);
+  EXPECT_LE(decision.confidence, 1.0f);
+  if (!decision.rerun) {
+    EXPECT_EQ(decision.final_label, decision.bnn_label);
+  }
+}
+
+TEST_F(MultiPrecisionTest, AnalyticModelsTrackSimulation) {
+  Workbench& wb = workbench();
+  MultiPrecisionSystem system = wb.make_system('A', 0.84f, 25);
+  const MultiPrecisionReport report = system.run(wb.test_set());
+  // Eq. (1) is an upper bound on throughput up to ramp effects; the
+  // simulation should land within a factor band.
+  if (report.rerun_ratio > 0.0) {
+    EXPECT_GT(report.images_per_second, 0.3 * report.analytic_fps);
+    EXPECT_LT(report.images_per_second, 1.4 * report.analytic_fps);
+  }
+  // Eq. (2) with the full-test host accuracy is near (usually above) the
+  // measured cascade accuracy (§III: hard-subset effect).
+  EXPECT_NEAR(report.analytic_accuracy, report.system_accuracy, 0.25);
+}
+
+TEST_F(MultiPrecisionTest, CacheReloadIsDeterministic) {
+  // A second workbench over the same cache directory must reproduce the
+  // first one's trained behaviour exactly.
+  Workbench& wb = workbench();
+  const double acc_first = wb.bnn_accuracy();
+  Workbench reloaded(tiny_config("shared"));
+  EXPECT_EQ(reloaded.bnn_accuracy(), acc_first);
+}
+
+TEST_F(MultiPrecisionTest, OperatingThresholdHitsRerunBudget) {
+  Workbench& wb = workbench();
+  const float threshold = wb.operating_threshold(0.25);
+  const double rerun =
+      wb.dmu().confusion(wb.train_scores(), threshold).rerun_ratio();
+  // The sweep is 0.5%-granular over thresholds; accept a small band
+  // around the budget (the rerun curve can be step-like).
+  EXPECT_NEAR(rerun, 0.25, 0.15);
+}
+
+TEST_F(MultiPrecisionTest, ArmCalibrationSlowsTheHost) {
+  Workbench& wb = workbench();
+  EXPECT_GT(wb.arm_scale_factor(), 0.0);
+  const float threshold = wb.operating_threshold();
+  MultiPrecisionSystem fast = wb.make_system('A', threshold, 25, false);
+  MultiPrecisionSystem slow = wb.make_system('A', threshold, 25, true);
+  const MultiPrecisionReport rf = fast.run(wb.test_set());
+  const MultiPrecisionReport rs = slow.run(wb.test_set());
+  // Accuracy is timing-independent; throughput responds to host speed.
+  EXPECT_EQ(rf.system_accuracy, rs.system_accuracy);
+  if (wb.arm_scale_factor() > 1.0) {
+    EXPECT_LT(rs.host_images_per_second, rf.host_images_per_second);
+    EXPECT_LE(rs.images_per_second, rf.images_per_second + 1e-9);
+  }
+}
+
+TEST(MultiPrecisionGuards, RequiresTrainedDmuAndPositiveLatency) {
+  WorkbenchConfig config = tiny_config("guards");
+  Workbench wb(config);
+  Dmu untrained;
+  MultiPrecisionConfig mp_config;
+  EXPECT_THROW(MultiPrecisionSystem(wb.compiled_bnn(), wb.operating_design(),
+                                    wb.model('A'), 0.01, untrained,
+                                    mp_config),
+               Error);
+  EXPECT_THROW(MultiPrecisionSystem(wb.compiled_bnn(), wb.operating_design(),
+                                    wb.model('A'), 0.0, wb.dmu(), mp_config),
+               Error);
+}
+
+}  // namespace
+}  // namespace mpcnn::core

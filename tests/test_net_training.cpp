@@ -1,0 +1,228 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "nn/activations.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/flatten.hpp"
+#include "nn/model_zoo.hpp"
+#include "nn/net.hpp"
+#include "nn/pool.hpp"
+#include "nn/serialize.hpp"
+#include "nn/sgd.hpp"
+
+namespace mpcnn::nn {
+namespace {
+
+// A small linearly-separable-ish 2-class problem on 8x8 images: class 0
+// bright left half, class 1 bright right half, plus noise.
+void make_toy(Dim n, Tensor* images, std::vector<int>* labels,
+              std::uint64_t seed) {
+  *images = Tensor(Shape{n, 1, 8, 8});
+  labels->resize(static_cast<std::size_t>(n));
+  Rng rng(seed);
+  for (Dim i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    (*labels)[static_cast<std::size_t>(i)] = label;
+    for (Dim y = 0; y < 8; ++y) {
+      for (Dim x = 0; x < 8; ++x) {
+        const bool bright = label == 0 ? x < 4 : x >= 4;
+        images->at4(i, 0, y, x) =
+            (bright ? 0.8f : 0.2f) +
+            0.1f * static_cast<float>(rng.uniform(-1.0, 1.0));
+      }
+    }
+  }
+}
+
+Net make_tiny_net() {
+  Net net("tiny", Shape{1, 1, 8, 8});
+  net.add<Conv2D>(1, 4, 3, 1, 1);
+  net.add<ReLU>();
+  net.add<Pool2D>(PoolMode::kMax, 2, 2);
+  net.add<Flatten>();
+  net.add<Dense>(4 * 4 * 4, 2);
+  return net;
+}
+
+TEST(Net, SummaryAndCosts) {
+  Net net = make_tiny_net();
+  EXPECT_EQ(net.output_shape(), Shape({1, 2}));
+  EXPECT_GT(net.num_params(), 0);
+  EXPECT_EQ(net.total_macs(), 4 * 9 * 64 + 64 * 2);
+  const std::string summary = net.summary();
+  EXPECT_NE(summary.find("3x3-conv-4"), std::string::npos);
+  EXPECT_NE(summary.find("FC-2"), std::string::npos);
+}
+
+TEST(Net, ForwardThroughEmptyNetThrows) {
+  Net net("empty", Shape{1, 1});
+  EXPECT_THROW(net.forward(Tensor(Shape{1, 1})), Error);
+}
+
+TEST(Trainer, LearnsToyProblemWithSgd) {
+  Net net = make_tiny_net();
+  Rng rng(1);
+  net.init(rng);
+  Tensor images;
+  std::vector<int> labels;
+  make_toy(128, &images, &labels, 2);
+  Trainer::Config tc;
+  tc.epochs = 8;
+  tc.batch_size = 16;
+  tc.sgd.learning_rate = 0.05f;
+  Trainer trainer(tc);
+  const EpochStats stats = trainer.fit(net, images, labels);
+  EXPECT_GT(stats.train_accuracy, 0.95f);
+
+  Tensor test_images;
+  std::vector<int> test_labels;
+  make_toy(64, &test_images, &test_labels, 3);
+  EXPECT_GT(net.evaluate(test_images, test_labels), 0.9f);
+}
+
+TEST(Trainer, LearnsToyProblemWithAdam) {
+  Net net = make_tiny_net();
+  Rng rng(4);
+  net.init(rng);
+  Tensor images;
+  std::vector<int> labels;
+  make_toy(128, &images, &labels, 5);
+  Trainer::Config tc;
+  tc.epochs = 6;
+  tc.batch_size = 16;
+  tc.sgd.kind = OptimizerKind::kAdam;
+  tc.sgd.learning_rate = 0.005f;
+  Trainer trainer(tc);
+  const EpochStats stats = trainer.fit(net, images, labels);
+  EXPECT_GT(stats.train_accuracy, 0.95f);
+}
+
+TEST(Trainer, EpochCallbackFires) {
+  Net net = make_tiny_net();
+  Rng rng(1);
+  net.init(rng);
+  Tensor images;
+  std::vector<int> labels;
+  make_toy(32, &images, &labels, 6);
+  int calls = 0;
+  Trainer::Config tc;
+  tc.epochs = 3;
+  tc.on_epoch = [&calls](const EpochStats& stats) {
+    ++calls;
+    EXPECT_EQ(stats.epoch, calls);
+  };
+  Trainer(tc).fit(net, images, labels);
+  EXPECT_EQ(calls, 3);
+}
+
+TEST(Serialize, RoundTripPreservesOutputs) {
+  Net net = make_tiny_net();
+  Rng rng(7);
+  net.init(rng);
+  Tensor probe(Shape{1, 1, 8, 8});
+  probe.fill_uniform(rng, 0.0f, 1.0f);
+  const Tensor before = net.forward(probe);
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mpcnn_test_net.bin")
+          .string();
+  save_net(net, path);
+  EXPECT_TRUE(is_net_file(path));
+
+  Net reloaded = make_tiny_net();
+  Rng rng2(999);
+  reloaded.init(rng2);  // different weights before loading
+  load_net(reloaded, path);
+  const Tensor after = reloaded.forward(probe);
+  for (Dim i = 0; i < before.numel(); ++i) {
+    EXPECT_FLOAT_EQ(before[i], after[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsTopologyMismatch) {
+  Net net = make_tiny_net();
+  Rng rng(7);
+  net.init(rng);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mpcnn_test_net2.bin")
+          .string();
+  save_net(net, path);
+
+  Net different("other", Shape{1, 1, 8, 8});
+  different.add<Dense>(64, 2);
+  EXPECT_THROW(load_net(different, path), Error);
+  std::filesystem::remove(path);
+}
+
+TEST(Serialize, RejectsMissingAndGarbageFiles) {
+  Net net = make_tiny_net();
+  EXPECT_THROW(load_net(net, "/nonexistent/path.bin"), Error);
+  EXPECT_FALSE(is_net_file("/nonexistent/path.bin"));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "mpcnn_garbage.bin")
+          .string();
+  FILE* f = std::fopen(path.c_str(), "wb");
+  std::fputs("not a net", f);
+  std::fclose(f);
+  EXPECT_FALSE(is_net_file(path));
+  EXPECT_THROW(load_net(net, path), Error);
+  std::filesystem::remove(path);
+}
+
+// ------------------------------------------------------------ Model zoo
+
+TEST(ModelZoo, TableIIITopologiesBuildAndClassify) {
+  for (const char* name : {"A", "B", "C"}) {
+    nn::ModelOptions options;
+    options.width = 0.125f;  // keep the test fast
+    Net net = make_model(name, options);
+    EXPECT_EQ(net.output_shape(), Shape({1, 10})) << name;
+    Rng rng(3);
+    net.init(rng);
+    net.set_training(false);
+    Tensor batch(Shape{2, 3, 32, 32});
+    batch.fill_uniform(rng, 0.0f, 1.0f);
+    const auto labels = net.predict(batch);
+    EXPECT_EQ(labels.size(), 2u);
+  }
+}
+
+TEST(ModelZoo, FullWidthCostOrdering) {
+  // Table IV: A is the light model; B and C are an order of magnitude
+  // heavier (3.63 and 3.09 img/s vs 29.68 on the A9).
+  Net a = make_model_a();
+  Net b = make_model_b();
+  Net c = make_model_c();
+  EXPECT_GT(b.total_macs(), 5 * a.total_macs());
+  EXPECT_GT(c.total_macs(), 5 * a.total_macs());
+  // B and C are within ~2x of each other.
+  EXPECT_LT(b.total_macs(), 2 * c.total_macs());
+  EXPECT_LT(c.total_macs(), 2 * b.total_macs());
+}
+
+TEST(ModelZoo, WidthScalingShrinksParameters) {
+  nn::ModelOptions half;
+  half.width = 0.5f;
+  Net full = make_model_a();
+  Net scaled = make_model_a(half);
+  EXPECT_LT(scaled.num_params(), full.num_params() / 2);
+}
+
+TEST(ModelZoo, ScaledChannelsRounding) {
+  EXPECT_EQ(scaled_channels(64, 1.0f), 64);
+  EXPECT_EQ(scaled_channels(64, 0.5f), 32);
+  EXPECT_EQ(scaled_channels(3, 0.1f), 4);  // floor of 4 channels
+  EXPECT_THROW(scaled_channels(64, 0.0f), Error);
+}
+
+TEST(ModelZoo, RejectsUnknownModel) {
+  EXPECT_THROW(make_model("D"), Error);
+  EXPECT_THROW(make_model("AB"), Error);
+}
+
+}  // namespace
+}  // namespace mpcnn::nn

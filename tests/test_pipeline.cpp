@@ -1,0 +1,125 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/analytic.hpp"
+
+namespace mpcnn::core {
+namespace {
+
+PipelineModel constant_model(double fpga_batch_s, double host_img_s) {
+  PipelineModel model;
+  model.fpga_seconds_for_batch = [fpga_batch_s](Dim) {
+    return fpga_batch_s;
+  };
+  model.host_seconds_per_image = host_img_s;
+  return model;
+}
+
+TEST(Pipeline, NoRerunsIsFpgaBound) {
+  // 10 batches of 10 images, 1 s per batch, no host work → exactly 10 s.
+  const std::vector<bool> flags(100, false);
+  const PipelineTiming t =
+      simulate_pipeline(flags, 10, constant_model(1.0, 0.5));
+  EXPECT_NEAR(t.total_seconds, 10.0, 1e-9);
+  EXPECT_NEAR(t.throughput_fps, 10.0, 1e-6);
+  EXPECT_EQ(t.reruns, 0);
+  EXPECT_NEAR(t.fpga_utilisation, 1.0, 1e-9);
+  EXPECT_NEAR(t.host_utilisation, 0.0, 1e-12);
+}
+
+TEST(Pipeline, HostBoundWhenEveryImageReruns) {
+  // All flagged, host 1 s/image, fpga nearly free: the loop serialises on
+  // the host.  100 images → ≈100 s (+ the first batch's fpga time).
+  const std::vector<bool> flags(100, true);
+  const PipelineTiming t =
+      simulate_pipeline(flags, 10, constant_model(0.001, 1.0));
+  EXPECT_NEAR(t.total_seconds, 100.0, 0.2);
+  EXPECT_EQ(t.reruns, 100);
+  EXPECT_GT(t.host_utilisation, 0.99);
+}
+
+TEST(Pipeline, HandComputedTwoBatchSchedule) {
+  // Batch size 2, 4 images, flags = {T, F, T, F}; fpga 1 s/batch, host
+  // 3 s/image.
+  //   iter0 [t=0]:  fpga batch0 → done 1; host idle       → next start 1
+  //   iter1 [t=1]:  fpga batch1 → done 2; host rerun img0: 1+3=4 → start 4
+  //   tail  [t=4]:  host rerun img2 → done 7
+  const std::vector<bool> flags = {true, false, true, false};
+  const PipelineTiming t =
+      simulate_pipeline(flags, 2, constant_model(1.0, 3.0));
+  EXPECT_NEAR(t.total_seconds, 7.0, 1e-9);
+  EXPECT_EQ(t.reruns, 2);
+  // Image 2 latency: submitted at 1 (start of iteration 1), final host
+  // label at 7.
+  EXPECT_NEAR(t.max_latency_s, 6.0, 1e-9);
+}
+
+TEST(Pipeline, MatchesEquationOneAtSteadyState) {
+  // Eq. (1): t_multi ≈ max(t_fp·R, t_bnn).  Large run, 30% reruns.
+  const Dim n = 3000;
+  std::vector<bool> flags(static_cast<std::size_t>(n), false);
+  for (Dim i = 0; i < n; i += 10) {
+    flags[static_cast<std::size_t>(i)] = true;
+    flags[static_cast<std::size_t>(i + 1)] = true;
+    flags[static_cast<std::size_t>(i + 2)] = true;
+  }
+  const double t_bnn = 0.002, t_fp = 0.03, batch = 100;
+  PipelineModel model;
+  model.fpga_seconds_for_batch = [t_bnn](Dim b) {
+    return t_bnn * static_cast<double>(b);
+  };
+  model.host_seconds_per_image = t_fp;
+  const PipelineTiming t = simulate_pipeline(flags, batch, model);
+  const double analytic = analytic_seconds_per_image(t_fp, t_bnn, 0.3);
+  EXPECT_NEAR(t.total_seconds / static_cast<double>(n), analytic,
+              0.1 * analytic);
+}
+
+TEST(Pipeline, ShortFinalBatchHandled) {
+  const std::vector<bool> flags(25, false);  // batch 10 → 10+10+5
+  const PipelineTiming t =
+      simulate_pipeline(flags, 10, constant_model(1.0, 1.0));
+  EXPECT_NEAR(t.total_seconds, 3.0, 1e-9);
+  EXPECT_EQ(t.images, 25);
+}
+
+TEST(Pipeline, LatencyGrowsWithBatchSize) {
+  // §III: "with higher batch sizes, the latency of an image ... increases".
+  std::vector<bool> flags(1200, false);
+  for (std::size_t i = 0; i < flags.size(); i += 4) flags[i] = true;
+  PipelineModel model;
+  model.fpga_seconds_for_batch = [](Dim b) {
+    return 0.002 * static_cast<double>(b);
+  };
+  model.host_seconds_per_image = 0.008;
+  const PipelineTiming small = simulate_pipeline(flags, 50, model);
+  const PipelineTiming large = simulate_pipeline(flags, 400, model);
+  EXPECT_GT(large.mean_latency_s, small.mean_latency_s);
+  // Throughput barely changes ("batch size does not have a significant
+  // effect") — allow a modest band.
+  EXPECT_NEAR(large.throughput_fps / small.throughput_fps, 1.0, 0.25);
+}
+
+TEST(Pipeline, UtilisationsAreFractions) {
+  std::vector<bool> flags(500, false);
+  for (std::size_t i = 0; i < flags.size(); i += 3) flags[i] = true;
+  const PipelineTiming t =
+      simulate_pipeline(flags, 50, constant_model(0.05, 0.01));
+  EXPECT_GE(t.fpga_utilisation, 0.0);
+  EXPECT_LE(t.fpga_utilisation, 1.0 + 1e-9);
+  EXPECT_GE(t.host_utilisation, 0.0);
+  EXPECT_LE(t.host_utilisation, 1.0 + 1e-9);
+}
+
+TEST(Pipeline, RejectsBadInputs) {
+  const std::vector<bool> flags(10, false);
+  EXPECT_THROW(simulate_pipeline({}, 10, constant_model(1, 1)), Error);
+  EXPECT_THROW(simulate_pipeline(flags, 0, constant_model(1, 1)), Error);
+  PipelineModel no_fpga;
+  no_fpga.host_seconds_per_image = 1.0;
+  EXPECT_THROW(simulate_pipeline(flags, 5, no_fpga), Error);
+}
+
+}  // namespace
+}  // namespace mpcnn::core

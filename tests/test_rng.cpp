@@ -1,0 +1,135 @@
+#include "tensor/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/error.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace mpcnn {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.uniform();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-3.0, 5.0);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> counts(10, 0);
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[static_cast<std::size_t>(rng.uniform_int(10))];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, draws / 10, draws / 50);  // within 20% of expectation
+  }
+}
+
+TEST(Rng, NormalMomentsAreSane) {
+  Rng rng(13);
+  double sum = 0.0, sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, NormalScaling) {
+  Rng rng(17);
+  double sum = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) sum += rng.normal(5.0, 2.0);
+  EXPECT_NEAR(sum / n, 5.0, 0.1);
+}
+
+TEST(Rng, PermutationIsAPermutation) {
+  Rng rng(19);
+  const auto perm = rng.permutation(100);
+  std::set<std::size_t> seen(perm.begin(), perm.end());
+  EXPECT_EQ(seen.size(), 100u);
+  EXPECT_EQ(*seen.begin(), 0u);
+  EXPECT_EQ(*seen.rbegin(), 99u);
+}
+
+TEST(Rng, PermutationActuallyShuffles) {
+  Rng rng(23);
+  const auto perm = rng.permutation(1000);
+  std::size_t fixed = 0;
+  for (std::size_t i = 0; i < perm.size(); ++i) {
+    if (perm[i] == i) ++fixed;
+  }
+  EXPECT_LT(fixed, 20u);  // E[fixed points] = 1
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(29);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(31);
+  Rng child = parent.split();
+  // The child stream must not replay the parent stream.
+  Rng parent_copy(31);
+  (void)parent_copy.next_u64();  // advance past the split draw
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent_copy.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, RejectsBadArguments) {
+  Rng rng(37);
+  EXPECT_THROW(rng.uniform_int(0), Error);
+  EXPECT_THROW(rng.uniform(2.0, 1.0), Error);
+  EXPECT_THROW(rng.bernoulli(1.5), Error);
+  EXPECT_THROW(rng.normal(0.0, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace mpcnn

@@ -1,0 +1,197 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+
+#include "bnn/compile.hpp"
+#include "bnn/topology.hpp"
+#include "nn/batchnorm.hpp"
+
+namespace mpcnn::bnn {
+namespace {
+
+TEST(Topology, TableIGeometryAtFullWidth) {
+  const auto infos = cnv_layer_infos();  // width 1.0
+  ASSERT_EQ(infos.size(), 11u);  // 6 conv + 2 pool + 3 FC
+  // Spatial walk with no padding: 32→30→28→14→12→10→5→3→1.
+  EXPECT_EQ(infos[0].out_h, 30);
+  EXPECT_EQ(infos[1].out_h, 28);
+  EXPECT_EQ(infos[2].kind, CnvLayerInfo::Kind::kPool);
+  EXPECT_EQ(infos[2].out_h, 14);
+  EXPECT_EQ(infos[3].out_h, 12);
+  EXPECT_EQ(infos[4].out_h, 10);
+  EXPECT_EQ(infos[5].out_h, 5);
+  EXPECT_EQ(infos[6].out_h, 3);
+  EXPECT_EQ(infos[7].out_h, 1);
+  // Channel widths 64/64/128/128/256/256.
+  EXPECT_EQ(infos[0].out_ch, 64);
+  EXPECT_EQ(infos[4].out_ch, 128);
+  EXPECT_EQ(infos[7].out_ch, 256);
+  // FC stack 64, 64, 10 (classes); last has no threshold.
+  EXPECT_EQ(infos[8].out_ch, 64);
+  EXPECT_EQ(infos[9].out_ch, 64);
+  EXPECT_EQ(infos[10].out_ch, 10);
+  EXPECT_FALSE(infos[10].has_threshold);
+  // First stage accumulates 24-bit, inner 16-bit (paper §III-A).
+  EXPECT_EQ(infos[0].accum_bits, 24);
+  EXPECT_EQ(infos[1].accum_bits, 16);
+  EXPECT_FALSE(infos[0].binarised_input);
+  EXPECT_TRUE(infos[1].binarised_input);
+}
+
+TEST(Topology, WeightMatrixGeometry) {
+  const auto engines = cnv_engine_infos();
+  ASSERT_EQ(engines.size(), 9u);
+  // Second conv: OD=64, K·K·ID = 9·64 = 576.
+  EXPECT_EQ(engines[1].weight_rows(), 64);
+  EXPECT_EQ(engines[1].weight_cols(), 576);
+  EXPECT_EQ(engines[1].weight_bits(), 64 * 576);
+  // First FC flattens 256·1·1.
+  EXPECT_EQ(engines[6].weight_cols(), 256);
+}
+
+TEST(Topology, NetMatchesInfoShapes) {
+  CnvConfig config;
+  config.width = 0.125f;
+  nn::Net net = make_cnv_net(config);
+  EXPECT_EQ(net.output_shape(), Shape({1, 10}));
+  const auto infos = cnv_layer_infos(config);
+  // Flattened input of the first dense equals last conv output channels.
+  EXPECT_EQ(infos[8].in_ch, infos[7].out_ch);
+}
+
+TEST(Compile, StagePatternAndGeometry) {
+  CnvConfig config;
+  config.width = 0.125f;
+  nn::Net net = make_cnv_net(config);
+  Rng rng(3);
+  net.init(rng);
+  const CompiledBnn compiled = compile_bnn(net);
+  ASSERT_EQ(compiled.stages.size(), 11u);
+  EXPECT_EQ(compiled.stages[0].kind, StageKind::kFixedPointConv);
+  EXPECT_EQ(compiled.stages[1].kind, StageKind::kBinaryConv);
+  EXPECT_EQ(compiled.stages[2].kind, StageKind::kMaxPoolBinary);
+  EXPECT_EQ(compiled.stages.back().kind, StageKind::kOutputDense);
+  EXPECT_EQ(compiled.classes, 10);
+  EXPECT_EQ(compiled.input_levels, 255);
+}
+
+TEST(Compile, ThresholdFoldingMatchesBatchNormSign) {
+  // Build a single-channel case and check the folded threshold against
+  // the batch-norm closed form on a range of accumulator values.
+  CnvConfig config;
+  config.width = 0.125f;
+  nn::Net net = make_cnv_net(config);
+  Rng rng(5);
+  net.init(rng);
+  // Give the second conv's batch-norm nontrivial statistics.
+  auto* bn = dynamic_cast<nn::BatchNorm*>(net.layers()[5].get());
+  ASSERT_NE(bn, nullptr);
+  for (Dim c = 0; c < bn->channels(); ++c) {
+    bn->gamma().value[c] = (c % 2 == 0) ? 0.7f : -0.9f;  // mixed signs
+    bn->beta().value[c] = 0.3f - 0.01f * static_cast<float>(c);
+    bn->mutable_running_mean()[c] = static_cast<float>(c) - 3.0f;
+    bn->mutable_running_var()[c] = 2.0f + 0.1f * static_cast<float>(c);
+  }
+  const CompiledBnn compiled = compile_bnn(net);
+  const CompiledStage& stage = compiled.stages[1];
+  for (Dim c = 0; c < stage.out_ch; ++c) {
+    const float gamma = bn->gamma().value[c];
+    const float beta = bn->beta().value[c];
+    const float mean = bn->running_mean()[c];
+    const float sigma = std::sqrt(bn->running_var()[c] + bn->epsilon());
+    for (int acc = -40; acc <= 40; ++acc) {
+      const float bn_out =
+          gamma * (static_cast<float>(acc) - mean) / sigma + beta;
+      const bool graph_bit = bn_out >= 0.0f;
+      const bool compiled_bit =
+          (acc >= stage.thresholds[static_cast<std::size_t>(c)]) !=
+          (stage.negate[static_cast<std::size_t>(c)] != 0);
+      ASSERT_EQ(graph_bit, compiled_bit)
+          << "channel " << c << " acc " << acc;
+    }
+  }
+}
+
+TEST(Compile, CompiledMatchesTrainingGraphPredictions) {
+  CnvConfig config;
+  config.width = 0.125f;
+  nn::Net net = make_cnv_net(config);
+  Rng rng(7);
+  net.init(rng);
+  // Push a few batches through in training mode so batch-norm collects
+  // meaningful running statistics.
+  net.set_training(true);
+  Tensor warm(Shape{16, 3, 32, 32});
+  warm.fill_uniform(rng, 0.0f, 1.0f);
+  (void)net.forward(warm);
+  (void)net.forward(warm);
+  net.set_training(false);
+
+  const CompiledBnn compiled = compile_bnn(net);
+  Tensor images(Shape{24, 3, 32, 32});
+  images.fill_uniform(rng, 0.0f, 1.0f);
+  int agree = 0;
+  for (Dim i = 0; i < images.shape()[0]; ++i) {
+    const Tensor image = images.slice_batch(i);
+    const int graph_label = net.predict(image).front();
+    const auto scores = run_reference(compiled, image);
+    const int compiled_label = static_cast<int>(std::distance(
+        scores.begin(), std::max_element(scores.begin(), scores.end())));
+    if (graph_label == compiled_label) ++agree;
+  }
+  // Bit-exact up to float rounding at exact threshold boundaries.
+  EXPECT_GE(agree, 23);
+}
+
+TEST(Compile, OutputScoresAreBoundedByFanIn) {
+  CnvConfig config;
+  config.width = 0.125f;
+  nn::Net net = make_cnv_net(config);
+  Rng rng(9);
+  net.init(rng);
+  const CompiledBnn compiled = compile_bnn(net);
+  Rng img_rng(11);
+  Tensor image(Shape{1, 3, 32, 32});
+  image.fill_uniform(img_rng, 0.0f, 1.0f);
+  const auto scores = run_reference(compiled, image);
+  ASSERT_EQ(scores.size(), 10u);
+  for (std::int32_t s : scores) {
+    EXPECT_LE(std::abs(s), config.fc_width);  // bipolar dot of fc_width bits
+  }
+}
+
+TEST(Compile, RejectsForeignGraphs) {
+  nn::Net net("not_a_bnn", Shape{1, 3, 32, 32});
+  net.add<nn::BatchNorm>(3);
+  EXPECT_THROW(compile_bnn(net), Error);
+}
+
+TEST(Compile, RunReferenceValidatesInput) {
+  CnvConfig config;
+  config.width = 0.125f;
+  nn::Net net = make_cnv_net(config);
+  Rng rng(13);
+  net.init(rng);
+  const CompiledBnn compiled = compile_bnn(net);
+  EXPECT_THROW(run_reference(compiled, Tensor(Shape{1, 1, 32, 32})), Error);
+  EXPECT_THROW(run_reference(compiled, Tensor(Shape{2, 3, 32, 32})), Error);
+}
+
+TEST(Compile, EvaluateReferenceCountsCorrectly) {
+  CnvConfig config;
+  config.width = 0.125f;
+  nn::Net net = make_cnv_net(config);
+  Rng rng(17);
+  net.init(rng);
+  const CompiledBnn compiled = compile_bnn(net);
+  Tensor images(Shape{10, 3, 32, 32});
+  images.fill_uniform(rng, 0.0f, 1.0f);
+  const std::vector<int> pred = classify_reference(compiled, images);
+  // Accuracy against the model's own predictions must be exactly 1.
+  EXPECT_FLOAT_EQ(evaluate_reference(compiled, images, pred), 1.0f);
+}
+
+}  // namespace
+}  // namespace mpcnn::bnn

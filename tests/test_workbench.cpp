@@ -1,0 +1,107 @@
+// Workbench behaviours that the other integration tests don't cover:
+// cache keying, dataset determinism, profile sanity.
+#include "core/workbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+namespace mpcnn::core {
+namespace {
+
+WorkbenchConfig micro_config(const std::string& tag) {
+  WorkbenchConfig config;
+  config.cache_dir =
+      (std::filesystem::temp_directory_path() / ("mpcnn_wb_" + tag))
+          .string();
+  config.train_size = 120;
+  config.test_size = 60;
+  config.model_a_width = 0.125f;
+  config.model_b_width = 0.125f;
+  config.model_c_width = 0.125f;
+  config.bnn_width = 0.125f;
+  config.float_epochs = 1;
+  config.deep_float_epochs = 1;
+  config.bnn_epochs = 1;
+  config.verbose = false;
+  return config;
+}
+
+TEST(Workbench, DatasetsAreDeterministicPerSeed) {
+  Workbench a(micro_config("det"));
+  Workbench b(micro_config("det"));
+  ASSERT_EQ(a.train_set().size(), b.train_set().size());
+  EXPECT_EQ(a.train_set().labels, b.train_set().labels);
+  for (Dim i = 0; i < a.train_set().images.numel(); i += 97) {
+    ASSERT_EQ(a.train_set().images[i], b.train_set().images[i]);
+  }
+  // Train and test sets must differ.
+  EXPECT_NE(a.train_set().labels, a.test_set().labels);
+}
+
+TEST(Workbench, SeedChangesTheData) {
+  WorkbenchConfig c1 = micro_config("seed1");
+  WorkbenchConfig c2 = micro_config("seed2");
+  c2.seed = c1.seed + 1;
+  Workbench a(c1), b(c2);
+  Dim differing = 0;
+  for (Dim i = 0; i < a.train_set().images.numel(); i += 101) {
+    if (a.train_set().images[i] != b.train_set().images[i]) ++differing;
+  }
+  EXPECT_GT(differing, 0);
+}
+
+TEST(Workbench, PerArtifactCacheInvalidation) {
+  // Retuning model C must not invalidate the cached BNN: the BNN file
+  // written under config 1 is picked up unchanged under config 2.
+  WorkbenchConfig c1 = micro_config("keys");
+  {
+    Workbench wb(c1);
+    (void)wb.bnn_accuracy();  // trains + saves the BNN
+  }
+  const auto count_files = [&] {
+    Dim n = 0;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(c1.cache_dir)) {
+      (void)entry;
+      ++n;
+    }
+    return n;
+  };
+  const Dim after_bnn = count_files();
+  WorkbenchConfig c2 = c1;
+  c2.model_c_width = 0.25f;  // C-only change
+  {
+    Workbench wb(c2);
+    (void)wb.bnn_accuracy();  // must LOAD, not retrain
+  }
+  EXPECT_EQ(count_files(), after_bnn);  // no new BNN file appeared
+}
+
+TEST(Workbench, HostProfilesAreOrderedByModelCost) {
+  Workbench wb(micro_config("prof"));
+  const HostProfile& a = wb.host_profile('A');
+  const HostProfile& b = wb.host_profile('B');
+  const HostProfile& c = wb.host_profile('C');
+  EXPECT_GT(a.images_per_second, 0.0);
+  // Full-width B and C are roughly an order of magnitude slower than A.
+  EXPECT_GT(a.images_per_second, 3.0 * b.images_per_second);
+  EXPECT_GT(a.images_per_second, 3.0 * c.images_per_second);
+  // Profiles are memoised: same object back.
+  EXPECT_EQ(&wb.host_profile('A'), &a);
+}
+
+TEST(Workbench, RejectsBadModelNames) {
+  Workbench wb(micro_config("badname"));
+  EXPECT_THROW(wb.model('D'), Error);
+  EXPECT_THROW(wb.model_accuracy('x'), Error);
+}
+
+TEST(Workbench, RejectsEmptyConfiguration) {
+  WorkbenchConfig config = micro_config("empty");
+  config.train_size = 0;
+  EXPECT_THROW(Workbench wb(config), Error);
+}
+
+}  // namespace
+}  // namespace mpcnn::core

@@ -1,0 +1,187 @@
+// mpcnn command-line interface.
+//
+//   mpcnn_cli train   [--cache DIR]            train/refresh every model
+//   mpcnn_cli eval    [--cache DIR] [--model A|B|C|bnn]
+//   mpcnn_cli cascade [--cache DIR] [--model A|B|C] [--threshold T]
+//                     [--batch N] [--arm]
+//   mpcnn_cli export  [--cache DIR] --out FILE  export the compiled BNN
+//   mpcnn_cli design  [--fps F] [--device zc702|zc706]
+//
+// Everything rides on the shared Workbench cache, so `train` once and
+// the other commands are instant.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "bnn/export.hpp"
+#include "core/workbench.hpp"
+#include "finn/explorer.hpp"
+
+using namespace mpcnn;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> options;
+
+  bool has(const std::string& key) const { return options.count(key) > 0; }
+  std::string get(const std::string& key, const std::string& fallback) const {
+    auto it = options.find(key);
+    return it == options.end() ? fallback : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args args;
+  if (argc >= 2) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      args.options[key] = argv[++i];
+    } else {
+      args.options[key] = "1";
+    }
+  }
+  return args;
+}
+
+core::WorkbenchConfig config_from(const Args& args) {
+  core::WorkbenchConfig config;
+  config.cache_dir = args.get("cache", "mpcnn_cache");
+  return config;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: mpcnn_cli <train|eval|cascade|export|design> "
+               "[options]\n"
+               "  train   [--cache DIR]\n"
+               "  eval    [--cache DIR] [--model A|B|C|bnn]\n"
+               "  cascade [--cache DIR] [--model A|B|C] [--threshold T]\n"
+               "          [--batch N] [--arm]\n"
+               "  export  [--cache DIR] --out FILE\n"
+               "  design  [--fps F] [--device zc702|zc706]\n");
+  return 2;
+}
+
+int cmd_train(const Args& args) {
+  core::Workbench wb(config_from(args));
+  std::printf("BNN accuracy:      %.1f%%\n", 100.0 * wb.bnn_accuracy());
+  for (char m : {'A', 'B', 'C'}) {
+    std::printf("Model %c accuracy:  %.1f%%\n", m,
+                100.0 * wb.model_accuracy(m));
+  }
+  (void)wb.dmu();
+  std::printf("DMU trained; operating threshold %.3f\n",
+              wb.operating_threshold());
+  return 0;
+}
+
+int cmd_eval(const Args& args) {
+  core::Workbench wb(config_from(args));
+  const std::string model = args.get("model", "bnn");
+  if (model == "bnn" || model == "BNN") {
+    std::printf("BNN: accuracy %.1f%% on %lld test images\n",
+                100.0 * wb.bnn_accuracy(),
+                static_cast<long long>(wb.test_set().size()));
+    const auto perf = wb.operating_design().evaluate(1000);
+    std::printf("FINN operating design: %.1f img/s, BRAM %.1f%%\n",
+                perf.obtained_fps,
+                100.0 * perf.usage.bram_utilisation(wb.device()));
+    return 0;
+  }
+  const char which = model[0];
+  std::printf("Model %c: accuracy %.1f%%, measured %.2f img/s "
+              "(full-width topology)\n",
+              which, 100.0 * wb.model_accuracy(which),
+              wb.host_profile(which).images_per_second);
+  return 0;
+}
+
+int cmd_cascade(const Args& args) {
+  core::Workbench wb(config_from(args));
+  const char which = args.get("model", "A")[0];
+  const float threshold = args.has("threshold")
+                              ? std::stof(args.get("threshold", "0.5"))
+                              : wb.operating_threshold();
+  const Dim batch = std::stol(args.get("batch", "100"));
+  const bool arm = args.has("arm");
+  core::MultiPrecisionSystem system =
+      wb.make_system(which, threshold, batch, arm);
+  const core::MultiPrecisionReport report = system.run(wb.test_set());
+  std::printf("cascade %c&FINN  (threshold %.3f, batch %lld%s)\n", which,
+              threshold, static_cast<long long>(batch),
+              arm ? ", ARM-calibrated host" : "");
+  std::printf("  accuracy:       %.1f%% (BNN alone %.1f%%)\n",
+              100.0 * report.system_accuracy, 100.0 * report.bnn_accuracy);
+  std::printf("  throughput:     %.2f img/s (host alone %.2f, fabric "
+              "%.2f)\n",
+              report.images_per_second, report.host_images_per_second,
+              report.bnn_images_per_second);
+  std::printf("  rerun ratio:    %.1f%% (host-on-subset accuracy %.1f%%)\n",
+              100.0 * report.rerun_ratio,
+              100.0 * report.host_subset_accuracy);
+  std::printf("  analytic:       %.2f img/s (Eq.1), %.1f%% (Eq.2)\n",
+              report.analytic_fps, 100.0 * report.analytic_accuracy);
+  return 0;
+}
+
+int cmd_export(const Args& args) {
+  if (!args.has("out")) return usage();
+  core::Workbench wb(config_from(args));
+  const std::string out = args.get("out", "");
+  bnn::save_compiled(wb.compiled_bnn(), out);
+  std::printf("compiled BNN written to %s\n", out.c_str());
+  const bnn::CompiledBnn check = bnn::load_compiled(out);
+  std::printf("verified: %zu stages, %lld classes, %s\n",
+              check.stages.size(), static_cast<long long>(check.classes),
+              check.fully_binary() ? "fully binary" : "partially binarised");
+  return 0;
+}
+
+int cmd_design(const Args& args) {
+  const double fps = std::stod(args.get("fps", "400"));
+  const finn::Device device = args.get("device", "zc702") == "zc706"
+                                  ? finn::zc706()
+                                  : finn::zc702();
+  finn::ResourceModelConfig resource;
+  resource.block_partition = true;
+  const auto designs =
+      finn::design_space(bnn::cnv_engine_infos(), device, resource,
+                         finn::ExplorerConfig{}, 40);
+  const std::size_t pick = finn::pick_operating_point(designs, fps);
+  const auto perf = designs[pick].evaluate(1000);
+  std::printf("%s: pick %lld PEs -> %.1f img/s, BRAM %.1f%%, LUT %.1f%%\n",
+              device.name.c_str(),
+              static_cast<long long>(designs[pick].total_pe()),
+              perf.obtained_fps,
+              100.0 * perf.usage.bram_utilisation(device),
+              100.0 * perf.usage.lut_utilisation(device));
+  for (const auto& engine : designs[pick].engines()) {
+    std::printf("  %-22s P=%-3lld S=%lld\n", engine.layer.label.c_str(),
+                static_cast<long long>(engine.folding.pe),
+                static_cast<long long>(engine.folding.simd));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args args = parse(argc, argv);
+  try {
+    if (args.command == "train") return cmd_train(args);
+    if (args.command == "eval") return cmd_eval(args);
+    if (args.command == "cascade") return cmd_cascade(args);
+    if (args.command == "export") return cmd_export(args);
+    if (args.command == "design") return cmd_design(args);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
