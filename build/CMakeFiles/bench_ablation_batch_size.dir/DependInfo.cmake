@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_ablation_batch_size.cpp" "CMakeFiles/bench_ablation_batch_size.dir/bench/bench_ablation_batch_size.cpp.o" "gcc" "CMakeFiles/bench_ablation_batch_size.dir/bench/bench_ablation_batch_size.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mpcnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/finn/CMakeFiles/mpcnn_finn.dir/DependInfo.cmake"
+  "/root/repo/build/src/bnn/CMakeFiles/mpcnn_bnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mpcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mpcnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mpcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_partial_binarisation.dir/bench/bench_ablation_partial_binarisation.cpp.o"
+  "CMakeFiles/bench_ablation_partial_binarisation.dir/bench/bench_ablation_partial_binarisation.cpp.o.d"
+  "bench/bench_ablation_partial_binarisation"
+  "bench/bench_ablation_partial_binarisation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_partial_binarisation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_eq12_analytic_model.dir/bench/bench_eq12_analytic_model.cpp.o"
+  "CMakeFiles/bench_eq12_analytic_model.dir/bench/bench_eq12_analytic_model.cpp.o.d"
+  "bench/bench_eq12_analytic_model"
+  "bench/bench_eq12_analytic_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_eq12_analytic_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

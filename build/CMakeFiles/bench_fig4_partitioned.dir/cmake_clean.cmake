@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_partitioned.dir/bench/bench_fig4_partitioned.cpp.o"
+  "CMakeFiles/bench_fig4_partitioned.dir/bench/bench_fig4_partitioned.cpp.o.d"
+  "bench/bench_fig4_partitioned"
+  "bench/bench_fig4_partitioned.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_partitioned.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_host_models.dir/bench/bench_table4_host_models.cpp.o"
+  "CMakeFiles/bench_table4_host_models.dir/bench/bench_table4_host_models.cpp.o.d"
+  "bench/bench_table4_host_models"
+  "bench/bench_table4_host_models.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_host_models.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_multiprecision.dir/bench/bench_table5_multiprecision.cpp.o"
+  "CMakeFiles/bench_table5_multiprecision.dir/bench/bench_table5_multiprecision.cpp.o.d"
+  "bench/bench_table5_multiprecision"
+  "bench/bench_table5_multiprecision.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_multiprecision.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

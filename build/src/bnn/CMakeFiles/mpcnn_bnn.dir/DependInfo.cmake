@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bnn/binary_layers.cpp" "src/bnn/CMakeFiles/mpcnn_bnn.dir/binary_layers.cpp.o" "gcc" "src/bnn/CMakeFiles/mpcnn_bnn.dir/binary_layers.cpp.o.d"
+  "/root/repo/src/bnn/bitpack.cpp" "src/bnn/CMakeFiles/mpcnn_bnn.dir/bitpack.cpp.o" "gcc" "src/bnn/CMakeFiles/mpcnn_bnn.dir/bitpack.cpp.o.d"
+  "/root/repo/src/bnn/compile.cpp" "src/bnn/CMakeFiles/mpcnn_bnn.dir/compile.cpp.o" "gcc" "src/bnn/CMakeFiles/mpcnn_bnn.dir/compile.cpp.o.d"
+  "/root/repo/src/bnn/export.cpp" "src/bnn/CMakeFiles/mpcnn_bnn.dir/export.cpp.o" "gcc" "src/bnn/CMakeFiles/mpcnn_bnn.dir/export.cpp.o.d"
+  "/root/repo/src/bnn/topology.cpp" "src/bnn/CMakeFiles/mpcnn_bnn.dir/topology.cpp.o" "gcc" "src/bnn/CMakeFiles/mpcnn_bnn.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/mpcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mpcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcnn_bnn.dir/binary_layers.cpp.o"
+  "CMakeFiles/mpcnn_bnn.dir/binary_layers.cpp.o.d"
+  "CMakeFiles/mpcnn_bnn.dir/bitpack.cpp.o"
+  "CMakeFiles/mpcnn_bnn.dir/bitpack.cpp.o.d"
+  "CMakeFiles/mpcnn_bnn.dir/compile.cpp.o"
+  "CMakeFiles/mpcnn_bnn.dir/compile.cpp.o.d"
+  "CMakeFiles/mpcnn_bnn.dir/export.cpp.o"
+  "CMakeFiles/mpcnn_bnn.dir/export.cpp.o.d"
+  "CMakeFiles/mpcnn_bnn.dir/topology.cpp.o"
+  "CMakeFiles/mpcnn_bnn.dir/topology.cpp.o.d"
+  "libmpcnn_bnn.a"
+  "libmpcnn_bnn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcnn_bnn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

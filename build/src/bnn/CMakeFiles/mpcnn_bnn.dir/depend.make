@@ -1,0 +1,2 @@
+# Empty dependencies file for mpcnn_bnn.
+# This may be replaced when dependencies are built.

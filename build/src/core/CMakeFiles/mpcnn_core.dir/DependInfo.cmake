@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/dmu.cpp" "src/core/CMakeFiles/mpcnn_core.dir/dmu.cpp.o" "gcc" "src/core/CMakeFiles/mpcnn_core.dir/dmu.cpp.o.d"
+  "/root/repo/src/core/host_profile.cpp" "src/core/CMakeFiles/mpcnn_core.dir/host_profile.cpp.o" "gcc" "src/core/CMakeFiles/mpcnn_core.dir/host_profile.cpp.o.d"
+  "/root/repo/src/core/multi_precision.cpp" "src/core/CMakeFiles/mpcnn_core.dir/multi_precision.cpp.o" "gcc" "src/core/CMakeFiles/mpcnn_core.dir/multi_precision.cpp.o.d"
+  "/root/repo/src/core/pipeline.cpp" "src/core/CMakeFiles/mpcnn_core.dir/pipeline.cpp.o" "gcc" "src/core/CMakeFiles/mpcnn_core.dir/pipeline.cpp.o.d"
+  "/root/repo/src/core/stream.cpp" "src/core/CMakeFiles/mpcnn_core.dir/stream.cpp.o" "gcc" "src/core/CMakeFiles/mpcnn_core.dir/stream.cpp.o.d"
+  "/root/repo/src/core/workbench.cpp" "src/core/CMakeFiles/mpcnn_core.dir/workbench.cpp.o" "gcc" "src/core/CMakeFiles/mpcnn_core.dir/workbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/finn/CMakeFiles/mpcnn_finn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mpcnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/bnn/CMakeFiles/mpcnn_bnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mpcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mpcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcnn_core.dir/dmu.cpp.o"
+  "CMakeFiles/mpcnn_core.dir/dmu.cpp.o.d"
+  "CMakeFiles/mpcnn_core.dir/host_profile.cpp.o"
+  "CMakeFiles/mpcnn_core.dir/host_profile.cpp.o.d"
+  "CMakeFiles/mpcnn_core.dir/multi_precision.cpp.o"
+  "CMakeFiles/mpcnn_core.dir/multi_precision.cpp.o.d"
+  "CMakeFiles/mpcnn_core.dir/pipeline.cpp.o"
+  "CMakeFiles/mpcnn_core.dir/pipeline.cpp.o.d"
+  "CMakeFiles/mpcnn_core.dir/stream.cpp.o"
+  "CMakeFiles/mpcnn_core.dir/stream.cpp.o.d"
+  "CMakeFiles/mpcnn_core.dir/workbench.cpp.o"
+  "CMakeFiles/mpcnn_core.dir/workbench.cpp.o.d"
+  "libmpcnn_core.a"
+  "libmpcnn_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcnn_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

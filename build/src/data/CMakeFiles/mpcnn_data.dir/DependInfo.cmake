@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/augment.cpp" "src/data/CMakeFiles/mpcnn_data.dir/augment.cpp.o" "gcc" "src/data/CMakeFiles/mpcnn_data.dir/augment.cpp.o.d"
+  "/root/repo/src/data/cifar_like.cpp" "src/data/CMakeFiles/mpcnn_data.dir/cifar_like.cpp.o" "gcc" "src/data/CMakeFiles/mpcnn_data.dir/cifar_like.cpp.o.d"
+  "/root/repo/src/data/cifar_reader.cpp" "src/data/CMakeFiles/mpcnn_data.dir/cifar_reader.cpp.o" "gcc" "src/data/CMakeFiles/mpcnn_data.dir/cifar_reader.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/data/CMakeFiles/mpcnn_data.dir/dataset.cpp.o" "gcc" "src/data/CMakeFiles/mpcnn_data.dir/dataset.cpp.o.d"
+  "/root/repo/src/data/hd_scene.cpp" "src/data/CMakeFiles/mpcnn_data.dir/hd_scene.cpp.o" "gcc" "src/data/CMakeFiles/mpcnn_data.dir/hd_scene.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/mpcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

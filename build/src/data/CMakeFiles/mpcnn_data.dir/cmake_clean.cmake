@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcnn_data.dir/augment.cpp.o"
+  "CMakeFiles/mpcnn_data.dir/augment.cpp.o.d"
+  "CMakeFiles/mpcnn_data.dir/cifar_like.cpp.o"
+  "CMakeFiles/mpcnn_data.dir/cifar_like.cpp.o.d"
+  "CMakeFiles/mpcnn_data.dir/cifar_reader.cpp.o"
+  "CMakeFiles/mpcnn_data.dir/cifar_reader.cpp.o.d"
+  "CMakeFiles/mpcnn_data.dir/dataset.cpp.o"
+  "CMakeFiles/mpcnn_data.dir/dataset.cpp.o.d"
+  "CMakeFiles/mpcnn_data.dir/hd_scene.cpp.o"
+  "CMakeFiles/mpcnn_data.dir/hd_scene.cpp.o.d"
+  "libmpcnn_data.a"
+  "libmpcnn_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcnn_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

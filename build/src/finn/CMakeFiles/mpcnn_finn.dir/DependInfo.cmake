@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/finn/dataflow.cpp" "src/finn/CMakeFiles/mpcnn_finn.dir/dataflow.cpp.o" "gcc" "src/finn/CMakeFiles/mpcnn_finn.dir/dataflow.cpp.o.d"
+  "/root/repo/src/finn/engine.cpp" "src/finn/CMakeFiles/mpcnn_finn.dir/engine.cpp.o" "gcc" "src/finn/CMakeFiles/mpcnn_finn.dir/engine.cpp.o.d"
+  "/root/repo/src/finn/executor.cpp" "src/finn/CMakeFiles/mpcnn_finn.dir/executor.cpp.o" "gcc" "src/finn/CMakeFiles/mpcnn_finn.dir/executor.cpp.o.d"
+  "/root/repo/src/finn/explorer.cpp" "src/finn/CMakeFiles/mpcnn_finn.dir/explorer.cpp.o" "gcc" "src/finn/CMakeFiles/mpcnn_finn.dir/explorer.cpp.o.d"
+  "/root/repo/src/finn/mixed_precision.cpp" "src/finn/CMakeFiles/mpcnn_finn.dir/mixed_precision.cpp.o" "gcc" "src/finn/CMakeFiles/mpcnn_finn.dir/mixed_precision.cpp.o.d"
+  "/root/repo/src/finn/resource.cpp" "src/finn/CMakeFiles/mpcnn_finn.dir/resource.cpp.o" "gcc" "src/finn/CMakeFiles/mpcnn_finn.dir/resource.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bnn/CMakeFiles/mpcnn_bnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mpcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mpcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

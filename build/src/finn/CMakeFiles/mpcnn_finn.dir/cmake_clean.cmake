@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcnn_finn.dir/dataflow.cpp.o"
+  "CMakeFiles/mpcnn_finn.dir/dataflow.cpp.o.d"
+  "CMakeFiles/mpcnn_finn.dir/engine.cpp.o"
+  "CMakeFiles/mpcnn_finn.dir/engine.cpp.o.d"
+  "CMakeFiles/mpcnn_finn.dir/executor.cpp.o"
+  "CMakeFiles/mpcnn_finn.dir/executor.cpp.o.d"
+  "CMakeFiles/mpcnn_finn.dir/explorer.cpp.o"
+  "CMakeFiles/mpcnn_finn.dir/explorer.cpp.o.d"
+  "CMakeFiles/mpcnn_finn.dir/mixed_precision.cpp.o"
+  "CMakeFiles/mpcnn_finn.dir/mixed_precision.cpp.o.d"
+  "CMakeFiles/mpcnn_finn.dir/resource.cpp.o"
+  "CMakeFiles/mpcnn_finn.dir/resource.cpp.o.d"
+  "libmpcnn_finn.a"
+  "libmpcnn_finn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcnn_finn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmpcnn_finn.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/activations.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/activations.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/activations.cpp.o.d"
+  "/root/repo/src/nn/batchnorm.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/batchnorm.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/batchnorm.cpp.o.d"
+  "/root/repo/src/nn/conv.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/conv.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/conv.cpp.o.d"
+  "/root/repo/src/nn/dense.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/dense.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/dense.cpp.o.d"
+  "/root/repo/src/nn/dropout.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/dropout.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/dropout.cpp.o.d"
+  "/root/repo/src/nn/layer.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/layer.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/layer.cpp.o.d"
+  "/root/repo/src/nn/loss.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/loss.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/loss.cpp.o.d"
+  "/root/repo/src/nn/lrn.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/lrn.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/lrn.cpp.o.d"
+  "/root/repo/src/nn/model_zoo.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/model_zoo.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/model_zoo.cpp.o.d"
+  "/root/repo/src/nn/net.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/net.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/net.cpp.o.d"
+  "/root/repo/src/nn/pool.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/pool.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/pool.cpp.o.d"
+  "/root/repo/src/nn/serialize.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/serialize.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/serialize.cpp.o.d"
+  "/root/repo/src/nn/sgd.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/sgd.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/sgd.cpp.o.d"
+  "/root/repo/src/nn/softmax.cpp" "src/nn/CMakeFiles/mpcnn_nn.dir/softmax.cpp.o" "gcc" "src/nn/CMakeFiles/mpcnn_nn.dir/softmax.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/mpcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,37 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcnn_nn.dir/activations.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/activations.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/batchnorm.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/batchnorm.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/conv.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/conv.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/dense.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/dense.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/dropout.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/dropout.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/layer.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/layer.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/loss.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/loss.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/lrn.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/lrn.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/model_zoo.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/model_zoo.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/net.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/net.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/pool.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/pool.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/serialize.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/serialize.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/sgd.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/sgd.cpp.o.d"
+  "CMakeFiles/mpcnn_nn.dir/softmax.cpp.o"
+  "CMakeFiles/mpcnn_nn.dir/softmax.cpp.o.d"
+  "libmpcnn_nn.a"
+  "libmpcnn_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcnn_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

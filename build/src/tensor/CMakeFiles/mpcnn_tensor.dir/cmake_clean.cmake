@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcnn_tensor.dir/gemm.cpp.o"
+  "CMakeFiles/mpcnn_tensor.dir/gemm.cpp.o.d"
+  "CMakeFiles/mpcnn_tensor.dir/gradcheck.cpp.o"
+  "CMakeFiles/mpcnn_tensor.dir/gradcheck.cpp.o.d"
+  "CMakeFiles/mpcnn_tensor.dir/im2col.cpp.o"
+  "CMakeFiles/mpcnn_tensor.dir/im2col.cpp.o.d"
+  "CMakeFiles/mpcnn_tensor.dir/rng.cpp.o"
+  "CMakeFiles/mpcnn_tensor.dir/rng.cpp.o.d"
+  "CMakeFiles/mpcnn_tensor.dir/shape.cpp.o"
+  "CMakeFiles/mpcnn_tensor.dir/shape.cpp.o.d"
+  "CMakeFiles/mpcnn_tensor.dir/tensor.cpp.o"
+  "CMakeFiles/mpcnn_tensor.dir/tensor.cpp.o.d"
+  "libmpcnn_tensor.a"
+  "libmpcnn_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcnn_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_analytic.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_analytic.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_analytic.cpp.o.d"
+  "/root/repo/tests/test_binary_layers.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_binary_layers.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_binary_layers.cpp.o.d"
+  "/root/repo/tests/test_bitpack.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_bitpack.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_bitpack.cpp.o.d"
+  "/root/repo/tests/test_data.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_data.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_data.cpp.o.d"
+  "/root/repo/tests/test_dmu.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_dmu.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_dmu.cpp.o.d"
+  "/root/repo/tests/test_export_stream.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_export_stream.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_export_stream.cpp.o.d"
+  "/root/repo/tests/test_finn_dataflow.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_finn_dataflow.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_finn_dataflow.cpp.o.d"
+  "/root/repo/tests/test_finn_engine.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_finn_engine.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_finn_engine.cpp.o.d"
+  "/root/repo/tests/test_finn_executor.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_finn_executor.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_finn_executor.cpp.o.d"
+  "/root/repo/tests/test_finn_resource.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_finn_resource.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_finn_resource.cpp.o.d"
+  "/root/repo/tests/test_gemm.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_gemm.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_gemm.cpp.o.d"
+  "/root/repo/tests/test_hd_scene.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_hd_scene.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_hd_scene.cpp.o.d"
+  "/root/repo/tests/test_im2col.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_im2col.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_im2col.cpp.o.d"
+  "/root/repo/tests/test_layers.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_layers.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_layers.cpp.o.d"
+  "/root/repo/tests/test_loss.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_loss.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_loss.cpp.o.d"
+  "/root/repo/tests/test_mixed_precision.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_mixed_precision.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_mixed_precision.cpp.o.d"
+  "/root/repo/tests/test_multi_precision.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_multi_precision.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_multi_precision.cpp.o.d"
+  "/root/repo/tests/test_net_training.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_net_training.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_net_training.cpp.o.d"
+  "/root/repo/tests/test_partial_binarisation.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_partial_binarisation.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_partial_binarisation.cpp.o.d"
+  "/root/repo/tests/test_pipeline.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_pipeline.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_shape_tensor.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_shape_tensor.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_shape_tensor.cpp.o.d"
+  "/root/repo/tests/test_topology_compile.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_topology_compile.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_topology_compile.cpp.o.d"
+  "/root/repo/tests/test_workbench.cpp" "tests/CMakeFiles/mpcnn_tests.dir/test_workbench.cpp.o" "gcc" "tests/CMakeFiles/mpcnn_tests.dir/test_workbench.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mpcnn_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/finn/CMakeFiles/mpcnn_finn.dir/DependInfo.cmake"
+  "/root/repo/build/src/bnn/CMakeFiles/mpcnn_bnn.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/mpcnn_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/mpcnn_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/mpcnn_tensor.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

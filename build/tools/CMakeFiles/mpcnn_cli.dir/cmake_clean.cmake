@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mpcnn_cli.dir/mpcnn_cli.cpp.o"
+  "CMakeFiles/mpcnn_cli.dir/mpcnn_cli.cpp.o.d"
+  "mpcnn_cli"
+  "mpcnn_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mpcnn_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
