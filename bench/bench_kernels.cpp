@@ -8,6 +8,7 @@
 #include "bnn/bitpack.hpp"
 #include "bnn/compile.hpp"
 #include "bnn/topology.hpp"
+#include "core/threadpool.hpp"
 #include "finn/executor.hpp"
 #include "tensor/gemm.hpp"
 #include "tensor/im2col.hpp"
@@ -30,10 +31,43 @@ void BM_Gemm(benchmark::State& state) {
     benchmark::DoNotOptimize(C.data());
   }
   state.counters["GFLOPs"] = benchmark::Counter(
-      2.0 * static_cast<double>(n) * n * n, benchmark::Counter::kIsRate,
+      2.0 * static_cast<double>(n) * n * n,
+      benchmark::Counter::kIsIterationInvariantRate,
       benchmark::Counter::kIs1000);
 }
-BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256)->Arg(512);
+
+// Threads-vs-GFLOPs sweep: resizes the shared pool per run so the scaling
+// curve of the M-tile fan-out lands in BENCH_kernels.json across PRs.
+// Results at any width are bit-identical (static chunked partitioning),
+// so the sweep measures pure scheduling/packing overhead vs speedup.
+void BM_GemmThreads(benchmark::State& state) {
+  const Dim n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  const int prior = core::thread_count();
+  core::set_thread_count(threads);
+  Rng rng(1);
+  std::vector<float> A(static_cast<std::size_t>(n * n));
+  std::vector<float> B(static_cast<std::size_t>(n * n));
+  std::vector<float> C(static_cast<std::size_t>(n * n));
+  for (auto& v : A) v = static_cast<float>(rng.uniform());
+  for (auto& v : B) v = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    gemm(n, n, n, 1.0f, A.data(), B.data(), 0.0f, C.data());
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.counters["GFLOPs"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n,
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["threads"] = static_cast<double>(threads);
+  core::set_thread_count(prior);
+}
+// UseRealTime: the submitting thread sleeps while workers compute, so the
+// scaling curve only shows up against wall clock, not thread CPU time.
+BENCHMARK(BM_GemmThreads)
+    ->ArgsProduct({{256, 512}, {1, 2, 4, 8}})
+    ->UseRealTime();
 
 void BM_XnorDot(benchmark::State& state) {
   const Dim bits = state.range(0);
@@ -47,7 +81,8 @@ void BM_XnorDot(benchmark::State& state) {
     benchmark::DoNotOptimize(a.dot_bipolar(b));
   }
   state.counters["Gbit/s"] = benchmark::Counter(
-      static_cast<double>(bits), benchmark::Counter::kIsRate,
+      static_cast<double>(bits),
+      benchmark::Counter::kIsIterationInvariantRate,
       benchmark::Counter::kIs1000);
 }
 BENCHMARK(BM_XnorDot)->Arg(576)->Arg(2304)->Arg(16384);
@@ -66,6 +101,31 @@ void BM_Im2Col(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Im2Col);
+
+// Batched lowering: one im2col per image fanned out over the pool, the
+// shape conv layers actually run during batched host inference.
+void BM_Im2ColBatch(benchmark::State& state) {
+  const Dim batch = state.range(0);
+  ConvGeometry g{64, 30, 30, 3, 1, 0};
+  Rng rng(3);
+  const Dim im_per = g.in_channels * g.in_h * g.in_w;
+  const Dim col_per = g.patch_size() * g.positions();
+  std::vector<float> im(static_cast<std::size_t>(batch * im_per));
+  for (auto& v : im) v = static_cast<float>(rng.uniform());
+  std::vector<float> col(static_cast<std::size_t>(batch * col_per));
+  for (auto _ : state) {
+    core::parallel_for(0, batch, 1, [&](Dim n0, Dim n1) {
+      for (Dim n = n0; n < n1; ++n) {
+        im2col(g, im.data() + n * im_per, col.data() + n * col_per);
+      }
+    });
+    benchmark::DoNotOptimize(col.data());
+  }
+  state.counters["img/s"] = benchmark::Counter(
+      static_cast<double>(batch),
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_Im2ColBatch)->Arg(8)->Arg(32)->UseRealTime();
 
 struct BnnFixture {
   bnn::CompiledBnn net;
@@ -88,7 +148,7 @@ void BM_BnnReference(benchmark::State& state) {
     benchmark::DoNotOptimize(bnn::run_reference(fx.net, fx.image));
   }
   state.counters["img/s"] = benchmark::Counter(
-      1.0, benchmark::Counter::kIsRate);
+      1.0, benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_BnnReference);
 
@@ -100,7 +160,7 @@ void BM_BnnFoldedExecutor(benchmark::State& state) {
     benchmark::DoNotOptimize(executor.run(fx.image));
   }
   state.counters["img/s"] = benchmark::Counter(
-      1.0, benchmark::Counter::kIsRate);
+      1.0, benchmark::Counter::kIsIterationInvariantRate);
 }
 BENCHMARK(BM_BnnFoldedExecutor);
 

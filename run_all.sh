@@ -1,8 +1,26 @@
 #!/bin/sh
 # Builds, tests and regenerates every table/figure; the transcript of a
-# full run lands in test_output.txt and bench_output.txt.
+# full run lands in test_output.txt and bench_output.txt.  bench_kernels
+# additionally writes BENCH_kernels.json so the kernel-perf trajectory
+# (GFLOPs, thread scaling) is tracked across PRs.
 set -e
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
-for b in build/bench/*; do "$b"; done 2>&1 | tee bench_output.txt
+for b in build/bench/*; do
+  case "$(basename "$b")" in
+    bench_kernels)
+      "$b" --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
+      ;;
+    *)
+      "$b"
+      ;;
+  esac
+done 2>&1 | tee bench_output.txt
+
+# Second build tree under ThreadSanitizer: the thread-pool semantics and
+# the 1-vs-N determinism tests must report zero races.
+cmake -B build-tsan -G Ninja -DMPCNN_SANITIZE=thread
+cmake --build build-tsan
+MPCNN_THREADS=4 ctest --test-dir build-tsan -R 'ThreadPool|Determinism' \
+  --output-on-failure 2>&1 | tee tsan_output.txt

@@ -5,6 +5,7 @@
 #include <limits>
 
 #include "bnn/binary_layers.hpp"
+#include "core/threadpool.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/flatten.hpp"
 #include "nn/pool.hpp"
@@ -539,12 +540,17 @@ std::vector<int> classify_reference(const CompiledBnn& net,
                                     const Tensor& images) {
   const Dim n = images.shape()[0];
   std::vector<int> labels(static_cast<std::size_t>(n));
-  for (Dim i = 0; i < n; ++i) {
-    const std::vector<std::int32_t> scores =
-        run_reference(net, images.slice_batch(i));
-    labels[static_cast<std::size_t>(i)] = static_cast<int>(std::distance(
-        scores.begin(), std::max_element(scores.begin(), scores.end())));
-  }
+  // Per-image fan-out over the shared pool: run_reference only reads the
+  // compiled net (integer arithmetic, so even the order is moot) and
+  // each image writes its own label slot.
+  core::parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
+    for (Dim i = i0; i < i1; ++i) {
+      const std::vector<std::int32_t> scores =
+          run_reference(net, images.slice_batch(i));
+      labels[static_cast<std::size_t>(i)] = static_cast<int>(std::distance(
+          scores.begin(), std::max_element(scores.begin(), scores.end())));
+    }
+  });
   return labels;
 }
 

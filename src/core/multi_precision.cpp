@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/analytic.hpp"
+#include "core/threadpool.hpp"
 #include "tensor/error.hpp"
 
 namespace mpcnn::core {
@@ -50,21 +51,36 @@ MultiPrecisionReport MultiPrecisionSystem::run(
   report.images = n;
 
   // --- functional pass: BNN labels, DMU confidences, rerun flags ---
+  // The per-image BNN emulation + DMU gating is embarrassingly parallel
+  // (run_reference and Dmu::accept only read shared state), so it fans
+  // out over the pool; each image writes its own label/accept slot.
+  // std::vector<bool> is bit-packed and unsafe for concurrent writes, so
+  // the flags are collected as bytes first.
   std::vector<int> bnn_labels(static_cast<std::size_t>(n));
+  std::vector<std::uint8_t> rerun(static_cast<std::size_t>(n), 0);
+  parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
+    for (Dim i = i0; i < i1; ++i) {
+      const Tensor image = test.images.slice_batch(i);
+      const std::vector<std::int32_t> raw = bnn::run_reference(bnn_, image);
+      std::vector<float> scores(raw.begin(), raw.end());
+      bnn_labels[static_cast<std::size_t>(i)] = static_cast<int>(
+          std::distance(raw.begin(),
+                        std::max_element(raw.begin(), raw.end())));
+      if (!dmu_.accept(scores, config_.dmu_threshold)) {
+        rerun[static_cast<std::size_t>(i)] = 1;
+      }
+    }
+  });
+
+  // Serial bookkeeping over the collected results (cheap, order-fixed).
   std::vector<bool> flags(static_cast<std::size_t>(n), false);
   std::vector<Dim> rerun_indices;
   Dim bnn_correct = 0;
   for (Dim i = 0; i < n; ++i) {
-    const Tensor image = test.images.slice_batch(i);
-    const std::vector<std::int32_t> raw = bnn::run_reference(bnn_, image);
-    std::vector<float> scores(raw.begin(), raw.end());
-    const int label = static_cast<int>(std::distance(
-        raw.begin(), std::max_element(raw.begin(), raw.end())));
-    bnn_labels[static_cast<std::size_t>(i)] = label;
-    const bool correct =
-        label == test.labels[static_cast<std::size_t>(i)];
+    const bool correct = bnn_labels[static_cast<std::size_t>(i)] ==
+                         test.labels[static_cast<std::size_t>(i)];
     if (correct) ++bnn_correct;
-    if (!dmu_.accept(scores, config_.dmu_threshold)) {
+    if (rerun[static_cast<std::size_t>(i)] != 0) {
       flags[static_cast<std::size_t>(i)] = true;
       rerun_indices.push_back(i);
     }
@@ -87,6 +103,11 @@ MultiPrecisionReport MultiPrecisionSystem::run(
                        static_cast<double>(n);
 
   // --- host re-inference of the flagged subset ---
+  // The simulated ARM side of §III: predict() runs the float net whose
+  // conv/dense layers fan the batch out over the shared pool, so the
+  // host rerun exploits every core the way the paper's dual-core
+  // pipelined loop intends.  Batches stay sequential because nn::Net
+  // layers cache per-forward state and are not reentrant.
   host_.set_training(false);
   Dim host_correct_on_subset = 0;
   Dim final_correct = bnn_correct;

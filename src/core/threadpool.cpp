@@ -1,0 +1,197 @@
+#include "core/threadpool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::core {
+namespace {
+
+// Serial-mode nesting depth of SerialGuard scopes on this thread.
+thread_local int g_serial_depth = 0;
+// True while this thread executes chunks of some parallel region; nested
+// parallel_for calls then run inline to avoid deadlocking the pool.
+thread_local bool g_in_parallel_region = false;
+
+int resolve_default_threads() {
+  if (const char* s = std::getenv("MPCNN_THREADS"); s != nullptr && *s) {
+    char* end = nullptr;
+    const long v = std::strtol(s, &end, 10);
+    if (end != s && *end == '\0' && v >= 1) {
+      return static_cast<int>(std::min(v, 256L));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(std::min(hw, 256u));
+}
+
+}  // namespace
+
+// One parallel region.  Lives on the submitting thread's stack; workers
+// only touch it between the epoch handshake and their `exited` increment,
+// both of which the submitter waits for before returning.
+struct ThreadPool::Job {
+  const ParallelBody* fn = nullptr;
+  std::int64_t begin = 0;
+  std::int64_t grain = 1;
+  std::int64_t chunks = 0;
+  std::int64_t end = 0;
+  std::atomic<std::int64_t> next{0};  ///< next unclaimed chunk index
+  int exited = 0;                     ///< workers done with this job (mu_)
+  std::exception_ptr error;           ///< first chunk exception (error_mu)
+  std::mutex error_mu;
+};
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable cv_work;
+  std::condition_variable cv_done;
+  std::vector<std::thread> workers;
+  Job* job = nullptr;         // guarded by mu
+  std::uint64_t epoch = 0;    // guarded by mu; bumps once per region
+  bool stop = false;          // guarded by mu
+};
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(resolve_default_threads());
+  return pool;
+}
+
+ThreadPool::ThreadPool(int threads) : impl_(new Impl) { spawn(threads); }
+
+ThreadPool::~ThreadPool() {
+  join_all();
+  delete impl_;
+}
+
+void ThreadPool::spawn(int threads) {
+  MPCNN_CHECK(threads >= 1, "thread pool needs at least one thread");
+  threads_ = threads;
+  impl_->stop = false;
+  impl_->workers.reserve(static_cast<std::size_t>(threads - 1));
+  for (int t = 0; t < threads - 1; ++t) {
+    impl_->workers.emplace_back([this] { worker_loop(); });
+  }
+}
+
+void ThreadPool::join_all() {
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stop = true;
+  }
+  impl_->cv_work.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  impl_->workers.clear();
+}
+
+void ThreadPool::resize(int threads) {
+  MPCNN_CHECK(!g_in_parallel_region,
+              "ThreadPool::resize from inside a parallel region");
+  if (threads == threads_) return;
+  join_all();
+  spawn(threads);
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  // Join at the current epoch: a worker booting after earlier regions
+  // completed must not treat the stale epoch bump as work (job_ is null
+  // by then).  If a region is in flight right now (spawned just before a
+  // submit), back up one epoch so the wait predicate fires and this
+  // worker participates — the submitter counts every pool worker.
+  std::uint64_t seen = impl_->epoch - (impl_->job != nullptr ? 1 : 0);
+  for (;;) {
+    impl_->cv_work.wait(
+        lock, [&] { return impl_->stop || impl_->epoch != seen; });
+    if (impl_->stop) return;
+    seen = impl_->epoch;
+    Job* job = impl_->job;
+    lock.unlock();
+    run_chunks(*job);
+    lock.lock();
+    ++job->exited;
+    impl_->cv_done.notify_all();
+  }
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  g_in_parallel_region = true;
+  for (;;) {
+    const std::int64_t c = job.next.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunks) break;
+    const std::int64_t lo = job.begin + c * job.grain;
+    const std::int64_t hi = std::min(job.end, lo + job.grain);
+    try {
+      (*job.fn)(lo, hi);
+    } catch (...) {
+      std::lock_guard<std::mutex> g(job.error_mu);
+      if (!job.error) job.error = std::current_exception();
+    }
+  }
+  g_in_parallel_region = false;
+}
+
+void ThreadPool::parallel_for(std::int64_t begin, std::int64_t end,
+                              std::int64_t grain, const ParallelBody& fn) {
+  if (end <= begin) return;
+  MPCNN_CHECK(grain >= 1, "parallel_for grain must be >= 1");
+  const std::int64_t chunks = (end - begin + grain - 1) / grain;
+
+  // Inline serial path: same chunk boundaries, same per-chunk order, so
+  // the result is bit-identical to the threaded path by construction.
+  if (threads_ <= 1 || chunks == 1 || g_serial_depth > 0 ||
+      g_in_parallel_region) {
+    for (std::int64_t c = 0; c < chunks; ++c) {
+      const std::int64_t lo = begin + c * grain;
+      fn(lo, std::min(end, lo + grain));
+    }
+    return;
+  }
+
+  Job job;
+  job.fn = &fn;
+  job.begin = begin;
+  job.end = end;
+  job.grain = grain;
+  job.chunks = chunks;
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->job = &job;
+    ++impl_->epoch;
+  }
+  impl_->cv_work.notify_all();
+  run_chunks(job);
+  {
+    // Wait for every worker to leave the region before the stack-held Job
+    // dies; this also guarantees no worker can observe a stale job
+    // pointer at the next epoch.
+    std::unique_lock<std::mutex> lock(impl_->mu);
+    impl_->cv_done.wait(lock, [&] {
+      return job.exited == static_cast<int>(impl_->workers.size());
+    });
+    impl_->job = nullptr;
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const ParallelBody& fn) {
+  ThreadPool::instance().parallel_for(begin, end, grain, fn);
+}
+
+int thread_count() { return ThreadPool::instance().threads(); }
+
+void set_thread_count(int threads) { ThreadPool::instance().resize(threads); }
+
+SerialGuard::SerialGuard() { ++g_serial_depth; }
+
+SerialGuard::~SerialGuard() { --g_serial_depth; }
+
+}  // namespace mpcnn::core

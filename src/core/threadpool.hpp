@@ -1,0 +1,95 @@
+// Persistent worker pool shared by every hot kernel in the repository.
+//
+// The paper's platform is intrinsically parallel — a pipelined BNN fabric
+// next to a dual-core ARM host — while the original reproduction executed
+// everything on one thread.  This pool supplies the missing axis: a
+// `parallel_for(begin, end, grain, fn)` that splits the index range into
+// fixed-size chunks of `grain` and hands chunks to worker threads.
+//
+// Determinism contract: the chunk boundaries depend only on (begin, end,
+// grain) — never on the worker count — and each chunk is executed by
+// exactly one thread in ascending index order within the chunk.  As long
+// as a caller never splits a floating-point reduction across chunks, the
+// summation order per output element is identical at any thread count,
+// so results are bit-reproducible from 1 to N threads.  All kernels in
+// src/tensor, src/nn, src/bnn and src/finn follow that rule.
+//
+// Sizing: `MPCNN_THREADS` overrides the worker count (default:
+// std::thread::hardware_concurrency).  `set_thread_count` re-sizes the
+// process-global pool at runtime (benchmark sweeps); `SerialGuard` forces
+// inline serial execution within a scope (tests, latency probes).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace mpcnn::core {
+
+/// Chunk body: invoked as fn(chunk_begin, chunk_end) on half-open ranges.
+using ParallelBody = std::function<void(std::int64_t, std::int64_t)>;
+
+class ThreadPool {
+ public:
+  /// Process-global pool, lazily created on first use with the worker
+  /// count resolved from MPCNN_THREADS / hardware_concurrency.
+  static ThreadPool& instance();
+
+  /// Pool with `threads` concurrent executors (the submitting thread
+  /// participates, so `threads - 1` workers are spawned).  threads >= 1.
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of concurrent executors (including the submitting thread).
+  int threads() const { return threads_; }
+
+  /// Joins the current workers and respawns with a new count.  Must not
+  /// be called from inside a parallel region.
+  void resize(int threads);
+
+  /// Runs fn over [begin, end) in chunks of `grain` (last chunk may be
+  /// short).  Blocks until every chunk completed; the calling thread
+  /// executes chunks too.  Nested calls, SerialGuard scopes and 1-thread
+  /// pools run inline with identical chunk boundaries.  The first
+  /// exception thrown by a chunk is rethrown here after the region ends.
+  /// Single-submitter: one thread dispatches top-level regions at a time
+  /// (nested regions from workers run inline, so kernels compose freely).
+  void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                    const ParallelBody& fn);
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  void run_chunks(Job& job);
+  void spawn(int threads);
+  void join_all();
+
+  struct Impl;
+  Impl* impl_;
+  int threads_ = 1;
+};
+
+/// parallel_for on the process-global pool (the common entry point).
+void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                  const ParallelBody& fn);
+
+/// Concurrency of the process-global pool.
+int thread_count();
+
+/// Re-sizes the process-global pool (benchmark thread sweeps).
+void set_thread_count(int threads);
+
+/// RAII scope forcing parallel_for on this thread to run inline serially
+/// (chunk boundaries unchanged, so results are identical).  Nests.
+class SerialGuard {
+ public:
+  SerialGuard();
+  ~SerialGuard();
+  SerialGuard(const SerialGuard&) = delete;
+  SerialGuard& operator=(const SerialGuard&) = delete;
+};
+
+}  // namespace mpcnn::core

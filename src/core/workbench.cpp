@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdlib>
 #include <filesystem>
 #include <iostream>
 #include <sstream>
@@ -38,6 +39,14 @@ Workbench::Workbench(WorkbenchConfig config)
     : config_(std::move(config)), device_(finn::zc702()) {
   MPCNN_CHECK(config_.train_size > 0 && config_.test_size > 0,
               "empty dataset configuration");
+  // MPCNN_CACHE_DIR relocates every workbench cache (CI scratch volumes,
+  // per-run isolation); the per-binary cache_dir becomes a subdirectory
+  // so differently-configured binaries still keep separate artefacts.
+  if (const char* env = std::getenv("MPCNN_CACHE_DIR");
+      env != nullptr && *env) {
+    config_.cache_dir =
+        (std::filesystem::path(env) / config_.cache_dir).string();
+  }
   std::filesystem::create_directories(config_.cache_dir);
 }
 

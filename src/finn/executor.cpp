@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/threadpool.hpp"
 #include "finn/explorer.hpp"
 #include "tensor/error.hpp"
 
@@ -233,13 +234,47 @@ std::vector<std::int32_t> FoldedExecutor::run(const Tensor& image,
   return {};
 }
 
-std::vector<int> FoldedExecutor::classify(const Tensor& images) const {
+std::vector<std::vector<std::int32_t>> FoldedExecutor::run_batch(
+    const Tensor& images, ExecutionTrace* trace) const {
+  MPCNN_CHECK(images.shape().rank() == 4, "run_batch expects NCHW images");
   const Dim n = images.shape()[0];
-  std::vector<int> labels(static_cast<std::size_t>(n));
-  for (Dim i = 0; i < n; ++i) {
-    const std::vector<std::int32_t> scores = run(images.slice_batch(i));
-    labels[static_cast<std::size_t>(i)] = static_cast<int>(std::distance(
-        scores.begin(), std::max_element(scores.begin(), scores.end())));
+  std::vector<std::vector<std::int32_t>> scores(static_cast<std::size_t>(n));
+  std::vector<ExecutionTrace> traces(
+      trace != nullptr ? static_cast<std::size_t>(n) : 0);
+  // Per-image fan-out: run() only reads net_/engines_, and every image
+  // owns its scores slot (and trace slot when requested).
+  core::parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
+    for (Dim i = i0; i < i1; ++i) {
+      ExecutionTrace* t =
+          trace != nullptr ? &traces[static_cast<std::size_t>(i)] : nullptr;
+      scores[static_cast<std::size_t>(i)] = run(images.slice_batch(i), t);
+    }
+  });
+  if (trace != nullptr) {
+    // Merge in batch order.  Cycle counts are integers, so the sum is
+    // order-independent anyway; the fixed order keeps the contract
+    // obvious and future-proof for non-integral trace fields.
+    trace->engine_cycles.assign(engines_.size(), 0);
+    trace->total_cycles = 0;
+    trace->bottleneck_cycles = 0;
+    for (const ExecutionTrace& t : traces) {
+      for (std::size_t e = 0; e < engines_.size(); ++e) {
+        trace->engine_cycles[e] += t.engine_cycles[e];
+      }
+      trace->total_cycles += t.total_cycles;
+      trace->bottleneck_cycles += t.bottleneck_cycles;
+    }
+  }
+  return scores;
+}
+
+std::vector<int> FoldedExecutor::classify(const Tensor& images) const {
+  const std::vector<std::vector<std::int32_t>> scores = run_batch(images);
+  std::vector<int> labels(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = static_cast<int>(std::distance(
+        scores[i].begin(),
+        std::max_element(scores[i].begin(), scores[i].end())));
   }
   return labels;
 }

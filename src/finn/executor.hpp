@@ -41,7 +41,14 @@ class FoldedExecutor {
   std::vector<std::int32_t> run(const Tensor& image,
                                 ExecutionTrace* trace = nullptr) const;
 
-  /// Argmax labels for a batch.
+  /// Runs every image of an NCHW batch (per-image fan-out on the shared
+  /// thread pool) and returns the per-image scores.  When `trace` is
+  /// non-null it receives the per-image cycle traces summed in batch
+  /// order — the deterministic batched equivalent of run()'s trace.
+  std::vector<std::vector<std::int32_t>> run_batch(
+      const Tensor& images, ExecutionTrace* trace = nullptr) const;
+
+  /// Argmax labels for a batch (same fan-out as run_batch).
   std::vector<int> classify(const Tensor& images) const;
 
   const std::vector<Engine>& engines() const { return engines_; }

@@ -1,12 +1,22 @@
 #include "nn/conv.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <vector>
 
+#include "core/threadpool.hpp"
 #include "tensor/gemm.hpp"
 
 namespace mpcnn::nn {
+namespace {
+
+// Fan-out of the batch-gradient reduction in backward().  A fixed cap —
+// never the worker count — so the number of private dW buffers (memory)
+// and the reduction order (bits) are the same on every machine.
+constexpr Dim kGradChunks = 8;
+
+}  // namespace
 
 Conv2D::Conv2D(Dim in_channels, Dim out_channels, Dim kernel, Dim stride,
                Dim pad, bool bias)
@@ -62,21 +72,26 @@ Tensor Conv2D::forward(const Tensor& in) {
   const Dim N = in.shape()[0];
   const Dim patch = g.patch_size(), pos = g.positions();
   Tensor out(output_shape(in.shape()));
-  std::vector<float> col(static_cast<std::size_t>(patch * pos));
   const Dim in_per = in.numel() / N;
   const Dim out_per = out.numel() / N;
-  for (Dim n = 0; n < N; ++n) {
-    im2col(g, in.data() + n * in_per, col.data());
-    gemm(out_channels_, pos, patch, 1.0f, weight_.value.data(), col.data(),
-         0.0f, out.data() + n * out_per);
-    if (has_bias_) {
-      float* o = out.data() + n * out_per;
-      for (Dim oc = 0; oc < out_channels_; ++oc) {
-        const float b = bias_.value[oc];
-        for (Dim p = 0; p < pos; ++p) o[oc * pos + p] += b;
+  // Batch fan-out: each image writes its own slice of `out`, so chunks
+  // are disjoint and the per-image compute order is fixed (the nested
+  // im2col/gemm parallel_for calls run inline inside a chunk).
+  core::parallel_for(0, N, 1, [&](Dim n0, Dim n1) {
+    std::vector<float> col(static_cast<std::size_t>(patch * pos));
+    for (Dim n = n0; n < n1; ++n) {
+      im2col(g, in.data() + n * in_per, col.data());
+      gemm(out_channels_, pos, patch, 1.0f, weight_.value.data(), col.data(),
+           0.0f, out.data() + n * out_per);
+      if (has_bias_) {
+        float* o = out.data() + n * out_per;
+        for (Dim oc = 0; oc < out_channels_; ++oc) {
+          const float b = bias_.value[oc];
+          for (Dim p = 0; p < pos; ++p) o[oc * pos + p] += b;
+        }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -85,27 +100,61 @@ Tensor Conv2D::backward(const Tensor& grad_out) {
   const Dim N = cached_in_.shape()[0];
   const Dim patch = g.patch_size(), pos = g.positions();
   Tensor grad_in(cached_in_.shape());
-  std::vector<float> col(static_cast<std::size_t>(patch * pos));
-  std::vector<float> dcol(static_cast<std::size_t>(patch * pos));
   const Dim in_per = cached_in_.numel() / N;
   const Dim out_per = grad_out.numel() / N;
-  for (Dim n = 0; n < N; ++n) {
-    const float* go = grad_out.data() + n * out_per;
-    // dW += dOut (OD x pos) * col^T (pos x patch)
-    im2col(g, cached_in_.data() + n * in_per, col.data());
-    gemm_bt(out_channels_, patch, pos, 1.0f, go, col.data(), 1.0f,
-            weight_.grad.data());
+
+  // grad_in slices are disjoint per image, but dW/db accumulate across
+  // the batch.  Each chunk sums its images into a private buffer; the
+  // buffers are then reduced in chunk order.  The chunk count is a fixed
+  // function of N (never of the worker count), so the summation order —
+  // and hence the gradient bits — is identical at any thread count.
+  const Dim grain = (N + kGradChunks - 1) / kGradChunks;
+  const Dim chunks = (N + grain - 1) / grain;
+  const Dim w_numel = weight_.grad.numel();
+  std::vector<std::vector<float>> dw_parts(
+      static_cast<std::size_t>(chunks),
+      std::vector<float>(static_cast<std::size_t>(w_numel), 0.0f));
+  std::vector<std::vector<float>> db_parts(
+      static_cast<std::size_t>(chunks),
+      std::vector<float>(static_cast<std::size_t>(has_bias_ ? out_channels_
+                                                            : 0),
+                         0.0f));
+
+  core::parallel_for(0, N, grain, [&](Dim n0, Dim n1) {
+    const Dim ci = n0 / grain;  // exact: chunk starts are multiples of grain
+    std::vector<float>& dw = dw_parts[static_cast<std::size_t>(ci)];
+    std::vector<float>& db = db_parts[static_cast<std::size_t>(ci)];
+    std::vector<float> col(static_cast<std::size_t>(patch * pos));
+    std::vector<float> dcol(static_cast<std::size_t>(patch * pos));
+    for (Dim n = n0; n < n1; ++n) {
+      const float* go = grad_out.data() + n * out_per;
+      // dW += dOut (OD x pos) * col^T (pos x patch)
+      im2col(g, cached_in_.data() + n * in_per, col.data());
+      gemm_bt(out_channels_, patch, pos, 1.0f, go, col.data(), 1.0f,
+              dw.data());
+      if (has_bias_) {
+        for (Dim oc = 0; oc < out_channels_; ++oc) {
+          float acc = 0.0f;
+          for (Dim p = 0; p < pos; ++p) acc += go[oc * pos + p];
+          db[static_cast<std::size_t>(oc)] += acc;
+        }
+      }
+      // dcol = W^T (patch x OD) * dOut (OD x pos)
+      gemm_at(patch, pos, out_channels_, 1.0f, weight_.value.data(), go,
+              0.0f, dcol.data());
+      col2im(g, dcol.data(), grad_in.data() + n * in_per);
+    }
+  });
+
+  for (Dim ci = 0; ci < chunks; ++ci) {
+    const std::vector<float>& dw = dw_parts[static_cast<std::size_t>(ci)];
+    for (Dim i = 0; i < w_numel; ++i) weight_.grad[i] += dw[static_cast<std::size_t>(i)];
     if (has_bias_) {
+      const std::vector<float>& db = db_parts[static_cast<std::size_t>(ci)];
       for (Dim oc = 0; oc < out_channels_; ++oc) {
-        float acc = 0.0f;
-        for (Dim p = 0; p < pos; ++p) acc += go[oc * pos + p];
-        bias_.grad[oc] += acc;
+        bias_.grad[oc] += db[static_cast<std::size_t>(oc)];
       }
     }
-    // dcol = W^T (patch x OD) * dOut (OD x pos)
-    gemm_at(patch, pos, out_channels_, 1.0f, weight_.value.data(), go, 0.0f,
-            dcol.data());
-    col2im(g, dcol.data(), grad_in.data() + n * in_per);
   }
   return grad_in;
 }

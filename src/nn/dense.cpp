@@ -3,6 +3,7 @@
 #include <cmath>
 #include <sstream>
 
+#include "core/threadpool.hpp"
 #include "tensor/gemm.hpp"
 
 namespace mpcnn::nn {
@@ -41,13 +42,17 @@ Tensor Dense::forward(const Tensor& in) {
   orig_in_shape_ = in.shape();
   cached_in_ = in.reshaped(Shape{N, in_features_});
   Tensor out(out_shape);
-  // out (N x OD) = x (N x ID) * W^T (ID x OD)
+  // out (N x OD) = x (N x ID) * W^T (ID x OD).  The batch dimension is M
+  // of the gemm, so the whole forward is already batch-parallel on the
+  // shared pool; the bias fan-out below chunks the same rows.
   gemm_bt(N, out_features_, in_features_, 1.0f, cached_in_.data(),
           weight_.value.data(), 0.0f, out.data());
   if (has_bias_) {
-    for (Dim n = 0; n < N; ++n)
-      for (Dim o = 0; o < out_features_; ++o)
-        out[n * out_features_ + o] += bias_.value[o];
+    core::parallel_for(0, N, 8, [&](Dim n0, Dim n1) {
+      for (Dim n = n0; n < n1; ++n)
+        for (Dim o = 0; o < out_features_; ++o)
+          out[n * out_features_ + o] += bias_.value[o];
+    });
   }
   return out;
 }
@@ -56,13 +61,19 @@ Tensor Dense::backward(const Tensor& grad_out) {
   const Dim N = cached_in_.shape()[0];
   MPCNN_CHECK(grad_out.shape() == Shape({N, out_features_}),
               "Dense backward shape " << grad_out.shape().str());
-  // dW (OD x ID) += dOut^T (OD x N) * x (N x ID)
+  // dW (OD x ID) += dOut^T (OD x N) * x (N x ID); gemm_at is parallel
+  // over the OD rows of dW, which are independent, so the batch
+  // reduction order per weight stays fixed.
   gemm_at(out_features_, in_features_, N, 1.0f, grad_out.data(),
           cached_in_.data(), 1.0f, weight_.grad.data());
   if (has_bias_) {
-    for (Dim n = 0; n < N; ++n)
-      for (Dim o = 0; o < out_features_; ++o)
-        bias_.grad[o] += grad_out[n * out_features_ + o];
+    // Each chunk owns a slice of output features; the n-sum per feature
+    // runs ascending inside one chunk — deterministic and race-free.
+    core::parallel_for(0, out_features_, 32, [&](Dim o0, Dim o1) {
+      for (Dim n = 0; n < N; ++n)
+        for (Dim o = o0; o < o1; ++o)
+          bias_.grad[o] += grad_out[n * out_features_ + o];
+    });
   }
   // dx (N x ID) = dOut (N x OD) * W (OD x ID)
   Tensor grad_in(Shape{N, in_features_});

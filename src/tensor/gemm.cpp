@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <vector>
 
+#include "core/threadpool.hpp"
+
 namespace mpcnn {
 namespace {
 
@@ -10,6 +12,10 @@ namespace {
 constexpr std::int64_t kBlockM = 64;
 constexpr std::int64_t kBlockN = 256;
 constexpr std::int64_t kBlockK = 256;
+
+std::int64_t ceil_div(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
 
 // Inner kernel: accumulate a (mb x nb) tile of C from (mb x kb)·(kb x nb).
 // The j-loop is the innermost unit-stride loop so the compiler can
@@ -49,58 +55,113 @@ void tile_kernel(std::int64_t mb, std::int64_t nb, std::int64_t kb,
   }
 }
 
-void scale_c(std::int64_t M, std::int64_t N, float beta, float* C) {
+void scale_rows(std::int64_t rows, std::int64_t N, float beta, float* C) {
   if (beta == 1.0f) return;
   if (beta == 0.0f) {
-    std::fill(C, C + M * N, 0.0f);
+    std::fill(C, C + rows * N, 0.0f);
     return;
   }
-  for (std::int64_t i = 0; i < M * N; ++i) C[i] *= beta;
+  for (std::int64_t i = 0; i < rows * N; ++i) C[i] *= beta;
+}
+
+// Per-thread packed-B storage, reused across gemm calls so the hot path
+// allocates only when a larger problem arrives.  Thread-local because
+// gemm may run inside a batch-parallel region (one instance per worker).
+std::vector<float>& packed_b_scratch() {
+  thread_local std::vector<float> buf;
+  return buf;
 }
 
 }  // namespace
 
 void gemm(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
           const float* A, const float* B, float beta, float* C) {
-  scale_c(M, N, beta, C);
-  for (std::int64_t k0 = 0; k0 < K; k0 += kBlockK) {
-    const std::int64_t kb = std::min(kBlockK, K - k0);
-    for (std::int64_t i0 = 0; i0 < M; i0 += kBlockM) {
-      const std::int64_t mb = std::min(kBlockM, M - i0);
-      for (std::int64_t j0 = 0; j0 < N; j0 += kBlockN) {
-        const std::int64_t nb = std::min(kBlockN, N - j0);
-        tile_kernel(mb, nb, kb, alpha, A + i0 * K + k0, K, B + k0 * N + j0,
-                    N, C + i0 * N + j0, N);
+  const std::int64_t mtiles = ceil_div(M, kBlockM);
+  const std::int64_t ntiles = ceil_div(N, kBlockN);
+  const std::int64_t ktiles = ceil_div(K, kBlockK);
+
+  // Pack B once into panel-contiguous layout: panel (kt, nt) holds the
+  // (kb x nb) block with rows of length nb back to back, so the inner
+  // kernel streams unit-stride loads instead of striding by N on every
+  // k.  The packed panels are shared read-only by all M-tile workers and
+  // reused across the whole K-loop of each tile.  Packing is a pure copy,
+  // so it cannot perturb the floating-point result.
+  constexpr std::int64_t kPanel = kBlockK * kBlockN;
+  std::vector<float>& Bp = packed_b_scratch();
+  if (static_cast<std::int64_t>(Bp.size()) < ktiles * ntiles * kPanel) {
+    Bp.resize(static_cast<std::size_t>(ktiles * ntiles * kPanel));
+  }
+  core::parallel_for(0, ktiles * ntiles, 1, [&](std::int64_t t0,
+                                                std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t k0 = (t / ntiles) * kBlockK;
+      const std::int64_t j0 = (t % ntiles) * kBlockN;
+      const std::int64_t kb = std::min(kBlockK, K - k0);
+      const std::int64_t nb = std::min(kBlockN, N - j0);
+      float* dst = Bp.data() + t * kPanel;
+      for (std::int64_t k = 0; k < kb; ++k) {
+        std::copy_n(B + (k0 + k) * N + j0, nb, dst + k * nb);
       }
     }
-  }
+  });
+
+  // One chunk per M-tile: each output row is scaled and accumulated by
+  // exactly one thread with the k0-ascending order of the serial kernel,
+  // so results are bit-identical at any thread count.
+  const float* Bp_data = Bp.data();
+  core::parallel_for(0, mtiles, 1, [&, Bp_data](std::int64_t t0,
+                                                std::int64_t t1) {
+    for (std::int64_t t = t0; t < t1; ++t) {
+      const std::int64_t i0 = t * kBlockM;
+      const std::int64_t mb = std::min(kBlockM, M - i0);
+      scale_rows(mb, N, beta, C + i0 * N);
+      for (std::int64_t kt = 0; kt < ktiles; ++kt) {
+        const std::int64_t k0 = kt * kBlockK;
+        const std::int64_t kb = std::min(kBlockK, K - k0);
+        for (std::int64_t nt = 0; nt < ntiles; ++nt) {
+          const std::int64_t j0 = nt * kBlockN;
+          const std::int64_t nb = std::min(kBlockN, N - j0);
+          tile_kernel(mb, nb, kb, alpha, A + i0 * K + k0, K,
+                      Bp_data + (kt * ntiles + nt) * kPanel, nb,
+                      C + i0 * N + j0, N);
+        }
+      }
+    }
+  });
 }
 
 void gemm_at(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
              const float* A, const float* B, float beta, float* C) {
   // A is (K x M); transpose it into a scratch buffer then reuse gemm.
   // The scratch cost is negligible against the O(M·N·K) multiply and keeps
-  // a single highly-tuned kernel.
+  // a single highly-tuned kernel.  Each chunk owns a contiguous row block
+  // of At (pure copies, deterministic at any thread count).
   std::vector<float> At(static_cast<std::size_t>(M * K));
-  for (std::int64_t k = 0; k < K; ++k)
-    for (std::int64_t m = 0; m < M; ++m) At[m * K + k] = A[k * M + m];
+  core::parallel_for(0, M, kBlockM, [&](std::int64_t m0, std::int64_t m1) {
+    for (std::int64_t k = 0; k < K; ++k) {
+      for (std::int64_t m = m0; m < m1; ++m) At[m * K + k] = A[k * M + m];
+    }
+  });
   gemm(M, N, K, alpha, At.data(), B, beta, C);
 }
 
 void gemm_bt(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
              const float* A, const float* B, float beta, float* C) {
   // B is (N x K); dot-product formulation is already cache-friendly since
-  // both A rows and B rows are unit-stride.
-  scale_c(M, N, beta, C);
-  for (std::int64_t i = 0; i < M; ++i) {
-    const float* a = A + i * K;
-    for (std::int64_t j = 0; j < N; ++j) {
-      const float* b = B + j * K;
-      float acc = 0.0f;
-      for (std::int64_t k = 0; k < K; ++k) acc += a[k] * b[k];
-      C[i * N + j] += alpha * acc;
+  // both A rows and B rows are unit-stride.  Rows of C are independent
+  // dot products, so chunking over i preserves the summation order.
+  core::parallel_for(0, M, 8, [&](std::int64_t i0, std::int64_t i1) {
+    scale_rows(i1 - i0, N, beta, C + i0 * N);
+    for (std::int64_t i = i0; i < i1; ++i) {
+      const float* a = A + i * K;
+      for (std::int64_t j = 0; j < N; ++j) {
+        const float* b = B + j * K;
+        float acc = 0.0f;
+        for (std::int64_t k = 0; k < K; ++k) acc += a[k] * b[k];
+        C[i * N + j] += alpha * acc;
+      }
     }
-  }
+  });
 }
 
 void gemm_naive(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,

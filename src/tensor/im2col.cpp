@@ -1,5 +1,6 @@
 #include "tensor/im2col.hpp"
 
+#include "core/threadpool.hpp"
 #include "tensor/error.hpp"
 
 namespace mpcnn {
@@ -8,52 +9,64 @@ void im2col(const ConvGeometry& g, const float* im, float* col) {
   MPCNN_CHECK(g.valid(), "invalid conv geometry");
   const std::int64_t OH = g.out_h(), OW = g.out_w();
   const std::int64_t positions = OH * OW;
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.in_channels; ++c) {
-    const float* chan = im + c * g.in_h * g.in_w;
-    for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
-      for (std::int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
-        float* out_row = col + row * positions;
-        for (std::int64_t oh = 0; oh < OH; ++oh) {
-          const std::int64_t ih = oh * g.stride + kh - g.pad;
-          if (ih < 0 || ih >= g.in_h) {
-            for (std::int64_t ow = 0; ow < OW; ++ow) out_row[oh * OW + ow] = 0;
-            continue;
-          }
-          const float* in_row = chan + ih * g.in_w;
-          for (std::int64_t ow = 0; ow < OW; ++ow) {
-            const std::int64_t iw = ow * g.stride + kw - g.pad;
-            out_row[oh * OW + ow] =
-                (iw >= 0 && iw < g.in_w) ? in_row[iw] : 0.0f;
+  // Channel c owns patch-matrix rows [c·K², (c+1)·K²) — disjoint output
+  // regions, pure copies, so the fan-out is race-free and deterministic.
+  core::parallel_for(0, g.in_channels, 1, [&](std::int64_t c0,
+                                              std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      const float* chan = im + c * g.in_h * g.in_w;
+      std::int64_t row = c * g.kernel * g.kernel;
+      for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
+        for (std::int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+          float* out_row = col + row * positions;
+          for (std::int64_t oh = 0; oh < OH; ++oh) {
+            const std::int64_t ih = oh * g.stride + kh - g.pad;
+            if (ih < 0 || ih >= g.in_h) {
+              for (std::int64_t ow = 0; ow < OW; ++ow)
+                out_row[oh * OW + ow] = 0;
+              continue;
+            }
+            const float* in_row = chan + ih * g.in_w;
+            for (std::int64_t ow = 0; ow < OW; ++ow) {
+              const std::int64_t iw = ow * g.stride + kw - g.pad;
+              out_row[oh * OW + ow] =
+                  (iw >= 0 && iw < g.in_w) ? in_row[iw] : 0.0f;
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 void col2im(const ConvGeometry& g, const float* col, float* im) {
   MPCNN_CHECK(g.valid(), "invalid conv geometry");
   const std::int64_t OH = g.out_h(), OW = g.out_w();
   const std::int64_t positions = OH * OW;
-  std::int64_t row = 0;
-  for (std::int64_t c = 0; c < g.in_channels; ++c) {
-    float* chan = im + c * g.in_h * g.in_w;
-    for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
-      for (std::int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
-        const float* in_row = col + row * positions;
-        for (std::int64_t oh = 0; oh < OH; ++oh) {
-          const std::int64_t ih = oh * g.stride + kh - g.pad;
-          if (ih < 0 || ih >= g.in_h) continue;
-          float* out_row = chan + ih * g.in_w;
-          for (std::int64_t ow = 0; ow < OW; ++ow) {
-            const std::int64_t iw = ow * g.stride + kw - g.pad;
-            if (iw >= 0 && iw < g.in_w) out_row[iw] += in_row[oh * OW + ow];
+  // The scatter-add of channel c lands only inside image channel c, so
+  // chunking over channels keeps writers disjoint; within a channel the
+  // (kh, kw, oh, ow) accumulation order matches the serial kernel.
+  core::parallel_for(0, g.in_channels, 1, [&](std::int64_t c0,
+                                              std::int64_t c1) {
+    for (std::int64_t c = c0; c < c1; ++c) {
+      float* chan = im + c * g.in_h * g.in_w;
+      std::int64_t row = c * g.kernel * g.kernel;
+      for (std::int64_t kh = 0; kh < g.kernel; ++kh) {
+        for (std::int64_t kw = 0; kw < g.kernel; ++kw, ++row) {
+          const float* in_row = col + row * positions;
+          for (std::int64_t oh = 0; oh < OH; ++oh) {
+            const std::int64_t ih = oh * g.stride + kh - g.pad;
+            if (ih < 0 || ih >= g.in_h) continue;
+            float* out_row = chan + ih * g.in_w;
+            for (std::int64_t ow = 0; ow < OW; ++ow) {
+              const std::int64_t iw = ow * g.stride + kw - g.pad;
+              if (iw >= 0 && iw < g.in_w) out_row[iw] += in_row[oh * OW + ow];
+            }
           }
         }
       }
     }
-  }
+  });
 }
 
 }  // namespace mpcnn

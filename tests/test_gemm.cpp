@@ -51,6 +51,49 @@ INSTANTIATE_TEST_SUITE_P(
                       GemmShape{128, 100, 576}, GemmShape{10, 784, 27},
                       GemmShape{1, 300, 1}, GemmShape{300, 1, 300}));
 
+// Tile-boundary-hostile shapes: every dimension deliberately off the
+// 64/256 blocking (±1 around tile edges, plus the degenerate 1 and 3),
+// exercised through all three transpose variants against the naive
+// reference.
+class GemmVariantsHostile : public ::testing::TestWithParam<GemmShape> {};
+
+TEST_P(GemmVariantsHostile, AllVariantsMatchReference) {
+  const auto [M, N, K] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(M * 31337 + N * 211 + K * 3 + 1));
+  const auto A = random_matrix(M, K, rng);
+  const auto B = random_matrix(K, N, rng);
+  const auto C0 = random_matrix(M, N, rng);
+  std::vector<float> expected = C0;
+  gemm_naive(M, N, K, 0.75f, A.data(), B.data(), 0.25f, expected.data());
+  const float tol = 1e-3f * static_cast<float>(K);
+
+  std::vector<float> C = C0;
+  gemm(M, N, K, 0.75f, A.data(), B.data(), 0.25f, C.data());
+  expect_close(C, expected, tol);
+
+  std::vector<float> At(static_cast<std::size_t>(K * M));
+  for (Dim k = 0; k < K; ++k)
+    for (Dim m = 0; m < M; ++m) At[k * M + m] = A[m * K + k];
+  C = C0;
+  gemm_at(M, N, K, 0.75f, At.data(), B.data(), 0.25f, C.data());
+  expect_close(C, expected, tol);
+
+  std::vector<float> Bt(static_cast<std::size_t>(N * K));
+  for (Dim k = 0; k < K; ++k)
+    for (Dim n = 0; n < N; ++n) Bt[n * K + k] = B[k * N + n];
+  C = C0;
+  gemm_bt(M, N, K, 0.75f, A.data(), Bt.data(), 0.25f, C.data());
+  expect_close(C, expected, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    HostileShapes, GemmVariantsHostile,
+    ::testing::Values(GemmShape{1, 3, 1}, GemmShape{3, 1, 3},
+                      GemmShape{3, 3, 3}, GemmShape{63, 255, 257},
+                      GemmShape{65, 3, 255}, GemmShape{1, 257, 63},
+                      GemmShape{127, 129, 1}, GemmShape{66, 258, 3},
+                      GemmShape{129, 511, 259}));
+
 TEST(Gemm, BetaZeroOverwritesGarbage) {
   const Dim M = 4, N = 4, K = 4;
   Rng rng(5);
