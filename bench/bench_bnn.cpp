@@ -1,0 +1,84 @@
+// Packed-vs-scalar throughput of the compiled-BNN reference executor
+// (google-benchmark).  run_all.sh writes the result to BENCH_bnn.json so
+// the speedup of the word-parallel engine over the per-bit oracle is
+// tracked across PRs; both engines score identically, so the ratio of the
+// two img/s counters is pure execution-engine speedup.
+#include <benchmark/benchmark.h>
+
+#include "bnn/compile.hpp"
+#include "bnn/topology.hpp"
+#include "core/threadpool.hpp"
+#include "tensor/rng.hpp"
+
+namespace {
+
+using namespace mpcnn;
+
+// CIFAR-10-shaped compiled CNV (3×32×32 in, 10 classes) at the paper's
+// full width — the Model A operating point of the reproduction.
+struct BnnFixture {
+  bnn::CompiledBnn net;
+  Tensor image{Shape{1, 3, 32, 32}};
+  Tensor batch{Shape{16, 3, 32, 32}};
+
+  BnnFixture() {
+    bnn::CnvConfig config;
+    config.width = 1.0f;
+    nn::Net graph = bnn::make_cnv_net(config);
+    Rng rng(7);
+    graph.init(rng);
+    net = bnn::compile_bnn(graph);
+    image.fill_uniform(rng, 0.0f, 1.0f);
+    batch.fill_uniform(rng, 0.0f, 1.0f);
+  }
+};
+
+BnnFixture& fixture() {
+  static BnnFixture fx;
+  return fx;
+}
+
+void BM_BnnReferencePacked(benchmark::State& state) {
+  BnnFixture& fx = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bnn::run_reference(fx.net, fx.image, bnn::BnnExec::kPacked));
+  }
+  state.counters["img/s"] = benchmark::Counter(
+      1.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BnnReferencePacked)->UseRealTime();
+
+void BM_BnnReferenceScalar(benchmark::State& state) {
+  BnnFixture& fx = fixture();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bnn::run_reference(fx.net, fx.image, bnn::BnnExec::kScalar));
+  }
+  state.counters["img/s"] = benchmark::Counter(
+      1.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+BENCHMARK(BM_BnnReferenceScalar)->UseRealTime();
+
+// Batched fan-out as core/stream and core/workbench drive it: per-image
+// parallelism over the pool on top of the packed per-layer engine.
+void BM_BnnReferenceBatchPacked(benchmark::State& state) {
+  BnnFixture& fx = fixture();
+  const int threads = static_cast<int>(state.range(0));
+  const int prior = core::thread_count();
+  core::set_thread_count(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bnn::run_reference_batch(fx.net, fx.batch, bnn::BnnExec::kPacked));
+  }
+  state.counters["img/s"] = benchmark::Counter(
+      static_cast<double>(fx.batch.shape()[0]),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["threads"] = static_cast<double>(threads);
+  core::set_thread_count(prior);
+}
+BENCHMARK(BM_BnnReferenceBatchPacked)->Arg(1)->Arg(4)->UseRealTime();
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -127,6 +127,58 @@ void BM_Im2ColBatch(benchmark::State& state) {
 }
 BENCHMARK(BM_Im2ColBatch)->Arg(8)->Arg(32)->UseRealTime();
 
+// Blocked binary GEMM at conv-shaped operands: rows = out channels,
+// cols = in_ch·K·K patch bits, positions = one 28×28 output map.  GXOP/s
+// counts XNOR+popcount as two ops per bit (the FINN convention).
+void BM_XnorGemm(benchmark::State& state) {
+  const Dim out_ch = state.range(0);
+  const Dim in_ch = state.range(1);
+  const Dim cols = in_ch * 3 * 3;
+  const Dim positions = 28 * 28;
+  Rng rng(5);
+  bnn::BitMatrix a(out_ch, cols), b(positions, cols);
+  for (Dim r = 0; r < out_ch; ++r) {
+    for (Dim c = 0; c < cols; ++c) a.set(r, c, rng.bernoulli(0.5));
+  }
+  for (Dim p = 0; p < positions; ++p) {
+    for (Dim c = 0; c < cols; ++c) b.set(p, c, rng.bernoulli(0.5));
+  }
+  std::vector<std::int32_t> out(
+      static_cast<std::size_t>(out_ch * positions));
+  for (auto _ : state) {
+    bnn::xnor_gemm(a, b, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GXOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(out_ch) * cols * positions,
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_XnorGemm)
+    ->ArgsProduct({{64, 128, 256}, {64, 128}})
+    ->UseRealTime();
+
+// Word-splice patch packing for the shape BM_Im2Col lowers in float.
+void BM_BitIm2col(benchmark::State& state) {
+  const Dim ch = 64, h = 30, w = 30, kernel = 3;
+  const Dim plane_words = (h * w + 63) / 64;
+  Rng rng(6);
+  std::vector<std::uint64_t> planes(
+      static_cast<std::size_t>(ch * plane_words));
+  for (auto& word : planes) word = rng.next_u64();
+  for (auto _ : state) {
+    bnn::BitMatrix patches =
+        bnn::bit_im2col(planes.data(), plane_words, ch, h, w, kernel);
+    benchmark::DoNotOptimize(patches.row_data(0));
+  }
+  state.counters["Gbit/s"] = benchmark::Counter(
+      static_cast<double>((h - kernel + 1) * (w - kernel + 1) * ch *
+                          kernel * kernel),
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+BENCHMARK(BM_BitIm2col)->UseRealTime();
+
 struct BnnFixture {
   bnn::CompiledBnn net;
   Tensor image{Shape{1, 3, 32, 32}};

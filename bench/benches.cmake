@@ -27,3 +27,8 @@ add_executable(bench_kernels ${CMAKE_SOURCE_DIR}/bench/bench_kernels.cpp)
 set_target_properties(bench_kernels PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 target_link_libraries(bench_kernels PRIVATE mpcnn_finn benchmark::benchmark)
+
+add_executable(bench_bnn ${CMAKE_SOURCE_DIR}/bench/bench_bnn.cpp)
+set_target_properties(bench_bnn PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+target_link_libraries(bench_bnn PRIVATE mpcnn_finn benchmark::benchmark)

@@ -12,6 +12,9 @@ for b in build/bench/*; do
     bench_kernels)
       "$b" --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
       ;;
+    bench_bnn)
+      "$b" --benchmark_out=BENCH_bnn.json --benchmark_out_format=json
+      ;;
     *)
       "$b"
       ;;
@@ -22,5 +25,5 @@ done 2>&1 | tee bench_output.txt
 # the 1-vs-N determinism tests must report zero races.
 cmake -B build-tsan -G Ninja -DMPCNN_SANITIZE=thread
 cmake --build build-tsan
-MPCNN_THREADS=4 ctest --test-dir build-tsan -R 'ThreadPool|Determinism' \
+MPCNN_THREADS=4 ctest --test-dir build-tsan -R 'ThreadPool|Determinism|PackedBnn' \
   --output-on-failure 2>&1 | tee tsan_output.txt

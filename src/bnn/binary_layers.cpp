@@ -151,13 +151,14 @@ Tensor BinConv2D::forward(const Tensor& in) {
   const Dim N = in.shape()[0];
   const Dim patch = g.patch_size(), pos = g.positions();
   Tensor out(output_shape(in.shape()));
-  std::vector<float> col(static_cast<std::size_t>(patch * pos));
+  col_scratch_.resize(static_cast<std::size_t>(patch * pos));
+  float* col = col_scratch_.data();
   const Dim in_per = in.numel() / N;
   const Dim out_per = out.numel() / N;
   for (Dim n = 0; n < N; ++n) {
-    im2col(g, in.data() + n * in_per, col.data());
-    gemm(out_channels_, pos, patch, 1.0f, binary_weight_.data(), col.data(),
-         0.0f, out.data() + n * out_per);
+    im2col(g, in.data() + n * in_per, col);
+    gemm(out_channels_, pos, patch, 1.0f, binary_weight_.data(), col, 0.0f,
+         out.data() + n * out_per);
   }
   return out;
 }
@@ -167,19 +168,21 @@ Tensor BinConv2D::backward(const Tensor& grad_out) {
   const Dim N = cached_in_.shape()[0];
   const Dim patch = g.patch_size(), pos = g.positions();
   Tensor grad_in(cached_in_.shape());
-  std::vector<float> col(static_cast<std::size_t>(patch * pos));
-  std::vector<float> dcol(static_cast<std::size_t>(patch * pos));
+  col_scratch_.resize(static_cast<std::size_t>(patch * pos));
+  dcol_scratch_.resize(static_cast<std::size_t>(patch * pos));
+  float* col = col_scratch_.data();
+  float* dcol = dcol_scratch_.data();
   const Dim in_per = cached_in_.numel() / N;
   const Dim out_per = grad_out.numel() / N;
   for (Dim n = 0; n < N; ++n) {
     const float* go = grad_out.data() + n * out_per;
-    im2col(g, cached_in_.data() + n * in_per, col.data());
+    im2col(g, cached_in_.data() + n * in_per, col);
     // STE: gradient w.r.t. the binary weights lands on the shadow weights.
-    gemm_bt(out_channels_, patch, pos, 1.0f, go, col.data(), 1.0f,
+    gemm_bt(out_channels_, patch, pos, 1.0f, go, col, 1.0f,
             weight_.grad.data());
     gemm_at(patch, pos, out_channels_, 1.0f, binary_weight_.data(), go, 0.0f,
-            dcol.data());
-    col2im(g, dcol.data(), grad_in.data() + n * in_per);
+            dcol);
+    col2im(g, dcol, grad_in.data() + n * in_per);
   }
   return grad_in;
 }

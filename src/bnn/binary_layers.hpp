@@ -6,6 +6,8 @@
 // XNOR-popcount-threshold form.
 #pragma once
 
+#include <vector>
+
 #include "nn/layer.hpp"
 #include "tensor/im2col.hpp"
 
@@ -103,6 +105,11 @@ class BinConv2D final : public nn::Layer {
   nn::Param weight_;       // float shadow weights, clipped to [-1, 1]
   Tensor binary_weight_;   // sign(shadow), refreshed each forward
   Tensor cached_in_;
+  // Per-layer im2col scratch, reused across forward/backward calls so
+  // the hot training loop does not reallocate patch×positions floats
+  // every step.
+  std::vector<float> col_scratch_;
+  std::vector<float> dcol_scratch_;
 };
 
 /// Dense layer with binarised weights.

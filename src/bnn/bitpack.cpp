@@ -1,11 +1,53 @@
 #include "bnn/bitpack.hpp"
 
+#include <algorithm>
 #include <bit>
+
+#include "core/threadpool.hpp"
 
 namespace mpcnn::bnn {
 namespace {
 
 Dim words_for(Dim nbits) { return (nbits + 63) / 64; }
+
+// All-ones mask of the low n bits, n in [0, 64].
+inline std::uint64_t mask_n(Dim n) {
+  return n >= 64 ? ~0ULL : (1ULL << n) - 1ULL;
+}
+
+// Reads `count` (1..64) bits starting at `bit`; result in the low bits.
+inline std::uint64_t extract_word(const std::uint64_t* words, Dim bit,
+                                  Dim count) {
+  const std::size_t wi = static_cast<std::size_t>(bit >> 6);
+  const Dim off = bit & 63;
+  std::uint64_t v = words[wi] >> off;
+  if (off + count > 64) v |= words[wi + 1] << (64 - off);
+  return v & mask_n(count);
+}
+
+// Overwrites `count` (1..64) bits starting at `bit` with the low bits
+// of v (which must carry no bits above `count`).
+inline void deposit_word(std::uint64_t* words, Dim bit, std::uint64_t v,
+                         Dim count) {
+  const std::size_t wi = static_cast<std::size_t>(bit >> 6);
+  const Dim off = bit & 63;
+  const std::uint64_t m = mask_n(count);
+  words[wi] = (words[wi] & ~(m << off)) | (v << off);
+  if (off + count > 64) {
+    const Dim spill = off + count - 64;
+    words[wi + 1] = (words[wi + 1] & ~mask_n(spill)) | (v >> (64 - off));
+  }
+}
+
+// OR-only deposit for writers into known-zero destinations (fresh
+// BitMatrix rows): saves the clearing pass of deposit_word.
+inline void deposit_word_or(std::uint64_t* words, Dim bit, std::uint64_t v,
+                            Dim count) {
+  const std::size_t wi = static_cast<std::size_t>(bit >> 6);
+  const Dim off = bit & 63;
+  words[wi] |= v << off;
+  if (off + count > 64) words[wi + 1] |= v >> (64 - off);
+}
 
 }  // namespace
 
@@ -15,7 +57,7 @@ BitVector::BitVector(Dim nbits)
 }
 
 void BitVector::set(Dim i, bool v) {
-  MPCNN_CHECK(i >= 0 && i < nbits_, "bit index " << i << " of " << nbits_);
+  MPCNN_DCHECK(i >= 0 && i < nbits_, "bit index " << i << " of " << nbits_);
   const std::size_t w = static_cast<std::size_t>(i >> 6);
   const std::uint64_t mask = 1ULL << (i & 63);
   if (v) {
@@ -26,7 +68,7 @@ void BitVector::set(Dim i, bool v) {
 }
 
 bool BitVector::get(Dim i) const {
-  MPCNN_CHECK(i >= 0 && i < nbits_, "bit index " << i << " of " << nbits_);
+  MPCNN_DCHECK(i >= 0 && i < nbits_, "bit index " << i << " of " << nbits_);
   return (words_[static_cast<std::size_t>(i >> 6)] >> (i & 63)) & 1ULL;
 }
 
@@ -38,14 +80,9 @@ Dim BitVector::xnor_matches(const BitVector& other) const {
   MPCNN_CHECK(nbits_ == other.nbits_, "xnor size mismatch: "
                                           << nbits_ << " vs "
                                           << other.nbits_);
-  Dim matches = 0;
-  for (std::size_t w = 0; w < words_.size(); ++w) {
-    matches += std::popcount(~(words_[w] ^ other.words_[w]));
-  }
-  // Padding bits are zero in both vectors, so XNOR counts them as
-  // matches; remove them.
-  const Dim padding = static_cast<Dim>(words_.size()) * 64 - nbits_;
-  return matches - padding;
+  // Padding bits are zero in both vectors, so they never mismatch.
+  return nbits_ - xor_popcount_words(words_.data(), other.words_.data(),
+                                     static_cast<Dim>(words_.size()));
 }
 
 std::int64_t BitVector::dot_bipolar(const BitVector& other) const {
@@ -67,8 +104,8 @@ BitMatrix::BitMatrix(Dim rows, Dim cols)
 }
 
 void BitMatrix::set(Dim r, Dim c, bool v) {
-  MPCNN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
-              "BitMatrix index (" << r << ", " << c << ")");
+  MPCNN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+               "BitMatrix index (" << r << ", " << c << ")");
   const std::size_t w =
       static_cast<std::size_t>(r * words_per_row_ + (c >> 6));
   const std::uint64_t mask = 1ULL << (c & 63);
@@ -80,8 +117,8 @@ void BitMatrix::set(Dim r, Dim c, bool v) {
 }
 
 bool BitMatrix::get(Dim r, Dim c) const {
-  MPCNN_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
-              "BitMatrix index (" << r << ", " << c << ")");
+  MPCNN_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_,
+               "BitMatrix index (" << r << ", " << c << ")");
   return (words_[static_cast<std::size_t>(r * words_per_row_ + (c >> 6))] >>
           (c & 63)) &
          1ULL;
@@ -90,19 +127,115 @@ bool BitMatrix::get(Dim r, Dim c) const {
 Dim BitMatrix::row_xnor_matches(Dim r, const BitVector& v) const {
   MPCNN_CHECK(r >= 0 && r < rows_, "BitMatrix row " << r);
   MPCNN_CHECK(v.size() == cols_, "row dot size mismatch");
-  const std::uint64_t* row =
-      words_.data() + static_cast<std::size_t>(r * words_per_row_);
-  const std::uint64_t* vec = v.data();
-  Dim matches = 0;
-  for (Dim w = 0; w < words_per_row_; ++w) {
-    matches += std::popcount(~(row[w] ^ vec[w]));
-  }
-  const Dim padding = words_per_row_ * 64 - cols_;
-  return matches - padding;
+  return cols_ - xor_popcount_words(row_data(r), v.data(), words_per_row_);
 }
 
 std::int64_t BitMatrix::row_dot_bipolar(Dim r, const BitVector& v) const {
   return 2 * static_cast<std::int64_t>(row_xnor_matches(r, v)) - cols_;
+}
+
+Dim xor_mismatches_range(const std::uint64_t* a, const std::uint64_t* b,
+                         Dim begin, Dim end) {
+  MPCNN_CHECK(begin >= 0 && begin <= end, "bad bit range [" << begin << ", "
+                                                            << end << ")");
+  if (begin == end) return 0;
+  const Dim w0 = begin >> 6;
+  const Dim w1 = (end - 1) >> 6;
+  const std::uint64_t head = ~0ULL << (begin & 63);
+  const std::uint64_t tail = mask_n(((end - 1) & 63) + 1);
+  if (w0 == w1) {
+    return std::popcount((a[w0] ^ b[w0]) & head & tail);
+  }
+  Dim mismatches = std::popcount((a[w0] ^ b[w0]) & head);
+  for (Dim t = w0 + 1; t < w1; ++t) {
+    mismatches += std::popcount(a[t] ^ b[t]);
+  }
+  return mismatches + std::popcount((a[w1] ^ b[w1]) & tail);
+}
+
+void copy_bits(const std::uint64_t* src, Dim src_bit, std::uint64_t* dst,
+               Dim dst_bit, Dim count) {
+  MPCNN_CHECK(src_bit >= 0 && dst_bit >= 0 && count >= 0,
+              "copy_bits negative argument");
+  while (count > 0) {
+    const Dim n = std::min<Dim>(count, 64);
+    deposit_word(dst, dst_bit, extract_word(src, src_bit, n), n);
+    src_bit += n;
+    dst_bit += n;
+    count -= n;
+  }
+}
+
+BitMatrix bit_im2col(const std::uint64_t* planes, Dim plane_words, Dim ch,
+                     Dim h, Dim w, Dim kernel) {
+  MPCNN_CHECK(ch > 0 && h > 0 && w > 0, "bit_im2col empty image");
+  MPCNN_CHECK(kernel > 0 && kernel <= h && kernel <= w && kernel <= 64,
+              "bit_im2col kernel " << kernel << " for " << h << "x" << w);
+  MPCNN_CHECK(plane_words >= words_for(h * w),
+              "plane stride " << plane_words << " too small for " << h << "x"
+                              << w);
+  const Dim out_h = h - kernel + 1;
+  const Dim out_w = w - kernel + 1;
+  const Dim positions = out_h * out_w;
+  BitMatrix patches(positions, ch * kernel * kernel);
+  const Dim wpr = patches.words_per_row();
+  const std::uint64_t kmask = mask_n(kernel);
+  // Sweep each (output row, channel, kernel row) lane once: the window
+  // slides one source bit per output column, so a rolling 64-bit buffer
+  // turns every splice into mask / shifted-OR / shift — all destination
+  // offsets are loop-invariant per lane (dst_bit doesn't depend on ow).
+  // Chunks own whole rows of `patches` (word-aligned), so parallel
+  // writers never share a word.
+  core::parallel_for(0, out_h, 1, [&](Dim oh0, Dim oh1) {
+    for (Dim oh = oh0; oh < oh1; ++oh) {
+      std::uint64_t* rowbase = patches.row_data(oh * out_w);
+      for (Dim c = 0; c < ch; ++c) {
+        const std::uint64_t* plane = planes + c * plane_words;
+        for (Dim kh = 0; kh < kernel; ++kh) {
+          const Dim dst_bit = (c * kernel + kh) * kernel;
+          const Dim off = dst_bit & 63;
+          const bool spill = off + kernel > 64;
+          const Dim src0 = (oh + kh) * w;
+          std::uint64_t* dst = rowbase + (dst_bit >> 6);
+          std::uint64_t buf = 0;
+          Dim bitpos = src0;
+          Dim avail = 0;
+          for (Dim ow = 0; ow < out_w; ++ow, dst += wpr) {
+            if (avail < kernel) {
+              const Dim take = std::min<Dim>(64, src0 + w - bitpos);
+              buf = extract_word(plane, bitpos, take);
+              avail = take;
+            }
+            const std::uint64_t window = buf & kmask;
+            dst[0] |= window << off;
+            if (spill) dst[1] |= window >> (64 - off);
+            buf >>= 1;
+            --avail;
+            ++bitpos;
+          }
+        }
+      }
+    }
+  });
+  return patches;
+}
+
+void xnor_gemm(const BitMatrix& a, const BitMatrix& b, std::int32_t* c) {
+  MPCNN_CHECK(a.cols() == b.cols(), "xnor_gemm column mismatch: "
+                                        << a.cols() << " vs " << b.cols());
+  const Dim n = b.rows();
+  const Dim wpr = a.words_per_row();
+  const Dim cols = a.cols();
+  core::parallel_for(0, a.rows(), 1, [&](Dim r0, Dim r1) {
+    for (Dim r = r0; r < r1; ++r) {
+      const std::uint64_t* ar = a.row_data(r);
+      std::int32_t* crow = c + r * n;
+      for (Dim p = 0; p < n; ++p) {
+        crow[p] = static_cast<std::int32_t>(
+            cols - 2 * xor_popcount_words(ar, b.row_data(p), wpr));
+      }
+    }
+  });
 }
 
 }  // namespace mpcnn::bnn

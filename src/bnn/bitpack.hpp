@@ -4,8 +4,16 @@
 // bit 0 encodes −1.  The dot product of two bipolar vectors of length n
 // is then  2·popcount(xnor(a, b)) − n  — the datapath a FINN engine
 // implements in LUTs.
+//
+// Bit-layout contract: every kernel below indexes patch columns in the
+// pack_weights order  bit = (c·K + kh)·K + kw  (channel-major, then
+// kernel row, then kernel column).  bit_im2col emits patch rows in that
+// order, so a BitMatrix of packed weights and a BitMatrix of packed
+// patches share column indices and padding (zero bits past `cols` in the
+// last word of every row, which XOR cancels — no correction needed).
 #pragma once
 
+#include <bit>
 #include <cstdint>
 #include <vector>
 
@@ -23,9 +31,17 @@ class BitVector {
   Dim size() const { return nbits_; }
   Dim words() const { return static_cast<Dim>(words_.size()); }
 
+  /// Per-bit accessors: bounds-checked in debug builds only; release
+  /// inner loops should prefer whole-word access via data()/word().
   void set(Dim i, bool v);
   bool get(Dim i) const;
   void clear();
+
+  /// Unchecked word access (debug-asserted) for word-parallel kernels.
+  std::uint64_t word(Dim w) const {
+    MPCNN_DCHECK(w >= 0 && w < words(), "word index " << w);
+    return words_[static_cast<std::size_t>(w)];
+  }
 
   const std::uint64_t* data() const { return words_.data(); }
   std::uint64_t* data() { return words_.data(); }
@@ -49,7 +65,9 @@ class BitVector {
   std::vector<std::uint64_t> words_;
 };
 
-/// Row-major matrix of bits; each row is independently dot-able.
+/// Row-major matrix of bits; each row is independently dot-able and
+/// starts word-aligned (rows never share a word — parallel writers of
+/// distinct rows are race-free).
 class BitMatrix {
  public:
   BitMatrix() = default;
@@ -57,9 +75,21 @@ class BitMatrix {
 
   Dim rows() const { return rows_; }
   Dim cols() const { return cols_; }
+  Dim words_per_row() const { return words_per_row_; }
 
+  /// Per-bit accessors: bounds-checked in debug builds only.
   void set(Dim r, Dim c, bool v);
   bool get(Dim r, Dim c) const;
+
+  /// Unchecked (debug-asserted) pointer to row r's packed words.
+  const std::uint64_t* row_data(Dim r) const {
+    MPCNN_DCHECK(r >= 0 && r < rows_, "BitMatrix row " << r);
+    return words_.data() + static_cast<std::size_t>(r * words_per_row_);
+  }
+  std::uint64_t* row_data(Dim r) {
+    MPCNN_DCHECK(r >= 0 && r < rows_, "BitMatrix row " << r);
+    return words_.data() + static_cast<std::size_t>(r * words_per_row_);
+  }
 
   /// XNOR-popcount of row r against a vector of matching length.
   Dim row_xnor_matches(Dim r, const BitVector& v) const;
@@ -74,5 +104,62 @@ class BitMatrix {
 
 /// Sign binarisation used everywhere: value >= 0 maps to bit 1 (+1).
 inline bool sign_bit(float v) { return v >= 0.0f; }
+
+/// Σ popcount(a[t] ^ b[t]) over `nwords` words — the mismatch count of
+/// two equally-padded packed rows (padding XORs to zero, so the result
+/// is exact without a correction term).
+inline Dim xor_popcount_words(const std::uint64_t* a, const std::uint64_t* b,
+                              Dim nwords) {
+  // Two accumulators keep independent popcount dependency chains in
+  // flight; rows are at most a few words, so no deeper unroll pays off.
+  Dim m0 = 0, m1 = 0;
+  Dim t = 0;
+  for (; t + 2 <= nwords; t += 2) {
+    m0 += std::popcount(a[t] ^ b[t]);
+    m1 += std::popcount(a[t + 1] ^ b[t + 1]);
+  }
+  if (t < nwords) m0 += std::popcount(a[t] ^ b[t]);
+  return m0 + m1;
+}
+
+/// Σ popcount(w[t]) over `nwords` words.
+inline Dim popcount_words(const std::uint64_t* w, Dim nwords) {
+  Dim c0 = 0, c1 = 0;
+  Dim t = 0;
+  for (; t + 2 <= nwords; t += 2) {
+    c0 += std::popcount(w[t]);
+    c1 += std::popcount(w[t + 1]);
+  }
+  if (t < nwords) c0 += std::popcount(w[t]);
+  return c0 + c1;
+}
+
+/// Mismatch count of bit range [begin, end) of two packed rows, with the
+/// partial first/last words masked (word-level, no per-bit loop).  Used
+/// by the folded executor's PE column-slice accumulation.
+Dim xor_mismatches_range(const std::uint64_t* a, const std::uint64_t* b,
+                         Dim begin, Dim end);
+
+/// Copies `count` bits from src starting at bit `src_bit` into dst
+/// starting at bit `dst_bit`, using word reads/shifts/splices (no
+/// per-bit loop).  Ranges must not overlap within the same buffer.
+void copy_bits(const std::uint64_t* src, Dim src_bit, std::uint64_t* dst,
+               Dim dst_bit, Dim count);
+
+/// Bit-level im2col: packs every K×K sliding patch (stride 1, no pad) of
+/// a C-plane bit image into the rows of a BitMatrix
+/// [out_h·out_w, C·K·K].  Plane c starts at word c·plane_words; within a
+/// plane, pixel (y, x) is bit y·w + x.  Patch columns follow the
+/// pack_weights order (c·K + kh)·K + kw, so the result rows dot directly
+/// against packed weight rows.  Parallel over output positions (rows are
+/// word-aligned, so chunked writers never share a word).
+BitMatrix bit_im2col(const std::uint64_t* planes, Dim plane_words, Dim ch,
+                     Dim h, Dim w, Dim kernel);
+
+/// Blocked binary GEMM: C[r·B.rows() + p] = bipolar dot of A.row(r) and
+/// B.row(p)  (= cols − 2·mismatches).  A.cols() must equal B.cols().
+/// Parallel over A's rows via the shared pool (each row owns its output
+/// slice, so results are bit-identical at any thread count).
+void xnor_gemm(const BitMatrix& a, const BitMatrix& b, std::int32_t* c);
 
 }  // namespace mpcnn::bnn

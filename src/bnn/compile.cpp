@@ -1,8 +1,15 @@
 #include "bnn/compile.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdlib>
 #include <limits>
+#include <string_view>
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
 
 #include "bnn/binary_layers.hpp"
 #include "core/threadpool.hpp"
@@ -359,6 +366,467 @@ std::vector<std::int32_t> run_reference_binary(const CompiledBnn& net,
   return {};
 }
 
+// ------------------- packed word-parallel engine ----------------------
+//
+// The scalar path above rebuilds every sliding patch one bounds-checked
+// bit at a time; this engine works on whole 64-bit words instead:
+//
+//   1. bit_im2col packs all conv patches of a layer into a word-aligned
+//      BitMatrix with shifts and word splices,
+//   2. a blocked XNOR-popcount GEMM dots packed weight rows against
+//      packed patch rows with the per-channel threshold/negate compare
+//      fused into the epilogue (output bits are accumulated into words
+//      and stored 64 at a time),
+//   3. the first fixed-point stage is evaluated over bit-planes of the
+//      8-bit image:  acc = 2·Σ_k 2^k·popcount(w ∧ plane_k) − Σ patch,
+//      replacing the per-pixel weights.get() test with word AND+popcount.
+//
+// Feature maps live in channel planes padded to word boundaries, so a
+// parallel chunk of output channels owns a disjoint word range — results
+// are bit-identical from 1 to N threads by construction.
+
+// Packed activation map: channel c's out_h·out_w bits start at word
+// c·plane_words (bit y·w + x within the plane).
+struct PlanedBitMap {
+  Dim ch = 0, h = 0, w = 0, plane_words = 0;
+  std::vector<std::uint64_t> words;
+
+  PlanedBitMap() = default;
+  PlanedBitMap(Dim ch_, Dim h_, Dim w_)
+      : ch(ch_), h(h_), w(w_), plane_words((h_ * w_ + 63) / 64),
+        words(static_cast<std::size_t>(ch_ * plane_words), 0) {}
+
+  const std::uint64_t* plane(Dim c) const {
+    return words.data() + static_cast<std::size_t>(c * plane_words);
+  }
+  std::uint64_t* plane(Dim c) {
+    return words.data() + static_cast<std::size_t>(c * plane_words);
+  }
+  bool get(Dim c, Dim y, Dim x) const {
+    const Dim bit = y * w + x;
+    return (plane(c)[bit >> 6] >> (bit & 63)) & 1ULL;
+  }
+};
+
+// Threshold epilogue for one output channel: accumulates fired bits into
+// a word and flushes every 64 positions (single writer per plane word).
+struct BitPackEpilogue {
+  std::uint64_t* dst;
+  std::uint64_t accw = 0;
+
+  void push(Dim pos, bool fire) {
+    accw |= static_cast<std::uint64_t>(fire) << (pos & 63);
+    if ((pos & 63) == 63) {
+      dst[pos >> 6] = accw;
+      accw = 0;
+    }
+  }
+  void flush(Dim positions) {
+    if (positions & 63) dst[positions >> 6] = accw;
+  }
+};
+
+// Reads `count` (1..64) bits starting at `bit`; result in the low bits.
+inline std::uint64_t take_bits(const std::uint64_t* words, Dim bit,
+                               Dim count) {
+  const std::size_t wi = static_cast<std::size_t>(bit >> 6);
+  const Dim off = bit & 63;
+  std::uint64_t v = words[wi] >> off;
+  if (off + count > 64) v |= words[wi + 1] << (64 - off);
+  return count >= 64 ? v : v & ((1ULL << count) - 1ULL);
+}
+
+// ORs the low `count` bits of v into a known-zero destination range.
+inline void or_bits(std::uint64_t* words, Dim bit, std::uint64_t v,
+                    Dim count) {
+  const std::size_t wi = static_cast<std::size_t>(bit >> 6);
+  const Dim off = bit & 63;
+  words[wi] |= v << off;
+  if (off + count > 64) words[wi + 1] |= v >> (64 - off);
+}
+
+#if defined(__SSE2__)
+// SSE2 first stage: patches as byte vectors, weights as 0x00/0xFF byte
+// masks, Σ_{w=1} x via PAND + PSADBW (sum of absolute differences
+// against zero = horizontal byte sum).  Pure integer arithmetic, so the
+// accumulators are bit-identical to the plane path and the scalar oracle;
+// pixels must fit a byte (input_levels ≤ 256).
+PlanedBitMap exec_fixed_point_conv_sad(const CompiledStage& s,
+                                       const std::vector<int>& px) {
+  const Dim positions = s.out_h * s.out_w;
+  const Dim patch = s.in_ch * s.kernel * s.kernel;
+  const Dim vecs = (patch + 15) / 16;
+  const Dim stride = vecs * 16;
+
+  // Byte-level im2col (zero padding past `patch` contributes nothing to
+  // either masked or unmasked sums).
+  std::vector<std::uint8_t> patches(
+      static_cast<std::size_t>(positions * stride), 0);
+  core::parallel_for(0, positions, 16, [&](Dim p0, Dim p1) {
+    for (Dim pos = p0; pos < p1; ++pos) {
+      const Dim oh = pos / s.out_w;
+      const Dim ow = pos % s.out_w;
+      std::uint8_t* dst = patches.data() + pos * stride;
+      for (Dim c = 0; c < s.in_ch; ++c) {
+        for (Dim kh = 0; kh < s.kernel; ++kh, dst += s.kernel) {
+          const int* row =
+              px.data() + ((c * s.in_h + oh + kh) * s.in_w + ow);
+          for (Dim kw = 0; kw < s.kernel; ++kw) {
+            dst[kw] = static_cast<std::uint8_t>(row[kw]);
+          }
+        }
+      }
+    }
+  });
+
+  // Weight rows as byte masks in the same column order.
+  std::vector<std::uint8_t> wmask(
+      static_cast<std::size_t>(s.out_ch * stride), 0);
+  for (Dim oc = 0; oc < s.out_ch; ++oc) {
+    std::uint8_t* row = wmask.data() + oc * stride;
+    for (Dim bit = 0; bit < patch; ++bit) {
+      row[bit] = s.weights.get(oc, bit) ? 0xFF : 0x00;
+    }
+  }
+
+  PlanedBitMap out(s.out_ch, s.out_h, s.out_w);
+  core::parallel_for(0, positions, 64, [&](Dim p0, Dim p1) {
+    std::vector<std::uint64_t> accw(static_cast<std::size_t>(s.out_ch), 0);
+    for (Dim pos = p0; pos < p1; ++pos) {
+      const std::uint8_t* pb = patches.data() + pos * stride;
+      __m128i total = _mm_setzero_si128();
+      for (Dim j = 0; j < vecs; ++j) {
+        const __m128i v = _mm_loadu_si128(
+            reinterpret_cast<const __m128i*>(pb + 16 * j));
+        total = _mm_add_epi64(total,
+                              _mm_sad_epu8(v, _mm_setzero_si128()));
+      }
+      const std::int64_t sum =
+          _mm_cvtsi128_si64(total) +
+          _mm_cvtsi128_si64(_mm_unpackhi_epi64(total, total));
+      for (Dim oc = 0; oc < s.out_ch; ++oc) {
+        const std::uint8_t* wb = wmask.data() + oc * stride;
+        __m128i acc = _mm_setzero_si128();
+        for (Dim j = 0; j < vecs; ++j) {
+          const __m128i v = _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(pb + 16 * j));
+          const __m128i w = _mm_loadu_si128(
+              reinterpret_cast<const __m128i*>(wb + 16 * j));
+          acc = _mm_add_epi64(
+              acc, _mm_sad_epu8(_mm_and_si128(v, w), _mm_setzero_si128()));
+        }
+        const std::int64_t s1 =
+            _mm_cvtsi128_si64(acc) +
+            _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc));
+        accw[static_cast<std::size_t>(oc)] |=
+            static_cast<std::uint64_t>(fire_binary(s, oc, 2 * s1 - sum))
+            << (pos & 63);
+      }
+      if ((pos & 63) == 63) {
+        const Dim wi = pos >> 6;
+        for (Dim oc = 0; oc < s.out_ch; ++oc) {
+          out.plane(oc)[wi] = accw[static_cast<std::size_t>(oc)];
+          accw[static_cast<std::size_t>(oc)] = 0;
+        }
+      }
+    }
+    if (p1 & 63) {  // grain 64: a ragged end only happens at `positions`
+      const Dim wi = p1 >> 6;
+      for (Dim oc = 0; oc < s.out_ch; ++oc) {
+        out.plane(oc)[wi] = accw[static_cast<std::size_t>(oc)];
+      }
+    }
+  });
+  return out;
+}
+#endif  // __SSE2__
+
+PlanedBitMap exec_fixed_point_conv_packed(const CompiledStage& s,
+                                          const std::vector<int>& px,
+                                          int input_levels) {
+#if defined(__SSE2__)
+  if (input_levels <= 256) return exec_fixed_point_conv_sad(s, px);
+#endif
+  const Dim positions = s.out_h * s.out_w;
+  const Dim patch = s.in_ch * s.kernel * s.kernel;
+  const Dim wpr = (patch + 63) / 64;
+  const int planes = std::bit_width(static_cast<unsigned>(input_levels));
+
+  // Slice the integer image into bit-planes (plane k of channel c holds
+  // bit k of every pixel), then word-splice each bit-plane through the
+  // same bit_im2col the binary convs use: plane_mats[k] row `pos` is bit
+  // k of every patch pixel of output position pos, columns in
+  // pack_weights order.
+  const Dim in_plane_words = (s.in_h * s.in_w + 63) / 64;
+  std::vector<std::uint64_t> in_planes(
+      static_cast<std::size_t>(planes * s.in_ch * in_plane_words), 0);
+  core::parallel_for(0, s.in_ch, 1, [&](Dim cc0, Dim cc1) {
+    for (Dim c = cc0; c < cc1; ++c) {
+      const int* chan = px.data() + c * s.in_h * s.in_w;
+      for (Dim i = 0; i < s.in_h * s.in_w; ++i) {
+        const std::uint32_t x = static_cast<std::uint32_t>(chan[i]);
+        const Dim wi = i >> 6;
+        const Dim sh = i & 63;
+        for (int k = 0; k < planes; ++k) {
+          in_planes[static_cast<std::size_t>(
+              (k * s.in_ch + c) * in_plane_words + wi)] |=
+              static_cast<std::uint64_t>((x >> k) & 1U) << sh;
+        }
+      }
+    }
+  });
+  std::vector<BitMatrix> plane_mats;
+  plane_mats.reserve(static_cast<std::size_t>(planes));
+  for (int k = 0; k < planes; ++k) {
+    plane_mats.push_back(bit_im2col(
+        in_planes.data() +
+            static_cast<std::size_t>(k * s.in_ch * in_plane_words),
+        in_plane_words, s.in_ch, s.in_h, s.in_w, s.kernel));
+  }
+  // Contiguous copy of the weight rows so the hot loop streams one dense
+  // buffer instead of recomputing row addresses per (oc, pos, plane).
+  std::vector<std::uint64_t> wbuf(static_cast<std::size_t>(s.out_ch * wpr));
+  for (Dim oc = 0; oc < s.out_ch; ++oc) {
+    std::copy_n(s.weights.row_data(oc), wpr, wbuf.data() + oc * wpr);
+  }
+  std::vector<const std::uint64_t*> bases(static_cast<std::size_t>(planes));
+  for (int k = 0; k < planes; ++k) {
+    bases[static_cast<std::size_t>(k)] =
+        plane_mats[static_cast<std::size_t>(k)].row_data(0);
+  }
+
+  // Position-outer accumulation: the patch's plane words are loaded once
+  // per position and reused by every output channel; Σ patch falls out of
+  // the same loads as Σ_k 2^k·popcount(plane_k row).  The parallel grain
+  // of 64 positions puts chunk boundaries on output-word edges, so each
+  // chunk owns a disjoint word range of every output plane (bit-identical
+  // at any thread count).  acc = 2·Σ_{w=1} x − Σ x, exact vs the scalar
+  // path's Σ (w ? x : −x).
+  PlanedBitMap out(s.out_ch, s.out_h, s.out_w);
+  core::parallel_for(0, positions, 64, [&](Dim p0, Dim p1) {
+    std::vector<std::uint64_t> accw(static_cast<std::size_t>(s.out_ch), 0);
+    std::vector<std::uint64_t> pk(static_cast<std::size_t>(planes * wpr));
+    for (Dim pos = p0; pos < p1; ++pos) {
+      std::int32_t sum = 0;
+      if (wpr == 1) {
+        // First-layer patches (in_ch·K² bits) almost always fit one word:
+        // a register-resident inner loop with no word indexing.
+        for (int k = 0; k < planes; ++k) {
+          const std::uint64_t v = bases[static_cast<std::size_t>(k)][pos];
+          pk[static_cast<std::size_t>(k)] = v;
+          sum += static_cast<std::int32_t>(std::popcount(v)) << k;
+        }
+        for (Dim oc = 0; oc < s.out_ch; ++oc) {
+          const std::uint64_t w = wbuf[static_cast<std::size_t>(oc)];
+          std::int64_t s1 = 0;
+          for (int k = 0; k < planes; ++k) {
+            s1 += static_cast<std::int64_t>(std::popcount(
+                      w & pk[static_cast<std::size_t>(k)]))
+                  << k;
+          }
+          accw[static_cast<std::size_t>(oc)] |=
+              static_cast<std::uint64_t>(fire_binary(s, oc, 2 * s1 - sum))
+              << (pos & 63);
+        }
+      } else {
+        for (int k = 0; k < planes; ++k) {
+          const std::uint64_t* prow =
+              bases[static_cast<std::size_t>(k)] + pos * wpr;
+          Dim cnt = 0;
+          for (Dim t = 0; t < wpr; ++t) {
+            pk[static_cast<std::size_t>(k * wpr + t)] = prow[t];
+            cnt += std::popcount(prow[t]);
+          }
+          sum += static_cast<std::int32_t>(cnt) << k;
+        }
+        for (Dim oc = 0; oc < s.out_ch; ++oc) {
+          const std::uint64_t* w = wbuf.data() + oc * wpr;
+          std::int64_t s1 = 0;
+          for (int k = 0; k < planes; ++k) {
+            Dim cnt = 0;
+            for (Dim t = 0; t < wpr; ++t) {
+              cnt += std::popcount(
+                  w[t] & pk[static_cast<std::size_t>(k * wpr + t)]);
+            }
+            s1 += static_cast<std::int64_t>(cnt) << k;
+          }
+          accw[static_cast<std::size_t>(oc)] |=
+              static_cast<std::uint64_t>(fire_binary(s, oc, 2 * s1 - sum))
+              << (pos & 63);
+        }
+      }
+      if ((pos & 63) == 63) {
+        const Dim wi = pos >> 6;
+        for (Dim oc = 0; oc < s.out_ch; ++oc) {
+          out.plane(oc)[wi] = accw[static_cast<std::size_t>(oc)];
+          accw[static_cast<std::size_t>(oc)] = 0;
+        }
+      }
+    }
+    if (p1 & 63) {  // grain 64: a ragged end only happens at `positions`
+      const Dim wi = p1 >> 6;
+      for (Dim oc = 0; oc < s.out_ch; ++oc) {
+        out.plane(oc)[wi] = accw[static_cast<std::size_t>(oc)];
+      }
+    }
+  });
+  return out;
+}
+
+PlanedBitMap exec_binary_conv_packed(const CompiledStage& s,
+                                     const PlanedBitMap& in) {
+  const BitMatrix patches = bit_im2col(in.words.data(), in.plane_words,
+                                       s.in_ch, s.in_h, s.in_w, s.kernel);
+  const Dim positions = s.out_h * s.out_w;
+  const Dim cols = s.weights.cols();
+  const Dim wpr = patches.words_per_row();
+  PlanedBitMap out(s.out_ch, s.out_h, s.out_w);
+  // Register blocking: four weight rows per pass share every patch-row
+  // load and keep four independent popcount chains in flight.  Grain 4
+  // keeps parallel chunk boundaries on block edges; per-channel results
+  // are independent, so blocking cannot change any accumulator.
+  core::parallel_for(0, s.out_ch, 4, [&](Dim c0, Dim c1) {
+    Dim oc = c0;
+    for (; oc + 4 <= c1; oc += 4) {
+      const std::uint64_t* w0 = s.weights.row_data(oc);
+      const std::uint64_t* w1 = s.weights.row_data(oc + 1);
+      const std::uint64_t* w2 = s.weights.row_data(oc + 2);
+      const std::uint64_t* w3 = s.weights.row_data(oc + 3);
+      BitPackEpilogue ep0{out.plane(oc)};
+      BitPackEpilogue ep1{out.plane(oc + 1)};
+      BitPackEpilogue ep2{out.plane(oc + 2)};
+      BitPackEpilogue ep3{out.plane(oc + 3)};
+      for (Dim pos = 0; pos < positions; ++pos) {
+        const std::uint64_t* p = patches.row_data(pos);
+        Dim m0 = 0, m1 = 0, m2 = 0, m3 = 0;
+        for (Dim t = 0; t < wpr; ++t) {
+          const std::uint64_t pv = p[t];
+          m0 += std::popcount(w0[t] ^ pv);
+          m1 += std::popcount(w1[t] ^ pv);
+          m2 += std::popcount(w2[t] ^ pv);
+          m3 += std::popcount(w3[t] ^ pv);
+        }
+        ep0.push(pos, fire_binary(s, oc, cols - 2 * m0));
+        ep1.push(pos, fire_binary(s, oc + 1, cols - 2 * m1));
+        ep2.push(pos, fire_binary(s, oc + 2, cols - 2 * m2));
+        ep3.push(pos, fire_binary(s, oc + 3, cols - 2 * m3));
+      }
+      ep0.flush(positions);
+      ep1.flush(positions);
+      ep2.flush(positions);
+      ep3.flush(positions);
+    }
+    for (; oc < c1; ++oc) {
+      const std::uint64_t* wrow = s.weights.row_data(oc);
+      BitPackEpilogue ep{out.plane(oc)};
+      for (Dim pos = 0; pos < positions; ++pos) {
+        const std::int64_t acc =
+            cols - 2 * xor_popcount_words(wrow, patches.row_data(pos), wpr);
+        ep.push(pos, fire_binary(s, oc, acc));
+      }
+      ep.flush(positions);
+    }
+  });
+  return out;
+}
+
+PlanedBitMap exec_maxpool_packed(const CompiledStage& s,
+                                 const PlanedBitMap& in) {
+  // Binary max is OR, so a whole 2×2 pooling row folds word-at-a-time:
+  // OR the two source rows, OR adjacent column pairs, then compress the
+  // surviving even bits with the Morton-decode SWAR ladder.  Chunks of
+  // ≤32 output bits keep the 2× source read inside one take_bits call.
+  PlanedBitMap out(s.out_ch, s.out_h, s.out_w);
+  core::parallel_for(0, s.out_ch, 1, [&](Dim c0, Dim c1) {
+    for (Dim c = c0; c < c1; ++c) {
+      const std::uint64_t* src = in.plane(c);
+      std::uint64_t* dst = out.plane(c);
+      for (Dim oh = 0; oh < s.out_h; ++oh) {
+        for (Dim ow0 = 0; ow0 < s.out_w; ow0 += 32) {
+          const Dim n = std::min<Dim>(32, s.out_w - ow0);
+          const std::uint64_t a =
+              take_bits(src, (2 * oh) * in.w + 2 * ow0, 2 * n);
+          const std::uint64_t b =
+              take_bits(src, (2 * oh + 1) * in.w + 2 * ow0, 2 * n);
+          std::uint64_t x = a | b;
+          x = (x | (x >> 1)) & 0x5555555555555555ULL;
+          x = (x | (x >> 1)) & 0x3333333333333333ULL;
+          x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+          x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+          x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+          x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+          or_bits(dst, oh * s.out_w + ow0, x, n);
+        }
+      }
+    }
+  });
+  return out;
+}
+
+// Compacts the plane-padded map into the contiguous (c·H + y)·W + x bit
+// order dense weights were packed against.
+BitVector flatten_planes(const PlanedBitMap& in) {
+  const Dim per_plane = in.h * in.w;
+  BitVector flat(in.ch * per_plane);
+  for (Dim c = 0; c < in.ch; ++c) {
+    copy_bits(in.plane(c), 0, flat.data(), c * per_plane, per_plane);
+  }
+  return flat;
+}
+
+std::vector<std::int32_t> run_reference_packed(const CompiledBnn& net,
+                                               const std::vector<int>& px) {
+  PlanedBitMap fmap =
+      exec_fixed_point_conv_packed(net.stages.front(), px, net.input_levels);
+  BitVector flat;
+  bool flat_valid = false;
+  for (std::size_t s = 1; s < net.stages.size(); ++s) {
+    const CompiledStage& stage = net.stages[s];
+    switch (stage.kind) {
+      case StageKind::kBinaryConv:
+        MPCNN_CHECK(!flat_valid, "conv stage after dense");
+        fmap = exec_binary_conv_packed(stage, fmap);
+        break;
+      case StageKind::kMaxPoolBinary:
+        MPCNN_CHECK(!flat_valid, "pool stage after dense");
+        fmap = exec_maxpool_packed(stage, fmap);
+        break;
+      case StageKind::kBinaryDense:
+      case StageKind::kOutputDense: {
+        if (!flat_valid) {
+          flat = flatten_planes(fmap);
+          flat_valid = true;
+        }
+        MPCNN_CHECK(flat.size() == stage.in_ch,
+                    "dense stage input width mismatch");
+        const Dim cols = stage.weights.cols();
+        const Dim wpr = stage.weights.words_per_row();
+        std::vector<std::int32_t> accs(
+            static_cast<std::size_t>(stage.out_ch));
+        core::parallel_for(0, stage.out_ch, 8, [&](Dim c0, Dim c1) {
+          for (Dim oc = c0; oc < c1; ++oc) {
+            accs[static_cast<std::size_t>(oc)] = static_cast<std::int32_t>(
+                cols - 2 * xor_popcount_words(stage.weights.row_data(oc),
+                                              flat.data(), wpr));
+          }
+        });
+        if (stage.kind == StageKind::kOutputDense) return accs;
+        BitVector next(stage.out_ch);
+        for (Dim oc = 0; oc < stage.out_ch; ++oc) {
+          next.set(oc, fire_binary(stage, oc,
+                                   accs[static_cast<std::size_t>(oc)]));
+        }
+        flat = std::move(next);
+        break;
+      }
+      case StageKind::kFixedPointConv:
+        MPCNN_CHECK(false, "fixed-point conv must be the first stage");
+    }
+  }
+  MPCNN_CHECK(false, "compiled net has no output stage");
+  return {};
+}
+
 // ---------------- generic path: multi-level activations ---------------
 
 // Feature map of quantisation levels q ∈ {0, …, L−1}; the encoded
@@ -510,10 +978,24 @@ std::vector<std::int32_t> run_reference_generic(const CompiledBnn& net,
   return {};
 }
 
+// Resolves kAuto from MPCNN_BNN_EXEC ("packed" | "scalar"; unset means
+// packed).  Re-read on every call so tests and tools can flip the toggle
+// at runtime; the lookup is trivial next to a network evaluation.
+BnnExec env_bnn_exec() {
+  const char* s = std::getenv("MPCNN_BNN_EXEC");
+  if (s == nullptr || *s == '\0' || std::string_view(s) == "packed") {
+    return BnnExec::kPacked;
+  }
+  MPCNN_CHECK(std::string_view(s) == "scalar",
+              "MPCNN_BNN_EXEC must be 'packed' or 'scalar', got '" << s
+                                                                   << "'");
+  return BnnExec::kScalar;
+}
+
 }  // namespace
 
 std::vector<std::int32_t> run_reference(const CompiledBnn& net,
-                                        const Tensor& image) {
+                                        const Tensor& image, BnnExec exec) {
   MPCNN_CHECK(image.shape().rank() == 4 && image.shape()[0] == 1,
               "run_reference expects one NCHW image");
   MPCNN_CHECK(!net.stages.empty(), "empty compiled net");
@@ -532,25 +1014,45 @@ std::vector<std::int32_t> run_reference(const CompiledBnn& net,
     pixels[static_cast<std::size_t>(i)] = static_cast<int>(
         std::lround(std::clamp(image[i], 0.0f, 1.0f) * levels));
   }
-  return net.fully_binary() ? run_reference_binary(net, pixels)
-                            : run_reference_generic(net, pixels);
+  if (!net.fully_binary()) {
+    MPCNN_CHECK(exec != BnnExec::kPacked,
+                "packed engine requires a fully binarised net");
+    return run_reference_generic(net, pixels);
+  }
+  const BnnExec mode = exec == BnnExec::kAuto ? env_bnn_exec() : exec;
+  return mode == BnnExec::kScalar ? run_reference_binary(net, pixels)
+                                  : run_reference_packed(net, pixels);
+}
+
+std::vector<std::vector<std::int32_t>> run_reference_batch(
+    const CompiledBnn& net, const Tensor& images, BnnExec exec) {
+  MPCNN_CHECK(images.shape().rank() == 4,
+              "run_reference_batch expects NCHW images");
+  const Dim n = images.shape()[0];
+  std::vector<std::vector<std::int32_t>> scores(static_cast<std::size_t>(n));
+  // Per-image fan-out over the shared pool: run_reference only reads the
+  // compiled net (integer arithmetic, so even the order is moot) and
+  // each image writes its own scores slot.  The engine's internal
+  // parallelism nests inline under this region.
+  core::parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
+    for (Dim i = i0; i < i1; ++i) {
+      scores[static_cast<std::size_t>(i)] =
+          run_reference(net, images.slice_batch(i), exec);
+    }
+  });
+  return scores;
 }
 
 std::vector<int> classify_reference(const CompiledBnn& net,
                                     const Tensor& images) {
-  const Dim n = images.shape()[0];
-  std::vector<int> labels(static_cast<std::size_t>(n));
-  // Per-image fan-out over the shared pool: run_reference only reads the
-  // compiled net (integer arithmetic, so even the order is moot) and
-  // each image writes its own label slot.
-  core::parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
-    for (Dim i = i0; i < i1; ++i) {
-      const std::vector<std::int32_t> scores =
-          run_reference(net, images.slice_batch(i));
-      labels[static_cast<std::size_t>(i)] = static_cast<int>(std::distance(
-          scores.begin(), std::max_element(scores.begin(), scores.end())));
-    }
-  });
+  const std::vector<std::vector<std::int32_t>> scores =
+      run_reference_batch(net, images);
+  std::vector<int> labels(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    labels[i] = static_cast<int>(std::distance(
+        scores[i].begin(),
+        std::max_element(scores[i].begin(), scores[i].end())));
+  }
   return labels;
 }
 

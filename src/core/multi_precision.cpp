@@ -51,17 +51,19 @@ MultiPrecisionReport MultiPrecisionSystem::run(
   report.images = n;
 
   // --- functional pass: BNN labels, DMU confidences, rerun flags ---
-  // The per-image BNN emulation + DMU gating is embarrassingly parallel
-  // (run_reference and Dmu::accept only read shared state), so it fans
-  // out over the pool; each image writes its own label/accept slot.
-  // std::vector<bool> is bit-packed and unsafe for concurrent writes, so
-  // the flags are collected as bytes first.
+  // The BNN emulation runs as one batched fan-out through the packed
+  // run_reference engine; the DMU gating then fans out over the scored
+  // batch (Dmu::accept only reads shared state), each image writing its
+  // own label/accept slot.  std::vector<bool> is bit-packed and unsafe
+  // for concurrent writes, so the flags are collected as bytes first.
+  const std::vector<std::vector<std::int32_t>> raw_batch =
+      bnn::run_reference_batch(bnn_, test.images);
   std::vector<int> bnn_labels(static_cast<std::size_t>(n));
   std::vector<std::uint8_t> rerun(static_cast<std::size_t>(n), 0);
   parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
     for (Dim i = i0; i < i1; ++i) {
-      const Tensor image = test.images.slice_batch(i);
-      const std::vector<std::int32_t> raw = bnn::run_reference(bnn_, image);
+      const std::vector<std::int32_t>& raw =
+          raw_batch[static_cast<std::size_t>(i)];
       std::vector<float> scores(raw.begin(), raw.end());
       bnn_labels[static_cast<std::size_t>(i)] = static_cast<int>(
           std::distance(raw.begin(),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "core/threadpool.hpp"
 #include "tensor/error.hpp"
 
 namespace mpcnn::core {
@@ -54,13 +55,25 @@ void StreamSession::dispatch(double now) {
   const double fpga_done = fpga_start + duration;
   fpga_free_ = fpga_done;
 
+  // BNN leg for the whole batch up front: per-image fan-out through the
+  // packed run_reference engine (each image owns its scores slot), before
+  // the serial arrival/latency bookkeeping below.
+  std::vector<std::vector<std::int32_t>> raw_scores(
+      static_cast<std::size_t>(n));
+  parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
+    for (Dim i = i0; i < i1; ++i) {
+      raw_scores[static_cast<std::size_t>(i)] =
+          bnn::run_reference(bnn_, batch_[static_cast<std::size_t>(i)].image);
+    }
+  });
+
   host_.set_training(false);
-  for (Pending& pending : batch_) {
+  for (std::size_t b = 0; b < batch_.size(); ++b) {
+    Pending& pending = batch_[b];
     StreamResult result;
     result.image_id = pending.id;
     result.submitted_at = pending.arrival;
-    const std::vector<std::int32_t> raw =
-        bnn::run_reference(bnn_, pending.image);
+    const std::vector<std::int32_t>& raw = raw_scores[b];
     std::vector<float> scores(raw.begin(), raw.end());
     result.bnn_label = static_cast<int>(std::distance(
         raw.begin(), std::max_element(raw.begin(), raw.end())));

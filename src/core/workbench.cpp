@@ -251,11 +251,15 @@ double Workbench::bnn_accuracy() {
 std::vector<ScoredExample> Workbench::collect_scores(
     const data::Dataset& set) {
   const bnn::CompiledBnn& net = compiled_bnn();
+  // Batched fan-out through the packed engine: the DMU calibration sweep
+  // scores the whole training/test set here, the hottest workbench path.
+  const std::vector<std::vector<std::int32_t>> raw_batch =
+      bnn::run_reference_batch(net, set.images);
   std::vector<ScoredExample> out;
   out.reserve(static_cast<std::size_t>(set.size()));
   for (Dim i = 0; i < set.size(); ++i) {
-    const std::vector<std::int32_t> raw =
-        bnn::run_reference(net, set.images.slice_batch(i));
+    const std::vector<std::int32_t>& raw =
+        raw_batch[static_cast<std::size_t>(i)];
     ScoredExample example;
     example.scores.assign(raw.begin(), raw.end());
     const int label = static_cast<int>(std::distance(

@@ -43,15 +43,16 @@ bnn::CnvLayerInfo info_of(const CompiledStage& stage, bool first) {
 }
 
 // Bipolar folded accumulation of one weight row window: PE handles S
-// columns [c0, c0+S) of row `oc` against the patch bits.
+// columns [c0, c0+S) of row `oc` against the patch bits.  Masked
+// word-level XNOR+popcount over the slice — same accumulator values as
+// the per-bit loop (matches − mismatches = S − 2·mismatches), and the
+// cycle model is untouched.
 std::int64_t window_dot_bipolar(const bnn::BitMatrix& weights, Dim oc,
                                 const BitVector& patch, Dim c0, Dim s) {
-  std::int64_t acc = 0;
-  for (Dim c = c0; c < c0 + s; ++c) {
-    const bool match = weights.get(oc, c) == patch.get(c);
-    acc += match ? 1 : -1;
-  }
-  return acc;
+  const Dim mismatches =
+      bnn::xor_mismatches_range(weights.row_data(oc), patch.data(), c0,
+                                c0 + s);
+  return s - 2 * static_cast<std::int64_t>(mismatches);
 }
 
 struct BitMap {

@@ -41,3 +41,27 @@ namespace detail {
                                        .str());                         \
     }                                                                   \
   } while (false)
+
+/// Debug-only precondition: identical to MPCNN_CHECK in debug builds,
+/// compiled out entirely under NDEBUG.  Used on per-element accessors
+/// (BitVector/BitMatrix get/set and the like) so hot inner loops are not
+/// check-bound in release builds while the API stays checked in debug.
+#ifndef NDEBUG
+#define MPCNN_DCHECK(cond, msg) MPCNN_CHECK(cond, msg)
+#else
+#define MPCNN_DCHECK(cond, msg) \
+  do {                          \
+  } while (false)
+#endif
+
+namespace mpcnn {
+
+/// True when MPCNN_DCHECK is active (debug builds); tests use this to
+/// know whether per-element bounds violations throw.
+#ifndef NDEBUG
+inline constexpr bool kDebugChecksEnabled = true;
+#else
+inline constexpr bool kDebugChecksEnabled = false;
+#endif
+
+}  // namespace mpcnn

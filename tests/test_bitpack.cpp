@@ -28,10 +28,14 @@ TEST(BitVector, SetGetClear) {
   EXPECT_EQ(v.popcount(), 0);
 }
 
-TEST(BitVector, BoundsChecked) {
-  BitVector v(10);
-  EXPECT_THROW(v.get(10), Error);
-  EXPECT_THROW(v.set(-1, true), Error);
+TEST(BitVector, BoundsCheckedInDebugBuilds) {
+  // get/set are MPCNN_DCHECK-guarded: checked in debug builds, unchecked
+  // in release so inner loops are not check-bound.
+  if constexpr (kDebugChecksEnabled) {
+    BitVector v(10);
+    EXPECT_THROW(v.get(10), Error);
+    EXPECT_THROW(v.set(-1, true), Error);
+  }
 }
 
 class BitVectorDot : public ::testing::TestWithParam<int> {};
@@ -104,10 +108,13 @@ TEST(BitMatrix, RowDotMatchesVectorDot) {
   }
 }
 
-TEST(BitMatrix, BoundsChecked) {
+TEST(BitMatrix, BoundsCheckedInDebugBuilds) {
   BitMatrix m(2, 10);
-  EXPECT_THROW(m.get(2, 0), Error);
-  EXPECT_THROW(m.set(0, 10, true), Error);
+  if constexpr (kDebugChecksEnabled) {
+    EXPECT_THROW(m.get(2, 0), Error);
+    EXPECT_THROW(m.set(0, 10, true), Error);
+  }
+  // Whole-row entry points stay checked in every build.
   BitVector wrong(11);
   EXPECT_THROW(m.row_xnor_matches(0, wrong), Error);
 }
@@ -117,6 +124,151 @@ TEST(SignBit, ZeroMapsToPlusOne) {
   EXPECT_TRUE(sign_bit(1.0f));
   EXPECT_FALSE(sign_bit(-1e-9f));
 }
+
+TEST(CopyBits, MatchesPerBitReferenceAcrossOffsets) {
+  Rng rng(97);
+  const Dim n = 4 * 64;
+  BitVector src(n);
+  for (Dim i = 0; i < n; ++i) src.set(i, rng.bernoulli(0.5));
+  for (const Dim count : {Dim{1}, Dim{3}, Dim{17}, Dim{63}, Dim{64},
+                          Dim{65}, Dim{127}, Dim{130}}) {
+    for (const Dim src_off : {Dim{0}, Dim{1}, Dim{13}, Dim{63}}) {
+      for (const Dim dst_off : {Dim{0}, Dim{5}, Dim{62}}) {
+        if (src_off + count > n) continue;
+        BitVector dst(dst_off + count + 64);
+        // Pre-set noise the copy must overwrite or preserve exactly.
+        for (Dim i = 0; i < dst.size(); ++i) dst.set(i, rng.bernoulli(0.5));
+        BitVector expected = dst;
+        for (Dim i = 0; i < count; ++i) {
+          expected.set(dst_off + i, src.get(src_off + i));
+        }
+        copy_bits(src.data(), src_off, dst.data(), dst_off, count);
+        EXPECT_TRUE(dst == expected)
+            << "count=" << count << " src_off=" << src_off
+            << " dst_off=" << dst_off;
+      }
+    }
+  }
+}
+
+TEST(XorMismatchesRange, MatchesPerBitReference) {
+  Rng rng(101);
+  const Dim n = 3 * 64 + 7;
+  BitVector a(n), b(n);
+  for (Dim i = 0; i < n; ++i) {
+    a.set(i, rng.bernoulli(0.5));
+    b.set(i, rng.bernoulli(0.5));
+  }
+  for (const auto& [begin, end] :
+       std::vector<std::pair<Dim, Dim>>{{0, 0}, {0, 1}, {0, 64}, {0, n},
+                                        {1, 63}, {5, 64}, {63, 65},
+                                        {64, 128}, {70, 199}, {128, n}}) {
+    Dim expected = 0;
+    for (Dim i = begin; i < end; ++i) {
+      if (a.get(i) != b.get(i)) ++expected;
+    }
+    EXPECT_EQ(xor_mismatches_range(a.data(), b.data(), begin, end), expected)
+        << "range [" << begin << ", " << end << ")";
+  }
+}
+
+// Randomized packed-vs-scalar equivalence at tail-word hostile widths:
+// cols % 64 ∈ {0, 1, 63} plus small odd sizes.
+class XnorGemmShapes : public ::testing::TestWithParam<int> {};
+
+TEST_P(XnorGemmShapes, MatchesRowDotReference) {
+  const Dim cols = GetParam();
+  const Dim rows = 5, positions = 7;
+  Rng rng(static_cast<std::uint64_t>(cols) * 131);
+  BitMatrix a(rows, cols), b(positions, cols);
+  for (Dim r = 0; r < rows; ++r) {
+    for (Dim c = 0; c < cols; ++c) a.set(r, c, rng.bernoulli(0.5));
+  }
+  for (Dim p = 0; p < positions; ++p) {
+    for (Dim c = 0; c < cols; ++c) b.set(p, c, rng.bernoulli(0.5));
+  }
+  std::vector<std::int32_t> out(static_cast<std::size_t>(rows * positions));
+  xnor_gemm(a, b, out.data());
+  for (Dim r = 0; r < rows; ++r) {
+    for (Dim p = 0; p < positions; ++p) {
+      BitVector brow(cols);
+      for (Dim c = 0; c < cols; ++c) brow.set(c, b.get(p, c));
+      EXPECT_EQ(out[static_cast<std::size_t>(r * positions + p)],
+                a.row_dot_bipolar(r, brow))
+          << "cols=" << cols << " r=" << r << " p=" << p;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(TailWordHostile, XnorGemmShapes,
+                         ::testing::Values(1, 63, 64, 65, 127, 128, 191,
+                                           192, 193));
+
+TEST(XnorGemm, ColumnMismatchThrows) {
+  BitMatrix a(2, 64), b(2, 65);
+  std::vector<std::int32_t> out(4);
+  EXPECT_THROW(xnor_gemm(a, b, out.data()), Error);
+}
+
+// bit_im2col against a per-bit patch assembly reference, at plane sizes
+// whose h·w hits the hostile tail-word residues 63/64/65.
+struct Im2colCase {
+  Dim ch, h, w, kernel;
+};
+
+class BitIm2colShapes : public ::testing::TestWithParam<Im2colCase> {};
+
+TEST_P(BitIm2colShapes, MatchesPerBitPatchAssembly) {
+  const auto [ch, h, w, kernel] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(ch * h * w * kernel));
+  const Dim plane_words = (h * w + 63) / 64;
+  std::vector<std::uint64_t> planes(
+      static_cast<std::size_t>(ch * plane_words), 0);
+  auto bit_of = [&](Dim c, Dim y, Dim x) {
+    const Dim bit = y * w + x;
+    return (planes[static_cast<std::size_t>(c * plane_words + (bit >> 6))] >>
+            (bit & 63)) &
+           1ULL;
+  };
+  for (Dim c = 0; c < ch; ++c) {
+    for (Dim bit = 0; bit < h * w; ++bit) {
+      if (rng.bernoulli(0.5)) {
+        planes[static_cast<std::size_t>(c * plane_words + (bit >> 6))] |=
+            1ULL << (bit & 63);
+      }
+    }
+  }
+  const BitMatrix patches = bit_im2col(planes.data(), plane_words, ch, h, w,
+                                       kernel);
+  const Dim out_h = h - kernel + 1, out_w = w - kernel + 1;
+  ASSERT_EQ(patches.rows(), out_h * out_w);
+  ASSERT_EQ(patches.cols(), ch * kernel * kernel);
+  for (Dim oh = 0; oh < out_h; ++oh) {
+    for (Dim ow = 0; ow < out_w; ++ow) {
+      const Dim pos = oh * out_w + ow;
+      Dim col = 0;
+      for (Dim c = 0; c < ch; ++c) {
+        for (Dim kh = 0; kh < kernel; ++kh) {
+          for (Dim kw = 0; kw < kernel; ++kw, ++col) {
+            EXPECT_EQ(patches.get(pos, col),
+                      bit_of(c, oh + kh, ow + kw) != 0)
+                << "pos=" << pos << " col=" << col;
+          }
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TailWordHostile, BitIm2colShapes,
+    ::testing::Values(Im2colCase{3, 9, 7, 3},    // h*w = 63
+                      Im2colCase{2, 8, 8, 3},    // h*w = 64
+                      Im2colCase{1, 5, 13, 3},   // h*w = 65
+                      Im2colCase{4, 6, 6, 1},    // K = 1 passthrough
+                      Im2colCase{2, 12, 11, 5},  // wide kernel
+                      Im2colCase{64, 30, 30, 3}  // the CNV conv2 shape
+                      ));
 
 }  // namespace
 }  // namespace mpcnn::bnn
