@@ -21,9 +21,21 @@ for b in build/bench/*; do
   esac
 done 2>&1 | tee bench_output.txt
 
-# Second build tree under ThreadSanitizer: the thread-pool semantics and
-# the 1-vs-N determinism tests must report zero races.
+# Sanitizer matrix.  Tree 1: ThreadSanitizer — the thread-pool semantics,
+# the 1-vs-N determinism tests, and the fault-injection/supervisor paths
+# (which mutate emulated weight memory under a live executor) must report
+# zero races.
 cmake -B build-tsan -G Ninja -DMPCNN_SANITIZE=thread
 cmake --build build-tsan
-MPCNN_THREADS=4 ctest --test-dir build-tsan -R 'ThreadPool|Determinism|PackedBnn' \
+MPCNN_THREADS=4 ctest --test-dir build-tsan \
+  -R 'ThreadPool|Determinism|PackedBnn|Fault|WeightScrub|Stream' \
   --output-on-failure 2>&1 | tee tsan_output.txt
+
+# Tree 2: ASan+UBSan (MPCNN_SANITIZE=address enables both) — guards the
+# SEU bit-flip / CRC-scrub code, which does raw word-level writes into
+# packed weight memory, against out-of-bounds access and UB.
+cmake -B build-asan -G Ninja -DMPCNN_SANITIZE=address
+cmake --build build-asan
+MPCNN_THREADS=4 ctest --test-dir build-asan \
+  -R 'Fault|WeightScrub|Crc32|Stream|ThreadPool|Bitpack' \
+  --output-on-failure 2>&1 | tee asan_output.txt

@@ -1,0 +1,231 @@
+#include "core/fault.hpp"
+
+#include <algorithm>
+#include <array>
+
+#include "tensor/error.hpp"
+
+namespace mpcnn::core {
+namespace {
+
+// SplitMix64 finalizer — the stateless mixing primitive behind every
+// injection decision.  Chaining mix64 over (seed, tag, args...) gives an
+// order-independent per-query value, which is what makes the injector
+// safe to consult from any code path without perturbing the replay.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  return mix64(a ^ mix64(b));
+}
+
+// Per-kind stream tags keep e.g. SEU targeting independent of input
+// corruption even when windows share dispatch indices.
+constexpr std::uint64_t kSeuTag = 0x5E00A11DULL;
+constexpr std::uint64_t kInputTag = 0xC0221137ULL;
+
+// Stages with emulated on-chip parameter memory (pool stages hold none).
+bool has_parameters(const bnn::CompiledStage& stage) {
+  return stage.kind != bnn::StageKind::kMaxPoolBinary;
+}
+
+const std::array<std::uint32_t, 256>& crc_table() {
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  return table;
+}
+
+}  // namespace
+
+FaultInjector::FaultInjector(std::uint64_t seed, FaultPlan plan)
+    : seed_(seed), plan_(std::move(plan)) {
+  for (const FaultWindow& w : plan_.windows) {
+    MPCNN_CHECK(w.last_dispatch >= w.first_dispatch,
+                "fault window [" << w.first_dispatch << ", "
+                                 << w.last_dispatch << "] is inverted");
+    MPCNN_CHECK(w.magnitude >= 0.0, "fault magnitude must be >= 0");
+  }
+}
+
+bool FaultInjector::fabric_stalled(Dim dispatch) const {
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind == FaultKind::kFabricStall && w.covers(dispatch)) return true;
+  }
+  return false;
+}
+
+Dim FaultInjector::dma_failed_attempts(Dim dispatch) const {
+  Dim failed = 0;
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind == FaultKind::kDmaError && w.covers(dispatch)) {
+      failed = std::max(failed, static_cast<Dim>(w.magnitude));
+    }
+  }
+  return failed;
+}
+
+double FaultInjector::host_latency_multiplier(Dim dispatch) const {
+  double multiplier = 1.0;
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind == FaultKind::kHostLatencySpike && w.covers(dispatch)) {
+      multiplier *= w.magnitude;
+    }
+  }
+  return multiplier;
+}
+
+Dim FaultInjector::apply_seu(bnn::CompiledBnn& fabric, Dim dispatch) const {
+  // Target space: every valid weight bit plus every threshold bit of
+  // every parameterised stage, linearised.  Flips land uniformly via the
+  // per-flip hash, so the same (seed, dispatch) corrupts the same bits
+  // in any fabric copy of the same geometry.
+  std::int64_t total_bits = 0;
+  for (const bnn::CompiledStage& stage : fabric.stages) {
+    if (!has_parameters(stage)) continue;
+    total_bits += static_cast<std::int64_t>(stage.weights.rows()) *
+                  stage.weights.cols();
+    total_bits += static_cast<std::int64_t>(stage.thresholds.size()) * 32;
+  }
+  if (total_bits == 0) return 0;
+
+  Dim flips = 0;
+  for (std::size_t wi = 0; wi < plan_.windows.size(); ++wi) {
+    const FaultWindow& w = plan_.windows[wi];
+    if (w.kind != FaultKind::kSeuWeightFlip || !w.covers(dispatch)) continue;
+    for (Dim k = 0; k < w.count; ++k) {
+      const std::uint64_t h = mix64(
+          mix64(mix64(seed_, kSeuTag), static_cast<std::uint64_t>(dispatch)),
+          (static_cast<std::uint64_t>(wi) << 32) |
+              static_cast<std::uint64_t>(k));
+      std::int64_t target =
+          static_cast<std::int64_t>(h % static_cast<std::uint64_t>(total_bits));
+      for (bnn::CompiledStage& stage : fabric.stages) {
+        if (!has_parameters(stage)) continue;
+        const std::int64_t weight_bits =
+            static_cast<std::int64_t>(stage.weights.rows()) *
+            stage.weights.cols();
+        if (target < weight_bits) {
+          const Dim r = static_cast<Dim>(target / stage.weights.cols());
+          const Dim c = static_cast<Dim>(target % stage.weights.cols());
+          stage.weights.set(r, c, !stage.weights.get(r, c));
+          ++flips;
+          break;
+        }
+        target -= weight_bits;
+        const std::int64_t threshold_bits =
+            static_cast<std::int64_t>(stage.thresholds.size()) * 32;
+        if (target < threshold_bits) {
+          const std::size_t word = static_cast<std::size_t>(target / 32);
+          const int bit = static_cast<int>(target % 32);
+          stage.thresholds[word] = static_cast<std::int32_t>(
+              static_cast<std::uint32_t>(stage.thresholds[word]) ^
+              (1u << bit));
+          ++flips;
+          break;
+        }
+        target -= threshold_bits;
+      }
+    }
+  }
+  return flips;
+}
+
+bool FaultInjector::corrupt_input(Tensor& image, Dim dispatch,
+                                  Dim slot) const {
+  bool scheduled = false;
+  for (const FaultWindow& w : plan_.windows) {
+    if (w.kind == FaultKind::kInputCorruption && w.covers(dispatch) &&
+        slot < w.count) {
+      scheduled = true;
+      break;
+    }
+  }
+  if (!scheduled) return false;
+  // Full-frame hash noise in [0, 1]: a torn DMA transfer leaves valid
+  // pixel encodings but garbage content, which is exactly the case the
+  // DMU is supposed to distrust.
+  const std::uint64_t base =
+      mix64(mix64(mix64(seed_, kInputTag),
+                  static_cast<std::uint64_t>(dispatch)),
+            static_cast<std::uint64_t>(slot));
+  float* pixels = image.data();
+  for (Dim i = 0; i < image.numel(); ++i) {
+    const std::uint64_t h = mix64(base, static_cast<std::uint64_t>(i));
+    pixels[static_cast<std::size_t>(i)] =
+        static_cast<float>(h >> 40) / static_cast<float>(1 << 24);
+  }
+  return true;
+}
+
+std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const auto& table = crc_table();
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < bytes; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::uint32_t stage_crc(const bnn::CompiledStage& stage) {
+  // Digest exactly what the emulated on-chip memory holds: the packed
+  // weight words row by row, the threshold words and the negate flags.
+  std::uint32_t c = 0;
+  for (Dim r = 0; r < stage.weights.rows(); ++r) {
+    c = crc32(stage.weights.row_data(r),
+              static_cast<std::size_t>(stage.weights.words_per_row()) *
+                  sizeof(std::uint64_t),
+              c);
+  }
+  if (!stage.thresholds.empty()) {
+    c = crc32(stage.thresholds.data(),
+              stage.thresholds.size() * sizeof(std::int32_t), c);
+  }
+  if (!stage.negate.empty()) {
+    c = crc32(stage.negate.data(), stage.negate.size(), c);
+  }
+  return c;
+}
+
+WeightCrcBook crc_book(const bnn::CompiledBnn& net) {
+  WeightCrcBook book;
+  book.stage_crc.reserve(net.stages.size());
+  for (const bnn::CompiledStage& stage : net.stages) {
+    book.stage_crc.push_back(stage_crc(stage));
+  }
+  return book;
+}
+
+Dim scrub_weights(bnn::CompiledBnn& fabric, const bnn::CompiledBnn& golden,
+                  const WeightCrcBook& book) {
+  MPCNN_CHECK(fabric.stages.size() == golden.stages.size() &&
+                  golden.stages.size() == book.stage_crc.size(),
+              "scrub: fabric/golden/book stage counts differ ("
+                  << fabric.stages.size() << "/" << golden.stages.size()
+                  << "/" << book.stage_crc.size() << ")");
+  Dim repaired = 0;
+  for (std::size_t s = 0; s < fabric.stages.size(); ++s) {
+    if (stage_crc(fabric.stages[s]) == book.stage_crc[s]) continue;
+    fabric.stages[s] = golden.stages[s];
+    MPCNN_CHECK(stage_crc(fabric.stages[s]) == book.stage_crc[s],
+                "scrub: golden stage " << s << " fails its own CRC — the "
+                "host-held master copy is corrupt");
+    ++repaired;
+  }
+  return repaired;
+}
+
+}  // namespace mpcnn::core

@@ -1,6 +1,7 @@
 #include "core/stream.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/threadpool.hpp"
 #include "tensor/error.hpp"
@@ -11,16 +12,27 @@ StreamSession::StreamSession(const bnn::CompiledBnn& bnn_net,
                              const finn::FinnDesign& design,
                              nn::Net& host_net,
                              double host_seconds_per_image, const Dmu& dmu,
-                             Config config)
+                             Config config, const FaultInjector* injector)
     : bnn_(bnn_net),
       design_(design),
       host_(host_net),
       host_seconds_per_image_(host_seconds_per_image),
       dmu_(dmu),
-      config_(config) {
+      config_(config),
+      injector_(injector) {
   MPCNN_CHECK(config_.batch_size >= 1, "batch size");
   MPCNN_CHECK(host_seconds_per_image > 0.0, "host latency must be positive");
   MPCNN_CHECK(dmu_.trained(), "DMU must be trained");
+  MPCNN_CHECK(config_.watchdog_factor > 0.0,
+              "watchdog factor must be positive");
+  MPCNN_CHECK(config_.max_retries >= 0, "max_retries must be >= 0");
+  MPCNN_CHECK(config_.backoff_base >= 0.0, "backoff_base must be >= 0");
+  if (injector_ != nullptr) {
+    // Emulated on-chip parameter memory: faults mutate this copy; the
+    // golden network and its CRC book stay the repair masters.
+    fabric_ = std::make_unique<bnn::CompiledBnn>(bnn_);
+    crc_ = crc_book(bnn_);
+  }
 }
 
 Dim StreamSession::submit(const Tensor& image, double arrival_time) {
@@ -28,6 +40,38 @@ Dim StreamSession::submit(const Tensor& image, double arrival_time) {
               "arrival times must be monotone (got "
                   << arrival_time << " after " << last_arrival_ << ")");
   last_arrival_ = arrival_time;
+  if (config_.queue_capacity > 0) {
+    // Bounded queue: the backlog is how far the fabric's busy horizon
+    // runs ahead of this arrival, measured in expected batch times.
+    const double headroom =
+        design_.seconds_per_batch(config_.batch_size) *
+        static_cast<double>(config_.queue_capacity);
+    if (fpga_free_ - arrival_time > headroom) {
+      switch (config_.overload) {
+        case OverloadPolicy::kReject: {
+          // The incoming image is turned away before any inference.
+          const Pending rejected{next_id_++, image, arrival_time};
+          shed(rejected);
+          return rejected.id;
+        }
+        case OverloadPolicy::kDropOldest:
+          // Freshness first: the oldest queued image makes room.  With
+          // an empty queue the backlog is all in flight — nothing to
+          // drop, so the image is accepted.
+          if (!batch_.empty()) {
+            shed(batch_.front());
+            batch_.pop_front();
+          }
+          break;
+        case OverloadPolicy::kBlock:
+          // Backpressure is advisory in simulated time: the submission
+          // is accepted and the stall the producer would have taken is
+          // counted instead.
+          ++stats_.blocked;
+          break;
+      }
+    }
+  }
   batch_.push_back(Pending{next_id_, image, arrival_time});
   const Dim id = next_id_++;
   if (static_cast<Dim>(batch_.size()) >= config_.batch_size) {
@@ -40,19 +84,133 @@ void StreamSession::flush() {
   if (!batch_.empty()) dispatch(last_arrival_);
 }
 
+double StreamSession::expected_batch_seconds(Dim n, bool pipeline_hot) const {
+  // The Eq. (3)–(5) model: a hot pipeline pays only the steady-state
+  // interval per image; a cold one pays the full ramp-up.
+  return pipeline_hot
+             ? static_cast<double>(n) * design_.steady_seconds_per_image()
+             : design_.seconds_per_batch(n);
+}
+
+void StreamSession::shed(const Pending& pending) {
+  StreamResult result;
+  result.image_id = pending.id;
+  result.submitted_at = pending.arrival;
+  result.ready_at = last_arrival_;  // the instant the policy dropped it
+  result.label = -1;
+  result.bnn_label = -1;
+  result.status = ResultStatus::kShed;
+  result.served_by = ServedBy::kNone;
+  ready_.push_back(result);
+  ++completed_;
+  ++stats_.shed;
+}
+
+void StreamSession::serve_on_host(double give_up_at, double host_multiplier) {
+  // Full host fallback: Eq. (1) with R_rerun = 1 — throughput collapses
+  // to the float path, accuracy is the float model's.
+  host_.set_training(false);
+  const double seconds = host_seconds_per_image_ * host_multiplier;
+  for (Pending& pending : batch_) {
+    StreamResult result;
+    result.image_id = pending.id;
+    result.submitted_at = pending.arrival;
+    result.bnn_label = -1;  // the fabric never answered
+    result.confidence = 0.0f;
+    result.rerun = true;
+    result.status = ResultStatus::kDegraded;
+    result.served_by = ServedBy::kHostDegraded;
+    const double host_start = std::max(give_up_at, host_free_);
+    const double host_done = host_start + seconds;
+    host_free_ = host_done;
+    result.label = host_.predict(pending.image).front();
+    result.ready_at = host_done;
+    ready_.push_back(result);
+    ++completed_;
+  }
+}
+
 void StreamSession::dispatch(double now) {
+  const Dim d = stats_.dispatches++;
   const Dim n = static_cast<Dim>(batch_.size());
-  // Fabric: the batch enters when the engines are free.  A batch that
-  // arrives while the pipeline is still streaming the previous one keeps
-  // it filled and pays only the steady-state interval per image; a batch
-  // dispatched into an idle fabric pays the full ramp-up.
-  const double fpga_start = std::max(now, fpga_free_);
+
+  // CRC scrub cycle: verify the emulated on-chip memory against the
+  // golden book and reload mismatching stages, before this batch runs.
+  if (fabric_ && config_.scrub_interval > 0 &&
+      d % config_.scrub_interval == 0) {
+    ++stats_.scrub_cycles;
+    stats_.scrub_repairs += scrub_weights(*fabric_, bnn_, crc_);
+  }
+  // SEUs scheduled for this dispatch land before execution (and after
+  // the scrub — an upset between scrubs persists until the next sweep).
+  if (fabric_ && injector_ != nullptr) {
+    stats_.seu_flips += injector_->apply_seu(*fabric_, d);
+  }
+  const double host_multiplier =
+      injector_ != nullptr ? injector_->host_latency_multiplier(d) : 1.0;
+
+  const double fabric_start = std::max(now, fpga_free_);
   const bool pipeline_hot = fpga_free_ > 0.0 && now <= fpga_free_;
+  const double expected = expected_batch_seconds(n, pipeline_hot);
+  const double deadline = config_.watchdog_factor * expected;
+
+  // Supervisor: decide whether this dispatch runs on the fabric.  Every
+  // failed attempt costs a full watchdog deadline plus the exponential
+  // backoff before the next try.
+  bool use_fabric = true;
+  double wasted = 0.0;
+  if (injector_ != nullptr) {
+    if (state_ == FabricState::kDegraded) {
+      if (injector_->fabric_stalled(d)) {
+        // The sideband health probe still sees the fault: keep serving
+        // from the host without burning a watchdog deadline per batch.
+        use_fabric = false;
+      } else {
+        state_ = FabricState::kRecovering;  // probe with this dispatch
+      }
+    }
+    if (use_fabric) {
+      const bool stalled = injector_->fabric_stalled(d);
+      const Dim dma_failures =
+          stalled ? 0 : injector_->dma_failed_attempts(d);
+      for (int attempt = 0;; ++attempt) {
+        const bool attempt_fails =
+            stalled || attempt < static_cast<int>(dma_failures);
+        if (!attempt_fails) break;
+        ++stats_.watchdog_timeouts;
+        wasted += deadline + std::ldexp(config_.backoff_base * expected,
+                                        attempt);
+        if (attempt >= config_.max_retries) {
+          // Retry budget exhausted: give up on the fabric for this and
+          // subsequent batches until a probe succeeds.
+          use_fabric = false;
+          ++stats_.degraded_entries;
+          state_ = FabricState::kDegraded;
+          break;
+        }
+        ++stats_.retries;
+      }
+    }
+  }
+
+  if (!use_fabric) {
+    ++stats_.degraded_batches;
+    serve_on_host(fabric_start + wasted, host_multiplier);
+    batch_.clear();
+    return;
+  }
+  if (state_ == FabricState::kRecovering) {
+    state_ = FabricState::kOk;
+    ++stats_.recoveries;
+  }
+  ++stats_.fabric_batches;
+
+  // Fabric: the batch enters when the engines are free (plus any time
+  // the watchdog burned).  A retried or recovered dispatch ramps up
+  // cold — the fault flushed the pipeline.
   const double duration =
-      pipeline_hot
-          ? static_cast<double>(n) * design_.steady_seconds_per_image()
-          : design_.seconds_per_batch(n);
-  const double fpga_done = fpga_start + duration;
+      wasted > 0.0 ? design_.seconds_per_batch(n) : expected;
+  const double fpga_done = fabric_start + wasted + duration;
   fpga_free_ = fpga_done;
 
   // BNN leg for the whole batch up front: per-image fan-out through the
@@ -60,12 +218,32 @@ void StreamSession::dispatch(double now) {
   // the serial arrival/latency bookkeeping below.
   std::vector<std::vector<std::int32_t>> raw_scores(
       static_cast<std::size_t>(n));
-  parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
-    for (Dim i = i0; i < i1; ++i) {
-      raw_scores[static_cast<std::size_t>(i)] =
-          bnn::run_reference(bnn_, batch_[static_cast<std::size_t>(i)].image);
+  if (injector_ != nullptr) {
+    // DMA copies feed the fabric so input corruption never touches the
+    // host's originals; the corruption decisions are made serially
+    // before the parallel region (determinism at any thread count).
+    std::vector<Tensor> dma(static_cast<std::size_t>(n));
+    for (Dim i = 0; i < n; ++i) {
+      dma[static_cast<std::size_t>(i)] =
+          batch_[static_cast<std::size_t>(i)].image;
+      if (injector_->corrupt_input(dma[static_cast<std::size_t>(i)], d, i)) {
+        ++stats_.corrupted_inputs;
+      }
     }
-  });
+    parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
+      for (Dim i = i0; i < i1; ++i) {
+        raw_scores[static_cast<std::size_t>(i)] = bnn::run_reference(
+            active_bnn(), dma[static_cast<std::size_t>(i)]);
+      }
+    });
+  } else {
+    parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
+      for (Dim i = i0; i < i1; ++i) {
+        raw_scores[static_cast<std::size_t>(i)] = bnn::run_reference(
+            bnn_, batch_[static_cast<std::size_t>(i)].image);
+      }
+    });
+  }
 
   host_.set_training(false);
   for (std::size_t b = 0; b < batch_.size(); ++b) {
@@ -83,13 +261,16 @@ void StreamSession::dispatch(double now) {
       // Host re-inference starts once the BNN verdict exists and the
       // host is free; runs concurrently with the fabric's next batch.
       const double host_start = std::max(fpga_done, host_free_);
-      const double host_done = host_start + host_seconds_per_image_;
+      const double host_done =
+          host_start + host_seconds_per_image_ * host_multiplier;
       host_free_ = host_done;
       result.label = host_.predict(pending.image).front();
       result.ready_at = host_done;
+      result.served_by = ServedBy::kHost;
     } else {
       result.label = result.bnn_label;
       result.ready_at = fpga_done;
+      result.served_by = ServedBy::kFabric;
     }
     ready_.push_back(result);
     ++completed_;
@@ -98,9 +279,12 @@ void StreamSession::dispatch(double now) {
 }
 
 std::vector<StreamResult> StreamSession::drain() {
+  // Completion order with the image id as a deterministic tie-break
+  // (shed results share their drop instant).
   std::sort(ready_.begin(), ready_.end(),
             [](const StreamResult& a, const StreamResult& b) {
-              return a.ready_at < b.ready_at;
+              if (a.ready_at != b.ready_at) return a.ready_at < b.ready_at;
+              return a.image_id < b.image_id;
             });
   std::vector<StreamResult> out;
   out.swap(ready_);

@@ -6,27 +6,91 @@
 // arrival timestamps, and poll results whose `ready_at` times come from
 // the same heterogeneous timing model (FPGA batch pipelining + host
 // re-inference) the batch simulator uses.
+//
+// Supervision: the session optionally runs under a FaultInjector (see
+// core/fault.hpp).  Every fabric dispatch is then guarded by a watchdog
+// whose deadline derives from the Eq. (3)–(5) expected batch time, with
+// bounded exponential-backoff retries; persistent faults drive the
+// degradation state machine FABRIC_OK → FABRIC_DEGRADED → recovering,
+// under which batches are served by host-only float inference (Eq. (1)
+// with R_rerun = 1 — throughput collapses, accuracy is preserved).  The
+// emulated on-chip weight memory is CRC-scrubbed on a configurable
+// cadence and reloaded from the host-held golden copy on mismatch.  A
+// bounded submit queue applies an explicit overload policy; every
+// supervisor decision is counted in SupervisorStats.
 #pragma once
 
 #include <deque>
+#include <memory>
 #include <vector>
 
 #include "bnn/compile.hpp"
 #include "core/dmu.hpp"
+#include "core/fault.hpp"
 #include "finn/dataflow.hpp"
 #include "nn/net.hpp"
 
 namespace mpcnn::core {
 
+/// Health of the emulated fabric as seen by the supervisor.
+enum class FabricState {
+  kOk,         ///< dispatches run on the fabric
+  kDegraded,   ///< fabric given up on; host-only serving
+  kRecovering, ///< probe dispatch in flight on the fabric
+};
+
+/// What to do with new work once the fabric backlog exceeds the bounded
+/// queue (Config::queue_capacity batches of headroom).
+enum class OverloadPolicy {
+  kBlock,       ///< accept and count the backpressure stall (default)
+  kDropOldest,  ///< shed the oldest queued image to make room
+  kReject,      ///< shed the incoming image
+};
+
+/// Which execution path produced a result.
+enum class ServedBy {
+  kFabric,        ///< BNN answer accepted by the DMU
+  kHost,          ///< normal cascade rerun (DMU distrusted the BNN)
+  kHostDegraded,  ///< fabric down; full host fallback
+  kNone,          ///< shed before any inference ran
+};
+
+/// Outcome class of a result.
+enum class ResultStatus {
+  kOk,        ///< served by the healthy cascade
+  kDegraded,  ///< served while the fabric was down (label still correct)
+  kShed,      ///< dropped by the overload policy; label is meaningless
+};
+
+/// Everything the supervisor counted.  All counters are cumulative and
+/// deterministic for a fixed seed + plan at any thread count.
+struct SupervisorStats {
+  Dim dispatches = 0;          ///< batches entering dispatch
+  Dim fabric_batches = 0;      ///< batches served by the fabric
+  Dim degraded_batches = 0;    ///< batches served host-only
+  Dim watchdog_timeouts = 0;   ///< fabric attempts that missed the deadline
+  Dim retries = 0;             ///< re-dispatch attempts after a timeout
+  Dim degraded_entries = 0;    ///< OK→DEGRADED transitions
+  Dim recoveries = 0;          ///< DEGRADED→OK transitions (probe succeeded)
+  Dim scrub_cycles = 0;        ///< CRC scrub sweeps run
+  Dim scrub_repairs = 0;       ///< stages reloaded after a CRC mismatch
+  Dim seu_flips = 0;           ///< injected weight/threshold bit flips
+  Dim corrupted_inputs = 0;    ///< fabric-side images overwritten by faults
+  Dim shed = 0;                ///< results dropped by the overload policy
+  Dim blocked = 0;             ///< submissions past the kBlock high-water mark
+};
+
 /// One classified image leaving the stream.
 struct StreamResult {
   Dim image_id = 0;
-  int label = 0;             ///< final cascade label
-  int bnn_label = 0;         ///< the fabric's answer
+  int label = 0;             ///< final cascade label (-1 when shed)
+  int bnn_label = 0;         ///< the fabric's answer (-1 when it never ran)
   bool rerun = false;        ///< host re-inference happened
   float confidence = 0.0f;   ///< DMU confidence in the BNN answer
   double submitted_at = 0.0;
   double ready_at = 0.0;     ///< simulated completion time
+  ResultStatus status = ResultStatus::kOk;
+  ServedBy served_by = ServedBy::kFabric;
 
   double latency() const { return ready_at - submitted_at; }
 };
@@ -38,19 +102,37 @@ class StreamSession {
   struct Config {
     Dim batch_size = 32;       ///< images per fabric dispatch
     float dmu_threshold = 0.5f;
+    // ---- supervisor (active only when a FaultInjector is attached) ----
+    /// Watchdog deadline = factor × the Eq. (3)–(5) expected batch time.
+    double watchdog_factor = 3.0;
+    /// Fabric re-dispatches after a timeout before degrading.
+    int max_retries = 2;
+    /// First backoff = base × expected batch time; doubles per retry.
+    double backoff_base = 0.5;
+    /// Dispatches between CRC scrubs of the fabric weight memory
+    /// (0 = scrubbing off).
+    Dim scrub_interval = 0;
+    // ---- bounded submit queue (active with or without faults) ----
+    /// Fabric backlog bound, in batches of headroom (0 = unbounded).
+    Dim queue_capacity = 0;
+    OverloadPolicy overload = OverloadPolicy::kBlock;
   };
 
+  /// `injector` is optional; when non-null the session copies the
+  /// compiled network into an emulated on-chip memory that faults mutate
+  /// and the CRC scrubber repairs (the caller keeps the injector alive).
   StreamSession(const bnn::CompiledBnn& bnn_net,
                 const finn::FinnDesign& design, nn::Net& host_net,
                 double host_seconds_per_image, const Dmu& dmu,
-                Config config);
+                Config config, const FaultInjector* injector = nullptr);
 
   /// Queues one image (NCHW, batch 1).  `arrival_time` must be
-  /// monotonically non-decreasing.  A full batch dispatches
+  /// monotonically non-decreasing (checked).  A full batch dispatches
   /// automatically.  Returns the image id.
   Dim submit(const Tensor& image, double arrival_time);
 
   /// Dispatches a partial batch immediately (end of stream / deadline).
+  /// A no-op when nothing is queued, so repeated flushes are safe.
   void flush();
 
   /// Removes and returns every result finished so far, ordered by
@@ -59,15 +141,31 @@ class StreamSession {
 
   /// Images accepted so far.
   Dim submitted() const { return next_id_; }
-  /// Results produced so far (drained or not).
+  /// Results produced so far (drained or not; shed results count).
   Dim completed() const { return completed_; }
   /// Simulated time the fabric is busy until.
   double fpga_busy_until() const { return fpga_free_; }
   /// Simulated time the host is busy until.
   double host_busy_until() const { return host_free_; }
 
+  /// Supervisor state and counters (degradation, scrubs, shed, …).
+  FabricState fabric_state() const { return state_; }
+  const SupervisorStats& stats() const { return stats_; }
+
  private:
+  struct Pending {
+    Dim id;
+    Tensor image;
+    double arrival;
+  };
+
   void dispatch(double now);
+  void serve_on_host(double give_up_at, double host_multiplier);
+  void shed(const Pending& pending);
+  double expected_batch_seconds(Dim n, bool pipeline_hot) const;
+  const bnn::CompiledBnn& active_bnn() const {
+    return fabric_ ? *fabric_ : bnn_;
+  }
 
   const bnn::CompiledBnn& bnn_;
   const finn::FinnDesign& design_;
@@ -76,11 +174,12 @@ class StreamSession {
   const Dmu& dmu_;
   Config config_;
 
-  struct Pending {
-    Dim id;
-    Tensor image;
-    double arrival;
-  };
+  // Fault-injection state: the emulated on-chip parameter memory (a
+  // mutable copy of bnn_), its golden CRC book and the injector.
+  const FaultInjector* injector_ = nullptr;
+  std::unique_ptr<bnn::CompiledBnn> fabric_;
+  WeightCrcBook crc_;
+
   std::deque<Pending> batch_;
   std::vector<StreamResult> ready_;
   Dim next_id_ = 0;
@@ -88,6 +187,8 @@ class StreamSession {
   double fpga_free_ = 0.0;
   double host_free_ = 0.0;
   double last_arrival_ = 0.0;
+  FabricState state_ = FabricState::kOk;
+  SupervisorStats stats_;
 };
 
 }  // namespace mpcnn::core

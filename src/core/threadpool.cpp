@@ -45,7 +45,11 @@ struct ThreadPool::Job {
   std::int64_t end = 0;
   std::atomic<std::int64_t> next{0};  ///< next unclaimed chunk index
   int exited = 0;                     ///< workers done with this job (mu_)
-  std::exception_ptr error;           ///< first chunk exception (error_mu)
+  /// Exception from the lowest-indexed throwing chunk (error_mu).  Keyed
+  /// by chunk index — not arrival order — so the rethrown failure is
+  /// identical across runs and thread counts.
+  std::exception_ptr error;
+  std::int64_t error_chunk = -1;
   std::mutex error_mu;
 };
 
@@ -132,7 +136,10 @@ void ThreadPool::run_chunks(Job& job) {
       (*job.fn)(lo, hi);
     } catch (...) {
       std::lock_guard<std::mutex> g(job.error_mu);
-      if (!job.error) job.error = std::current_exception();
+      if (!job.error || c < job.error_chunk) {
+        job.error = std::current_exception();
+        job.error_chunk = c;
+      }
     }
   }
   g_in_parallel_region = false;

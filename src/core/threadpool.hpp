@@ -52,8 +52,9 @@ class ThreadPool {
   /// Runs fn over [begin, end) in chunks of `grain` (last chunk may be
   /// short).  Blocks until every chunk completed; the calling thread
   /// executes chunks too.  Nested calls, SerialGuard scopes and 1-thread
-  /// pools run inline with identical chunk boundaries.  The first
-  /// exception thrown by a chunk is rethrown here after the region ends.
+  /// pools run inline with identical chunk boundaries.  When chunks
+  /// throw, the exception from the lowest-indexed throwing chunk is
+  /// rethrown after the region ends — deterministic at any thread count.
   /// Single-submitter: one thread dispatches top-level regions at a time
   /// (nested regions from workers run inline, so kernels compose freely).
   void parallel_for(std::int64_t begin, std::int64_t end, std::int64_t grain,

@@ -354,4 +354,14 @@ MultiPrecisionSystem Workbench::make_system(char which, float threshold,
   return system;
 }
 
+StreamSession Workbench::make_stream(char which, StreamSession::Config config,
+                                     const FaultInjector* injector,
+                                     bool arm_calibrated) {
+  const char key = normalize_model(which);
+  double seconds = host_profile(key).seconds_per_image;
+  if (arm_calibrated) seconds *= arm_scale_factor();
+  return StreamSession(compiled_bnn(), operating_design(), model(key),
+                       seconds, dmu(), config, injector);
+}
+
 }  // namespace mpcnn::core

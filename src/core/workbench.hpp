@@ -17,6 +17,7 @@
 #include "core/dmu.hpp"
 #include "core/host_profile.hpp"
 #include "core/multi_precision.hpp"
+#include "core/stream.hpp"
 #include "data/cifar_like.hpp"
 #include "finn/explorer.hpp"
 #include "nn/sgd.hpp"
@@ -119,6 +120,15 @@ class Workbench {
   MultiPrecisionSystem make_system(char which, float threshold = 0.84f,
                                    Dim batch_size = 100,
                                    bool arm_calibrated = false);
+
+  /// Streaming cascade session for host model `which`.  With `injector`
+  /// non-null the session runs under fault injection and supervision
+  /// (watchdog, CRC scrubbing, degradation; see core/fault.hpp) — its
+  /// SupervisorStats counters report sheds, retries and scrub repairs.
+  /// The caller keeps the injector alive for the session's lifetime.
+  StreamSession make_stream(char which, StreamSession::Config config,
+                            const FaultInjector* injector = nullptr,
+                            bool arm_calibrated = false);
 
  private:
   std::string cache_path(const std::string& name,

@@ -179,6 +179,57 @@ TEST_F(StreamTest, RejectsNonMonotoneArrivals) {
   session.submit(wb.test_set().images.slice_batch(0), 1.0);
   EXPECT_THROW(session.submit(wb.test_set().images.slice_batch(1), 0.5),
                Error);
+  // Equal timestamps are fine: the contract is non-decreasing.
+  EXPECT_NO_THROW(session.submit(wb.test_set().images.slice_batch(1), 1.0));
+}
+
+TEST_F(StreamTest, FlushOnEmptySessionIsANoOp) {
+  core::StreamSession session = make_session(8, 0.5f);
+  session.flush();
+  EXPECT_EQ(session.completed(), 0);
+  EXPECT_TRUE(session.drain().empty());
+  EXPECT_DOUBLE_EQ(session.fpga_busy_until(), 0.0);
+}
+
+TEST_F(StreamTest, DoubleFlushDispatchesOnlyOnce) {
+  core::Workbench& wb = workbench();
+  core::StreamSession session = make_session(8, 0.5f);
+  for (Dim i = 0; i < 3; ++i) {
+    session.submit(wb.test_set().images.slice_batch(i), 0.0);
+  }
+  session.flush();
+  const double busy_after_first = session.fpga_busy_until();
+  session.flush();  // nothing queued: must not re-dispatch
+  EXPECT_EQ(session.completed(), 3);
+  EXPECT_DOUBLE_EQ(session.fpga_busy_until(), busy_after_first);
+  EXPECT_EQ(session.drain().size(), 3u);
+}
+
+TEST_F(StreamTest, DrainBeforeAnyDispatchIsEmpty) {
+  core::Workbench& wb = workbench();
+  core::StreamSession session = make_session(8, 0.5f);
+  session.submit(wb.test_set().images.slice_batch(0), 0.0);
+  session.submit(wb.test_set().images.slice_batch(1), 0.0);
+  // Two images queued, batch of 8: nothing has run yet.
+  EXPECT_TRUE(session.drain().empty());
+  EXPECT_EQ(session.completed(), 0);
+  EXPECT_EQ(session.submitted(), 2);
+}
+
+TEST_F(StreamTest, PartialFinalBatchIsServedByFlush) {
+  core::Workbench& wb = workbench();
+  core::StreamSession session = make_session(4, 0.5f);
+  for (Dim i = 0; i < 5; ++i) {  // one full batch + one leftover
+    session.submit(wb.test_set().images.slice_batch(i), 0.0);
+  }
+  EXPECT_EQ(session.completed(), 4);
+  session.flush();
+  EXPECT_EQ(session.completed(), 5);
+  const auto results = session.drain();
+  ASSERT_EQ(results.size(), 5u);
+  // The short batch still pays fabric time: its result cannot precede
+  // the first batch's.
+  EXPECT_GE(results.back().ready_at, results.front().ready_at);
 }
 
 TEST_F(StreamTest, FabricBacklogDelaysLaterBatches) {

@@ -8,6 +8,7 @@
 #include <cstring>
 #include <mutex>
 #include <set>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -81,6 +82,32 @@ TEST(ThreadPool, PropagatesChunkExceptions) {
                            MPCNN_CHECK(lo != 32, "boom at " << lo);
                          }),
       Error);
+}
+
+TEST(ThreadPool, RethrowsTheLowestThrowingChunkDeterministically) {
+  // Many chunks throw concurrently; whichever lands first in wall time,
+  // the rethrown failure must always come from the lowest chunk index —
+  // otherwise error messages differ from run to run and 1-vs-N.
+  PoolSizeRestore restore;
+  for (const int threads : {1, 4}) {
+    core::set_thread_count(threads);
+    for (int repeat = 0; repeat < 20; ++repeat) {
+      std::string message;
+      try {
+        core::parallel_for(0, 96, 4, [&](std::int64_t lo, std::int64_t) {
+          MPCNN_CHECK(lo < 16, "boom at " << lo);
+        });
+        FAIL() << "parallel_for should have thrown";
+      } catch (const Error& e) {
+        message = e.what();
+      }
+      // Chunks starting at 16, 20, 24, … all throw; chunk [16, 20) is
+      // the lowest and must win every time at every thread count.
+      EXPECT_NE(message.find("boom at 16"), std::string::npos)
+          << "threads " << threads << " repeat " << repeat << ": "
+          << message;
+    }
+  }
 }
 
 TEST(ThreadPool, SerialGuardRunsInlineOnCallingThread) {

@@ -6,15 +6,29 @@
 //                     [--batch N] [--arm]
 //   mpcnn_cli export  [--cache DIR] --out FILE  export the compiled BNN
 //   mpcnn_cli design  [--fps F] [--device zc702|zc706]
+//   mpcnn_cli stream  [--cache DIR] [--model A|B|C] [--threshold T]
+//                     [--batch N] [--images N] [--seed S] [--faults SPEC]
+//                     [--policy block|drop|reject] [--capacity N]
+//                     [--scrub N]
+//
+// `stream` replays the test set through the supervised streaming session
+// and reports the SupervisorStats counters.  SPEC is a comma-separated
+// list of fault windows `kind:first:last[:magnitude[:count]]` over
+// dispatch indices, with kind one of stall|dma|seu|spike|input, e.g.
+// `--faults stall:2:4,seu:0:0:1:3` (see core/fault.hpp).
 //
 // Everything rides on the shared Workbench cache, so `train` once and
 // the other commands are instant.
+#include <algorithm>
+#include <cstdint>
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "bnn/export.hpp"
+#include "core/fault.hpp"
 #include "core/workbench.hpp"
 #include "finn/explorer.hpp"
 
@@ -57,15 +71,65 @@ core::WorkbenchConfig config_from(const Args& args) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mpcnn_cli <train|eval|cascade|export|design> "
+               "usage: mpcnn_cli <train|eval|cascade|export|design|stream> "
                "[options]\n"
                "  train   [--cache DIR]\n"
                "  eval    [--cache DIR] [--model A|B|C|bnn]\n"
                "  cascade [--cache DIR] [--model A|B|C] [--threshold T]\n"
                "          [--batch N] [--arm]\n"
                "  export  [--cache DIR] --out FILE\n"
-               "  design  [--fps F] [--device zc702|zc706]\n");
+               "  design  [--fps F] [--device zc702|zc706]\n"
+               "  stream  [--cache DIR] [--model A|B|C] [--threshold T]\n"
+               "          [--batch N] [--images N] [--seed S]\n"
+               "          [--faults kind:first:last[:mag[:count]],...]\n"
+               "          [--policy block|drop|reject] [--capacity N]\n"
+               "          [--scrub N]   (kinds: stall dma seu spike input)\n");
   return 2;
+}
+
+// Parses `kind:first:last[:magnitude[:count]]`, comma-separated.
+core::FaultPlan parse_fault_plan(const std::string& spec) {
+  core::FaultPlan plan;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string window_spec = spec.substr(start, end - start);
+    start = end + 1;
+    if (window_spec.empty()) continue;
+    std::vector<std::string> fields;
+    std::size_t f = 0;
+    while (f <= window_spec.size()) {
+      std::size_t colon = window_spec.find(':', f);
+      if (colon == std::string::npos) colon = window_spec.size();
+      fields.push_back(window_spec.substr(f, colon - f));
+      f = colon + 1;
+    }
+    MPCNN_CHECK(fields.size() >= 3 && fields.size() <= 5,
+                "fault window '" << window_spec
+                                 << "' is not kind:first:last[:mag[:count]]");
+    core::FaultWindow window;
+    const std::string& kind = fields[0];
+    if (kind == "stall") {
+      window.kind = core::FaultKind::kFabricStall;
+    } else if (kind == "dma") {
+      window.kind = core::FaultKind::kDmaError;
+    } else if (kind == "seu") {
+      window.kind = core::FaultKind::kSeuWeightFlip;
+    } else if (kind == "spike") {
+      window.kind = core::FaultKind::kHostLatencySpike;
+    } else if (kind == "input") {
+      window.kind = core::FaultKind::kInputCorruption;
+    } else {
+      MPCNN_CHECK(false, "unknown fault kind '" << kind << "'");
+    }
+    window.first_dispatch = std::stol(fields[1]);
+    window.last_dispatch = std::stol(fields[2]);
+    if (fields.size() >= 4) window.magnitude = std::stod(fields[3]);
+    if (fields.size() >= 5) window.count = std::stol(fields[4]);
+    plan.add(window);
+  }
+  return plan;
 }
 
 int cmd_train(const Args& args) {
@@ -143,6 +207,107 @@ int cmd_export(const Args& args) {
   return 0;
 }
 
+int cmd_stream(const Args& args) {
+  core::Workbench wb(config_from(args));
+  const char which = args.get("model", "A")[0];
+  const float threshold = args.has("threshold")
+                              ? std::stof(args.get("threshold", "0.5"))
+                              : wb.operating_threshold();
+  core::StreamSession::Config config;
+  config.batch_size = std::stol(args.get("batch", "16"));
+  config.dmu_threshold = threshold;
+  config.scrub_interval = std::stol(args.get("scrub", "0"));
+  config.queue_capacity = std::stol(args.get("capacity", "0"));
+  const std::string policy = args.get("policy", "block");
+  if (policy == "drop") {
+    config.overload = core::OverloadPolicy::kDropOldest;
+  } else if (policy == "reject") {
+    config.overload = core::OverloadPolicy::kReject;
+  } else {
+    MPCNN_CHECK(policy == "block",
+                "--policy must be block|drop|reject, got " << policy);
+  }
+
+  // --seed feeds the fault injector: the same seed + --faults spec
+  // replays a bit-identical fault sequence.
+  const std::uint64_t seed = std::stoull(args.get("seed", "1"));
+  const core::FaultPlan plan = parse_fault_plan(args.get("faults", ""));
+  core::FaultInjector injector(seed, plan);
+  const bool faulted = !plan.empty() || config.scrub_interval > 0;
+  core::StreamSession session =
+      wb.make_stream(which, config, faulted ? &injector : nullptr);
+
+  const Dim images =
+      std::min<Dim>(std::stol(args.get("images", "200")),
+                    wb.test_set().size());
+  // Arrivals at the fabric's steady-state rate: the stream keeps the
+  // pipeline loaded without free idle gaps.
+  const double interval = wb.operating_design().steady_seconds_per_image();
+  for (Dim i = 0; i < images; ++i) {
+    session.submit(wb.test_set().images.slice_batch(i),
+                   static_cast<double>(i) * interval);
+  }
+  session.flush();
+
+  Dim correct = 0, scored = 0, degraded = 0, shed_results = 0, reruns = 0;
+  double latency_sum = 0.0;
+  for (const core::StreamResult& result : session.drain()) {
+    if (result.status == core::ResultStatus::kShed) {
+      ++shed_results;
+      continue;
+    }
+    if (result.status == core::ResultStatus::kDegraded) ++degraded;
+    if (result.rerun) ++reruns;
+    const int truth =
+        wb.test_set().labels[static_cast<std::size_t>(result.image_id)];
+    if (result.label == truth) ++correct;
+    ++scored;
+    latency_sum += result.latency();
+  }
+  const core::SupervisorStats& stats = session.stats();
+  std::printf("stream %c&FINN  (threshold %.3f, batch %lld, seed %llu%s)\n",
+              which, threshold,
+              static_cast<long long>(config.batch_size),
+              static_cast<unsigned long long>(seed),
+              plan.empty() ? "" : ", faults injected");
+  std::printf("  served:         %lld/%lld images (%lld shed), accuracy "
+              "%.1f%%\n",
+              static_cast<long long>(scored),
+              static_cast<long long>(images),
+              static_cast<long long>(shed_results),
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(std::max<Dim>(1, scored)));
+  std::printf("  mean latency:   %.2f ms (%lld reruns, %lld degraded)\n",
+              1e3 * latency_sum / static_cast<double>(std::max<Dim>(1, scored)),
+              static_cast<long long>(reruns),
+              static_cast<long long>(degraded));
+  std::printf("  supervisor:     %lld dispatches (%lld fabric, %lld "
+              "degraded), state %s\n",
+              static_cast<long long>(stats.dispatches),
+              static_cast<long long>(stats.fabric_batches),
+              static_cast<long long>(stats.degraded_batches),
+              session.fabric_state() == core::FabricState::kOk
+                  ? "FABRIC_OK"
+                  : "FABRIC_DEGRADED");
+  std::printf("  watchdog:       %lld timeouts, %lld retries, %lld "
+              "degraded entries, %lld recoveries\n",
+              static_cast<long long>(stats.watchdog_timeouts),
+              static_cast<long long>(stats.retries),
+              static_cast<long long>(stats.degraded_entries),
+              static_cast<long long>(stats.recoveries));
+  std::printf("  weight memory:  %lld scrub cycles, %lld repairs, %lld "
+              "SEU flips injected\n",
+              static_cast<long long>(stats.scrub_cycles),
+              static_cast<long long>(stats.scrub_repairs),
+              static_cast<long long>(stats.seu_flips));
+  std::printf("  overload:       %lld shed, %lld blocked, %lld corrupted "
+              "inputs\n",
+              static_cast<long long>(stats.shed),
+              static_cast<long long>(stats.blocked),
+              static_cast<long long>(stats.corrupted_inputs));
+  return 0;
+}
+
 int cmd_design(const Args& args) {
   const double fps = std::stod(args.get("fps", "400"));
   const finn::Device device = args.get("device", "zc702") == "zc706"
@@ -173,13 +338,20 @@ int cmd_design(const Args& args) {
 
 int main(int argc, char** argv) {
   const Args args = parse(argc, argv);
+  // Every failure path — contract violations (mpcnn::Error) and standard
+  // exceptions from option parsing (std::stol and friends) — exits with
+  // a clean one-line message and a nonzero code instead of a terminate.
   try {
     if (args.command == "train") return cmd_train(args);
     if (args.command == "eval") return cmd_eval(args);
     if (args.command == "cascade") return cmd_cascade(args);
     if (args.command == "export") return cmd_export(args);
     if (args.command == "design") return cmd_design(args);
+    if (args.command == "stream") return cmd_stream(args);
   } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
