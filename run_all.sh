@@ -7,6 +7,13 @@ set -e
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
+
+# Artifact robustness: 1200+ seeded corruptions of every on-disk format
+# must be rejected with clean errors, and a kill -9 mid-training must
+# resume to byte-identical artifacts.
+build/tools/fuzz_artifact --iterations 1200 2>&1 | tee fuzz_output.txt
+sh tests/checkpoint_kill_resume.sh build/tools/mpcnn_cli \
+  2>&1 | tee kill_resume_output.txt
 for b in build/bench/*; do
   case "$(basename "$b")" in
     bench_kernels)
@@ -33,9 +40,13 @@ MPCNN_THREADS=4 ctest --test-dir build-tsan \
 
 # Tree 2: ASan+UBSan (MPCNN_SANITIZE=address enables both) — guards the
 # SEU bit-flip / CRC-scrub code, which does raw word-level writes into
-# packed weight memory, against out-of-bounds access and UB.
+# packed weight memory, against out-of-bounds access and UB, plus the
+# artifact loaders and the corruption fuzzer, whose bounded reads parse
+# hostile bytes by design.
 cmake -B build-asan -G Ninja -DMPCNN_SANITIZE=address
 cmake --build build-asan
 MPCNN_THREADS=4 ctest --test-dir build-asan \
-  -R 'Fault|WeightScrub|Crc32|Stream|ThreadPool|Bitpack' \
+  -R 'Fault|WeightScrub|Crc32|Stream|ThreadPool|Bitpack|Artifact|Checkpoint' \
   --output-on-failure 2>&1 | tee asan_output.txt
+build-asan/tools/fuzz_artifact --iterations 1200 \
+  2>&1 | tee -a asan_output.txt

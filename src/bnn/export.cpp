@@ -1,133 +1,125 @@
 #include "bnn/export.hpp"
 
-#include <cstring>
-#include <fstream>
+#include "io/artifact.hpp"
 
 namespace mpcnn::bnn {
 namespace {
 
-constexpr char kMagic[4] = {'M', 'P', 'B', 'N'};
-constexpr std::uint32_t kVersion = 1;
+constexpr io::ArtifactMagic kMagic = {'M', 'P', 'B', 'N'};
+constexpr std::uint32_t kVersion = 2;      // current: framed, CRC-checked
+constexpr std::uint32_t kFirstFramed = 2;  // v1 predates the frame
 
-template <class T>
-void write_pod(std::ofstream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <class T>
-T read_pod(std::ifstream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  MPCNN_CHECK(is.good(), "truncated compiled-net file");
-  return value;
-}
+// Stored words per weight row: the on-disk format packs each row into
+// ceil(cols / 64) little-endian words, independent of BitMatrix's
+// internal stride.
+Dim row_words(Dim cols) { return (cols + 63) / 64; }
 
 }  // namespace
 
 void save_compiled(const CompiledBnn& net, const std::string& path) {
   MPCNN_CHECK(!net.stages.empty() && net.classes > 0,
               "refusing to export an empty compiled net");
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  MPCNN_CHECK(os.is_open(), "cannot open " << path << " for writing");
-  os.write(kMagic, sizeof(kMagic));
-  write_pod(os, kVersion);
-  write_pod(os, static_cast<std::int64_t>(net.classes));
-  write_pod(os, static_cast<std::int32_t>(net.input_levels));
-  write_pod(os, static_cast<std::uint64_t>(net.stages.size()));
+  io::ArtifactWriter writer(kMagic, kVersion);
+  writer.pod(static_cast<std::int64_t>(net.classes));
+  writer.pod(static_cast<std::int32_t>(net.input_levels));
+  writer.pod(static_cast<std::uint64_t>(net.stages.size()));
   for (const CompiledStage& stage : net.stages) {
-    write_pod(os, static_cast<std::uint8_t>(stage.kind));
+    writer.pod(static_cast<std::uint8_t>(stage.kind));
     for (Dim d : {stage.in_ch, stage.in_h, stage.in_w, stage.out_ch,
                   stage.out_h, stage.out_w, stage.kernel}) {
-      write_pod(os, static_cast<std::int64_t>(d));
+      writer.pod(static_cast<std::int64_t>(d));
     }
-    write_pod(os, static_cast<std::int32_t>(stage.in_levels));
-    write_pod(os, static_cast<std::int32_t>(stage.out_levels));
+    writer.pod(static_cast<std::int32_t>(stage.in_levels));
+    writer.pod(static_cast<std::int32_t>(stage.out_levels));
     // Weights: re-pack row by row so the on-disk format is independent
     // of BitMatrix's internal word stride.
-    write_pod(os, static_cast<std::int64_t>(stage.weights.rows()));
-    write_pod(os, static_cast<std::int64_t>(stage.weights.cols()));
+    writer.pod(static_cast<std::int64_t>(stage.weights.rows()));
+    writer.pod(static_cast<std::int64_t>(stage.weights.cols()));
     for (Dim r = 0; r < stage.weights.rows(); ++r) {
       std::uint64_t word = 0;
       int used = 0;
       for (Dim c = 0; c < stage.weights.cols(); ++c) {
         if (stage.weights.get(r, c)) word |= 1ULL << used;
         if (++used == 64) {
-          write_pod(os, word);
+          writer.pod(word);
           word = 0;
           used = 0;
         }
       }
-      if (used > 0) write_pod(os, word);
+      if (used > 0) writer.pod(word);
     }
-    write_pod(os, static_cast<std::uint64_t>(stage.thresholds.size()));
-    for (std::int32_t t : stage.thresholds) write_pod(os, t);
-    write_pod(os, static_cast<std::uint64_t>(stage.negate.size()));
-    for (std::uint8_t n : stage.negate) write_pod(os, n);
+    writer.pod(static_cast<std::uint64_t>(stage.thresholds.size()));
+    for (std::int32_t t : stage.thresholds) writer.pod(t);
+    writer.pod(static_cast<std::uint64_t>(stage.negate.size()));
+    for (std::uint8_t n : stage.negate) writer.pod(n);
   }
-  MPCNN_CHECK(os.good(), "write failure on " << path);
+  writer.commit(path);
 }
 
 CompiledBnn load_compiled(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  MPCNN_CHECK(is.is_open(), "cannot open " << path);
-  char magic[4];
-  is.read(magic, sizeof(magic));
-  MPCNN_CHECK(is.good() && std::memcmp(magic, kMagic, 4) == 0,
-              "bad magic in " << path);
-  const auto version = read_pod<std::uint32_t>(is);
-  MPCNN_CHECK(version == kVersion,
-              "unsupported compiled-net version " << version);
+  io::ArtifactReader reader(path, kMagic, kVersion, kFirstFramed);
   CompiledBnn net;
-  net.classes = read_pod<std::int64_t>(is);
-  net.input_levels = read_pod<std::int32_t>(is);
+  net.classes = reader.pod<std::int64_t>();
+  net.input_levels = reader.pod<std::int32_t>();
   MPCNN_CHECK(net.classes > 0 && net.classes < 4096,
-              "implausible class count " << net.classes);
-  const auto stages = read_pod<std::uint64_t>(is);
-  MPCNN_CHECK(stages > 0 && stages < 1024, "implausible stage count");
-  net.stages.reserve(stages);
+              "implausible class count " << net.classes << " in " << path);
+  const auto stages = reader.pod<std::uint64_t>();
+  MPCNN_CHECK(stages > 0 && stages < 1024,
+              "implausible stage count " << stages << " in " << path);
+  net.stages.reserve(reader.bounded_count(stages, 1, "stage"));
   for (std::uint64_t s = 0; s < stages; ++s) {
     CompiledStage stage;
-    const auto kind = read_pod<std::uint8_t>(is);
+    const auto kind = reader.pod<std::uint8_t>();
     MPCNN_CHECK(kind <= static_cast<std::uint8_t>(StageKind::kOutputDense),
-                "bad stage kind " << int(kind));
+                "bad stage kind " << int(kind) << " in " << path);
     stage.kind = static_cast<StageKind>(kind);
-    stage.in_ch = read_pod<std::int64_t>(is);
-    stage.in_h = read_pod<std::int64_t>(is);
-    stage.in_w = read_pod<std::int64_t>(is);
-    stage.out_ch = read_pod<std::int64_t>(is);
-    stage.out_h = read_pod<std::int64_t>(is);
-    stage.out_w = read_pod<std::int64_t>(is);
-    stage.kernel = read_pod<std::int64_t>(is);
-    stage.in_levels = read_pod<std::int32_t>(is);
-    stage.out_levels = read_pod<std::int32_t>(is);
+    stage.in_ch = reader.pod<std::int64_t>();
+    stage.in_h = reader.pod<std::int64_t>();
+    stage.in_w = reader.pod<std::int64_t>();
+    stage.out_ch = reader.pod<std::int64_t>();
+    stage.out_h = reader.pod<std::int64_t>();
+    stage.out_w = reader.pod<std::int64_t>();
+    stage.kernel = reader.pod<std::int64_t>();
+    stage.in_levels = reader.pod<std::int32_t>();
+    stage.out_levels = reader.pod<std::int32_t>();
     MPCNN_CHECK(stage.out_levels >= 2 && stage.out_levels <= 256,
-                "bad level count");
-    const auto rows = read_pod<std::int64_t>(is);
-    const auto cols = read_pod<std::int64_t>(is);
+                "bad level count " << stage.out_levels << " in " << path);
+    const auto rows = reader.pod<std::int64_t>();
+    const auto cols = reader.pod<std::int64_t>();
     MPCNN_CHECK(rows >= 0 && cols >= 0 && rows < (Dim{1} << 20) &&
                     cols < (Dim{1} << 24),
-                "implausible weight geometry " << rows << "x" << cols);
+                "implausible weight geometry " << rows << "x" << cols
+                                               << " in " << path);
+    // The packed rows follow immediately, so the BitMatrix allocation is
+    // bounded by bytes actually present — a hostile rows/cols pair that
+    // outruns the payload is rejected before any memory is sized off it.
+    reader.bounded_count(static_cast<std::uint64_t>(rows),
+                         static_cast<std::size_t>(row_words(cols)) *
+                             sizeof(std::uint64_t),
+                         "weight row");
     stage.weights = BitMatrix(rows, cols);
     for (Dim r = 0; r < rows; ++r) {
       std::uint64_t word = 0;
       int used = 64;
       for (Dim c = 0; c < cols; ++c) {
         if (used == 64) {
-          word = read_pod<std::uint64_t>(is);
+          word = reader.pod<std::uint64_t>();
           used = 0;
         }
         stage.weights.set(r, c, (word >> used) & 1ULL);
         ++used;
       }
     }
-    const auto n_thresholds = read_pod<std::uint64_t>(is);
-    stage.thresholds.resize(n_thresholds);
-    for (auto& t : stage.thresholds) t = read_pod<std::int32_t>(is);
-    const auto n_negate = read_pod<std::uint64_t>(is);
-    stage.negate.resize(n_negate);
-    for (auto& n : stage.negate) n = read_pod<std::uint8_t>(is);
+    const auto n_thresholds = reader.pod<std::uint64_t>();
+    stage.thresholds.resize(reader.bounded_count(
+        n_thresholds, sizeof(std::int32_t), "threshold"));
+    for (auto& t : stage.thresholds) t = reader.pod<std::int32_t>();
+    const auto n_negate = reader.pod<std::uint64_t>();
+    stage.negate.resize(reader.bounded_count(n_negate, 1, "negate flag"));
+    for (auto& n : stage.negate) n = reader.pod<std::uint8_t>();
     net.stages.push_back(std::move(stage));
   }
+  reader.expect_exhausted();
   MPCNN_CHECK(net.stages.front().kind == StageKind::kFixedPointConv,
               "compiled net must start with the fixed-point conv");
   MPCNN_CHECK(net.stages.back().kind == StageKind::kOutputDense,
@@ -136,11 +128,7 @@ CompiledBnn load_compiled(const std::string& path) {
 }
 
 bool is_compiled_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is.is_open()) return false;
-  char magic[4];
-  is.read(magic, sizeof(magic));
-  return is.good() && std::memcmp(magic, kMagic, 4) == 0;
+  return io::probe_magic(path, kMagic);
 }
 
 }  // namespace mpcnn::bnn

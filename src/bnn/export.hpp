@@ -3,9 +3,11 @@
 // lowered with compile_bnn(), the integer artefact can be shipped and
 // executed without the float framework or the training weights.
 //
-// Format (little-endian):
-//   magic "MPBN", u32 version, i64 classes, i32 input_levels,
-//   u64 stage count, then per stage:
+// Format "MPBN" (little-endian), version 2 — on the hardened artifact
+// container (io/artifact.hpp: u64 payload length + CRC-32 trailer,
+// atomic temp+rename saves, allocation-bounded loads; version-1 files
+// without the frame are still read):
+//   payload: i64 classes, i32 input_levels, u64 stage count, per stage:
 //     u8 kind, i64 geometry (in_ch,in_h,in_w,out_ch,out_h,out_w,kernel),
 //     i32 in_levels, i32 out_levels,
 //     u64 weight words (bit-packed rows), i32 thresholds, u8 negate.

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <array>
 
+#include "io/artifact.hpp"
 #include "tensor/error.hpp"
 
 namespace mpcnn::core {
@@ -33,20 +34,6 @@ bool has_parameters(const bnn::CompiledStage& stage) {
   return stage.kind != bnn::StageKind::kMaxPoolBinary;
 }
 
-const std::array<std::uint32_t, 256>& crc_table() {
-  static const std::array<std::uint32_t, 256> table = [] {
-    std::array<std::uint32_t, 256> t{};
-    for (std::uint32_t i = 0; i < 256; ++i) {
-      std::uint32_t c = i;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
-      }
-      t[i] = c;
-    }
-    return t;
-  }();
-  return table;
-}
 
 }  // namespace
 
@@ -171,13 +158,9 @@ bool FaultInjector::corrupt_input(Tensor& image, Dim dispatch,
 }
 
 std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {
-  const auto* p = static_cast<const unsigned char*>(data);
-  const auto& table = crc_table();
-  std::uint32_t c = seed ^ 0xFFFFFFFFu;
-  for (std::size_t i = 0; i < bytes; ++i) {
-    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
-  }
-  return c ^ 0xFFFFFFFFu;
+  // One CRC implementation repo-wide: the artifact container's digest
+  // (io/artifact) doubles as the on-chip weight-memory digest here.
+  return io::crc32(data, bytes, seed);
 }
 
 std::uint32_t stage_crc(const bnn::CompiledStage& stage) {

@@ -119,6 +119,11 @@ nn::Net Workbench::train_or_load(const std::string& name, nn::Net net,
   tc.sgd = sgd;
   tc.lr_decay = 0.92f;
   tc.seed = config_.seed ^ 0x7747u;
+  if (config_.checkpoint_every > 0) {
+    tc.checkpoint_dir = path + ".ckpt";
+    tc.checkpoint_every = config_.checkpoint_every;
+    tc.resume = config_.resume_training;
+  }
   if (config_.verbose) {
     tc.on_epoch = [this, &name](const nn::EpochStats& stats) {
       std::ostringstream os;
@@ -130,6 +135,11 @@ nn::Net Workbench::train_or_load(const std::string& name, nn::Net net,
   nn::Trainer trainer(tc);
   trainer.fit(net, train_set().images, train_set().labels);
   nn::save_net(net, path);
+  if (!tc.checkpoint_dir.empty()) {
+    // The trained artifact is durable; the checkpoints have served.
+    std::error_code ignored;
+    std::filesystem::remove_all(tc.checkpoint_dir, ignored);
+  }
   log("saved " + name + " to " + path);
   return net;
 }

@@ -46,6 +46,12 @@ struct WorkbenchConfig {
   Dim bnn_fc_width = 64;
   double operating_min_fps = 400.0;  ///< §III-A picks ≥430 img/s
   bool verbose = true;
+  /// Crash-safe training: checkpoint every N optimiser steps into a
+  /// `<weight cache>.ckpt/` directory beside each model's cache file
+  /// (0 = off).  With `resume_training`, interrupted runs restart from
+  /// the last-good checkpoint and reach bit-identical weights.
+  Dim checkpoint_every = 0;
+  bool resume_training = false;
 
   /// Difficulty tuned so the accuracy ordering of Table IV emerges
   /// (BNN < A < B < C with a few points between steps).

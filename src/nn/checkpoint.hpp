@@ -1,0 +1,91 @@
+// Crash-safe training checkpoints with bit-identical resume.
+//
+// A killed training run used to lose everything; this module makes the
+// trainer restartable from its last checkpoint with a trajectory that is
+// bit-identical to an uninterrupted run.  A checkpoint captures every
+// piece of state the training loop consumes:
+//
+//   - all net state tensors (weights + batch-norm running statistics),
+//   - the optimiser slots (SGD momentum / Adam moments) and step count,
+//   - the current learning rate and the epoch-stat accumulators,
+//   - the trainer RNG as of the *top of the current epoch* (so the
+//     resumed run regenerates the identical shuffle permutation), and
+//   - every stochastic layer's internal RNG (dropout masks replay).
+//
+// On-disk layout under a checkpoint directory:
+//
+//   ckpt-<step>.mpck   the checkpoint artifacts ("MPCK", framed + CRC)
+//   manifest.mpcm      the last-good manifest ("MPCM"): names the
+//                      newest fully-committed checkpoint
+//
+// Both files are published with the artifact layer's atomic
+// temp → fsync → rename commit, and the manifest is renamed only after
+// its checkpoint is durable — so a kill -9 at ANY byte leaves the
+// directory with a readable last-good pair (or cleanly empty).  Stale
+// `*.tmp` leftovers from a killed writer are ignored and cleaned up by
+// the next save; older checkpoints are pruned down to the last two.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/net.hpp"
+#include "nn/sgd.hpp"
+
+namespace mpcnn::nn {
+
+/// Everything fit() needs to resume mid-epoch bit-identically.
+struct TrainerCheckpoint {
+  std::int64_t global_step = 0;  ///< optimiser steps completed so far
+  std::int32_t epoch = 0;        ///< epoch in progress when saved
+  std::int64_t next_item = 0;    ///< first unprocessed item offset
+  float learning_rate = 0.0f;
+  // Epoch-stat accumulators at the save point.
+  double loss_sum = 0.0;
+  std::int64_t batches = 0;
+  std::int64_t correct = 0;
+  std::int64_t seen = 0;
+  Rng::State epoch_rng;  ///< trainer RNG at the top of the epoch
+  std::int64_t sgd_step_count = 0;
+  std::vector<Tensor> velocity;  ///< SGD momentum / Adam first moment
+  std::vector<Tensor> second;    ///< Adam second moment
+  std::vector<Rng::State> layer_rngs;  ///< per stochastic layer (dropout)
+  std::vector<Tensor> net_state;       ///< as nn/serialize orders them
+};
+
+/// Copies net state tensors, layer RNGs and optimiser slots out of a
+/// live net/optimiser pair into `ck` (the loop fields are the caller's).
+void capture_checkpoint(const Net& net, const Sgd& sgd,
+                        TrainerCheckpoint* ck);
+
+/// Restores net state tensors, layer RNGs and optimiser slots into a
+/// freshly-built net of the same topology.  Throws Error on any
+/// count/shape mismatch.
+void apply_checkpoint(const TrainerCheckpoint& ck, Net& net, Sgd& sgd);
+
+/// Atomically writes `ck` into `dir` (created if missing) and repoints
+/// the last-good manifest at it; prunes all but the two newest
+/// checkpoints and any stale temp files.
+void save_checkpoint(const std::string& dir, const TrainerCheckpoint& ck);
+
+/// Loads the checkpoint named by `dir`'s manifest.  Returns false when
+/// the directory holds no manifest (fresh start); throws Error when the
+/// manifest or the checkpoint it names is corrupt.
+bool load_last_checkpoint(const std::string& dir, TrainerCheckpoint* ck);
+
+/// Loads one checkpoint artifact directly (fuzzing and `verify`).
+TrainerCheckpoint load_checkpoint_file(const std::string& path);
+
+/// True if `path` carries the checkpoint ("MPCK") magic.
+bool is_checkpoint_file(const std::string& path);
+
+/// True if `path` carries the manifest ("MPCM") magic.
+bool is_manifest_file(const std::string& path);
+
+/// The checkpoint filename a manifest names (relative to its dir).
+std::string read_manifest(const std::string& manifest_path);
+
+/// `dir`'s manifest path (`dir/manifest.mpcm`).
+std::string manifest_path(const std::string& dir);
+
+}  // namespace mpcnn::nn

@@ -15,6 +15,7 @@ class Dropout final : public Layer {
   Tensor backward(const Tensor& grad_out) override;
   std::string name() const override;
   Shape output_shape(const Shape& in) const override { return in; }
+  Rng* rng_state() override { return &rng_; }
 
   float rate() const { return rate_; }
 

@@ -53,6 +53,12 @@ class Layer {
     return s;
   }
 
+  /// Internal PRNG, for layers whose *training-time* behaviour is
+  /// stochastic (dropout).  Checkpoints persist it so a resumed run
+  /// replays the exact same masks as an uninterrupted one; inference
+  /// never consumes it.  nullptr for deterministic layers.
+  virtual Rng* rng_state() { return nullptr; }
+
   /// Short type/config description, e.g. "conv3x3-64".
   virtual std::string name() const = 0;
 

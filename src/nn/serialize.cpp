@@ -1,28 +1,15 @@
 #include "nn/serialize.hpp"
 
 #include <cstdint>
-#include <cstring>
-#include <fstream>
 #include <vector>
 
 namespace mpcnn::nn {
 namespace {
 
-constexpr char kMagic[4] = {'M', 'P', 'C', 'N'};
-constexpr std::uint32_t kVersion = 1;
-
-template <class T>
-void write_pod(std::ofstream& os, const T& value) {
-  os.write(reinterpret_cast<const char*>(&value), sizeof(T));
-}
-
-template <class T>
-T read_pod(std::ifstream& is) {
-  T value{};
-  is.read(reinterpret_cast<char*>(&value), sizeof(T));
-  MPCNN_CHECK(is.good(), "truncated net file");
-  return value;
-}
+constexpr io::ArtifactMagic kMagic = {'M', 'P', 'C', 'N'};
+constexpr std::uint32_t kVersion = 2;      // current: framed, CRC-checked
+constexpr std::uint32_t kFirstFramed = 2;  // v1 predates the frame
+constexpr std::uint32_t kMaxRank = 8;
 
 std::vector<Tensor*> all_state(Net& net) {
   std::vector<Tensor*> state;
@@ -32,59 +19,104 @@ std::vector<Tensor*> all_state(Net& net) {
   return state;
 }
 
+std::vector<const Tensor*> all_state(const Net& net) {
+  std::vector<const Tensor*> state;
+  for (const auto& layer : net.layers()) {
+    for (const Tensor* t : layer->state()) state.push_back(t);
+  }
+  return state;
+}
+
 }  // namespace
 
-void save_net(Net& net, const std::string& path) {
-  std::ofstream os(path, std::ios::binary | std::ios::trunc);
-  MPCNN_CHECK(os.is_open(), "cannot open " << path << " for writing");
-  os.write(kMagic, sizeof(kMagic));
-  write_pod(os, kVersion);
-  const std::vector<Tensor*> state = all_state(net);
-  write_pod(os, static_cast<std::uint64_t>(state.size()));
-  for (const Tensor* t : state) {
-    write_pod(os, static_cast<std::uint32_t>(t->shape().rank()));
-    for (Dim d : t->shape().dims()) write_pod(os, static_cast<std::int64_t>(d));
-    os.write(reinterpret_cast<const char*>(t->data()),
-             static_cast<std::streamsize>(t->numel() * sizeof(float)));
+void write_tensor(io::ArtifactWriter& writer, const Tensor& tensor) {
+  writer.pod(static_cast<std::uint32_t>(tensor.shape().rank()));
+  for (Dim d : tensor.shape().dims()) {
+    writer.pod(static_cast<std::int64_t>(d));
   }
-  MPCNN_CHECK(os.good(), "write failure on " << path);
+  writer.bytes(tensor.data(),
+               static_cast<std::size_t>(tensor.numel()) * sizeof(float));
+}
+
+Shape read_tensor_shape(io::ArtifactReader& reader) {
+  const auto rank = reader.pod<std::uint32_t>();
+  MPCNN_CHECK(rank >= 1 && rank <= kMaxRank,
+              reader.path() << ": implausible tensor rank " << rank);
+  std::vector<Dim> dims(rank);
+  for (auto& d : dims) d = reader.pod<std::int64_t>();
+  // The f32 data follows the dims, so the element count is bounded by
+  // what the payload can actually hold — hostile dims cannot size an
+  // allocation beyond the file itself.
+  const Dim max_elems =
+      static_cast<Dim>(reader.remaining() / sizeof(float));
+  Dim numel = 1;
+  for (Dim d : dims) {
+    MPCNN_CHECK(d > 0, reader.path() << ": non-positive tensor dim " << d);
+    MPCNN_CHECK(d <= max_elems && numel <= max_elems / d,
+                reader.path() << ": tensor dims " << Shape(dims).str()
+                              << " exceed the remaining payload");
+    numel *= d;
+  }
+  return Shape(dims);
+}
+
+Tensor read_tensor(io::ArtifactReader& reader) {
+  Tensor tensor{read_tensor_shape(reader)};
+  reader.bytes(tensor.data(),
+               static_cast<std::size_t>(tensor.numel()) * sizeof(float));
+  return tensor;
+}
+
+void save_net(const Net& net, const std::string& path) {
+  io::ArtifactWriter writer(kMagic, kVersion);
+  const std::vector<const Tensor*> state = all_state(net);
+  writer.pod(static_cast<std::uint64_t>(state.size()));
+  for (const Tensor* t : state) write_tensor(writer, *t);
+  writer.commit(path);
 }
 
 void load_net(Net& net, const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  MPCNN_CHECK(is.is_open(), "cannot open " << path);
-  char magic[4];
-  is.read(magic, sizeof(magic));
-  MPCNN_CHECK(is.good() && std::memcmp(magic, kMagic, 4) == 0,
-              "bad magic in " << path);
-  const auto version = read_pod<std::uint32_t>(is);
-  MPCNN_CHECK(version == kVersion, "unsupported net file version "
-                                       << version);
+  io::ArtifactReader reader(path, kMagic, kVersion, kFirstFramed);
   const std::vector<Tensor*> state = all_state(net);
-  const auto count = read_pod<std::uint64_t>(is);
-  MPCNN_CHECK(count == state.size(), "net file has " << count
-                                                     << " tensors, net needs "
-                                                     << state.size());
+  const auto raw_count = reader.pod<std::uint64_t>();
+  // Each tensor costs at least its u32 rank field.
+  const std::size_t count =
+      reader.bounded_count(raw_count, sizeof(std::uint32_t), "tensor");
+  MPCNN_CHECK(count == state.size(), path << " has " << count
+                                          << " tensors, net needs "
+                                          << state.size());
   for (Tensor* t : state) {
-    const auto rank = read_pod<std::uint32_t>(is);
-    std::vector<Dim> dims(rank);
-    for (auto& d : dims) d = read_pod<std::int64_t>(is);
-    MPCNN_CHECK(Shape(dims) == t->shape(),
+    const Shape shape = read_tensor_shape(reader);
+    MPCNN_CHECK(shape == t->shape(),
                 "tensor shape mismatch in " << path << ": file "
-                                            << Shape(dims).str() << " vs net "
+                                            << shape.str() << " vs net "
                                             << t->shape().str());
-    is.read(reinterpret_cast<char*>(t->data()),
-            static_cast<std::streamsize>(t->numel() * sizeof(float)));
-    MPCNN_CHECK(is.good(), "truncated tensor data in " << path);
+    reader.bytes(t->data(),
+                 static_cast<std::size_t>(t->numel()) * sizeof(float));
   }
+  reader.expect_exhausted();
 }
 
 bool is_net_file(const std::string& path) {
-  std::ifstream is(path, std::ios::binary);
-  if (!is.is_open()) return false;
-  char magic[4];
-  is.read(magic, sizeof(magic));
-  return is.good() && std::memcmp(magic, kMagic, 4) == 0;
+  return io::probe_magic(path, kMagic);
+}
+
+NetFileSummary summarize_net_file(const std::string& path) {
+  io::ArtifactReader reader(path, kMagic, kVersion, kFirstFramed);
+  NetFileSummary summary;
+  summary.version = reader.version();
+  summary.framed = reader.framed();
+  const auto raw_count = reader.pod<std::uint64_t>();
+  const std::size_t count =
+      reader.bounded_count(raw_count, sizeof(std::uint32_t), "tensor");
+  summary.shapes.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const Shape shape = read_tensor_shape(reader);
+    reader.skip(static_cast<std::size_t>(shape.numel()) * sizeof(float));
+    summary.shapes.push_back(shape);
+  }
+  reader.expect_exhausted();
+  return summary;
 }
 
 }  // namespace mpcnn::nn

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "nn/checkpoint.hpp"
+
 namespace mpcnn::nn {
 
 void Sgd::step(const std::vector<Param*>& params) {
@@ -63,14 +65,38 @@ EpochStats Trainer::fit(Net& net, const Tensor& images,
   SoftmaxCrossEntropy loss;
   EpochStats stats;
   std::vector<Dim> item_dims = images.shape().dims();
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+
+  // Crash-safe resume: restore net/optimiser/RNG state from the
+  // checkpoint directory's last-good manifest.  The trainer RNG is reset
+  // to the top of the interrupted epoch, so the permutation below
+  // regenerates identically and the trajectory stays bit-exact.
+  TrainerCheckpoint resume_ck;
+  bool resuming = false;
+  std::int64_t global_step = 0;
+  int first_epoch = 0;
+  if (!config_.checkpoint_dir.empty() && config_.resume &&
+      load_last_checkpoint(config_.checkpoint_dir, &resume_ck)) {
+    apply_checkpoint(resume_ck, net, sgd);
+    rng.set_state(resume_ck.epoch_rng);
+    global_step = resume_ck.global_step;
+    first_epoch = static_cast<int>(resume_ck.epoch);
+    resuming = true;
+  }
+
+  for (int epoch = first_epoch; epoch < config_.epochs; ++epoch) {
     net.set_training(true);
+    const Rng::State epoch_rng = rng.state();
     const std::vector<std::size_t> order =
         rng.permutation(static_cast<std::size_t>(total));
-    float loss_sum = 0.0f;
-    Dim batches = 0;
-    Dim correct = 0, seen = 0;
-    for (Dim start = 0; start < total; start += config_.batch_size) {
+    float loss_sum =
+        resuming ? static_cast<float>(resume_ck.loss_sum) : 0.0f;
+    Dim batches = resuming ? resume_ck.batches : 0;
+    Dim correct = resuming ? resume_ck.correct : 0;
+    Dim seen = resuming ? resume_ck.seen : 0;
+    const Dim first_item = resuming ? resume_ck.next_item : 0;
+    resuming = false;
+    for (Dim start = first_item; start < total;
+         start += config_.batch_size) {
       const Dim n = std::min(config_.batch_size, total - start);
       item_dims[0] = n;
       Tensor batch{Shape(item_dims)};
@@ -95,6 +121,28 @@ EpochStats Trainer::fit(Net& net, const Tensor& images,
       }
       net.backward(loss.backward());
       sgd.step(net.params());
+      ++global_step;
+      if (config_.checkpoint_every > 0 && !config_.checkpoint_dir.empty() &&
+          global_step % config_.checkpoint_every == 0) {
+        TrainerCheckpoint ck;
+        ck.global_step = global_step;
+        ck.epoch = epoch;
+        // The loop's next value, so resume re-enters exactly where an
+        // uninterrupted run would.
+        ck.next_item = start + config_.batch_size;
+        ck.learning_rate = sgd.learning_rate();
+        ck.loss_sum = loss_sum;
+        ck.batches = batches;
+        ck.correct = correct;
+        ck.seen = seen;
+        ck.epoch_rng = epoch_rng;
+        capture_checkpoint(net, sgd, &ck);
+        save_checkpoint(config_.checkpoint_dir, ck);
+      }
+      if (config_.max_steps > 0 && global_step >= config_.max_steps) {
+        net.set_training(false);
+        return stats;  // cooperative interruption (kill/resume tests)
+      }
     }
     stats.epoch = epoch + 1;
     stats.mean_loss = loss_sum / static_cast<float>(batches);

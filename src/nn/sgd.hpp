@@ -36,6 +36,26 @@ class Sgd {
   void set_learning_rate(float lr) { config_.learning_rate = lr; }
   float learning_rate() const { return config_.learning_rate; }
 
+  /// Checkpoint access (nn/checkpoint): optimiser slots and the Adam
+  /// step counter.  Slots are lazily sized on the first step(), so both
+  /// vectors are empty until then.
+  std::int64_t step_count() const { return step_count_; }
+  const std::vector<Tensor>& velocity() const { return velocity_; }
+  const std::vector<Tensor>& second_moment() const { return second_; }
+
+  /// Restores checkpointed slots; step() validates them shape-for-shape
+  /// against the parameters on the next update.
+  void restore_slots(std::int64_t step_count, std::vector<Tensor> velocity,
+                     std::vector<Tensor> second) {
+    MPCNN_CHECK(velocity.size() == second.size(),
+                "optimiser slot count mismatch: " << velocity.size()
+                                                  << " vs "
+                                                  << second.size());
+    step_count_ = step_count;
+    velocity_ = std::move(velocity);
+    second_ = std::move(second);
+  }
+
  private:
   Config config_;
   std::vector<Tensor> velocity_;  // SGD momentum / Adam first moment
@@ -61,6 +81,19 @@ class Trainer {
     float lr_decay = 0.95f;  ///< multiplicative per-epoch decay
     std::uint64_t seed = 1;
     std::function<void(const EpochStats&)> on_epoch;  ///< optional
+
+    /// Crash-safe checkpointing (nn/checkpoint): every
+    /// `checkpoint_every` optimiser steps, fit() atomically writes net +
+    /// optimiser + RNG state into `checkpoint_dir` and updates its
+    /// last-good manifest (0 = off).  With `resume` true, fit() restarts
+    /// from that manifest when one exists and reaches weights
+    /// bit-identical to an uninterrupted run.
+    std::string checkpoint_dir;
+    Dim checkpoint_every = 0;
+    bool resume = false;
+    /// Stop fit() after this many optimiser steps (0 = no limit) —
+    /// cooperative interruption for the kill/resume tests.
+    Dim max_steps = 0;
   };
 
   explicit Trainer(Config config) : config_(std::move(config)) {}

@@ -95,4 +95,14 @@ std::vector<std::size_t> Rng::permutation(std::size_t n) {
 
 Rng Rng::split() { return Rng(next_u64()); }
 
+Rng::State Rng::state() const {
+  return State{state_, cached_normal_, has_cached_normal_};
+}
+
+void Rng::set_state(const State& state) {
+  state_ = state.words;
+  cached_normal_ = state.cached_normal;
+  has_cached_normal_ = state.has_cached_normal;
+}
+
 }  // namespace mpcnn

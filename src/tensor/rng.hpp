@@ -46,6 +46,17 @@ class Rng {
   /// Derive an independent child stream (for per-worker determinism).
   Rng split();
 
+  /// Complete generator state for checkpointing: the four xoshiro words
+  /// plus the Box–Muller cache.  Restoring a saved State resumes the
+  /// stream bit-exactly (see nn/checkpoint).
+  struct State {
+    std::array<std::uint64_t, 4> words{};
+    double cached_normal = 0.0;
+    bool has_cached_normal = false;
+  };
+  State state() const;
+  void set_state(const State& state);
+
  private:
   std::array<std::uint64_t, 4> state_{};
   double cached_normal_ = 0.0;

@@ -1,0 +1,295 @@
+// Crash-safe checkpoint/resume tests: bit-identical interrupted resume
+// (including stochastic dropout and batch-norm running stats), manifest
+// and pruning behaviour, and corruption rejection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "io/artifact.hpp"
+#include "nn/activations.hpp"
+#include "nn/batchnorm.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/conv.hpp"
+#include "nn/dense.hpp"
+#include "nn/dropout.hpp"
+#include "nn/flatten.hpp"
+#include "nn/net.hpp"
+#include "nn/serialize.hpp"
+#include "nn/sgd.hpp"
+
+namespace mpcnn::nn {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Stochastic net: dropout (own RNG) + batch-norm (running stats) force
+// the checkpoint to capture more than just weights.
+Net make_net() {
+  Net net("ck", Shape{1, 1, 8, 8});
+  net.add<Conv2D>(1, 4, 3, 1, 1);
+  net.add<BatchNorm>(4);
+  net.add<ReLU>();
+  net.add<Dropout>(0.3f);
+  net.add<Flatten>();
+  net.add<Dense>(4 * 8 * 8, 2);
+  return net;
+}
+
+void make_toy(Dim n, Tensor* images, std::vector<int>* labels,
+              std::uint64_t seed) {
+  *images = Tensor(Shape{n, 1, 8, 8});
+  labels->resize(static_cast<std::size_t>(n));
+  Rng rng(seed);
+  for (Dim i = 0; i < n; ++i) {
+    const int label = static_cast<int>(i % 2);
+    (*labels)[static_cast<std::size_t>(i)] = label;
+    for (Dim y = 0; y < 8; ++y) {
+      for (Dim x = 0; x < 8; ++x) {
+        const bool bright = label == 0 ? x < 4 : x >= 4;
+        images->at4(i, 0, y, x) =
+            (bright ? 0.8f : 0.2f) +
+            0.1f * static_cast<float>(rng.uniform(-1.0, 1.0));
+      }
+    }
+  }
+}
+
+std::vector<float> flat_state(Net& net) {
+  std::vector<float> flat;
+  for (auto& layer : net.layers()) {
+    for (Tensor* t : layer->state()) {
+      flat.insert(flat.end(), t->data(), t->data() + t->numel());
+    }
+  }
+  return flat;
+}
+
+// Bitwise comparison: resume must be exact, not approximately equal.
+bool bit_identical(const std::vector<float>& a,
+                   const std::vector<float>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+class CheckpointTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("mpcnn_ckpt_" + std::string(::testing::UnitTest::GetInstance()
+                                            ->current_test_info()
+                                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+    make_toy(32, &images_, &labels_, 21);
+  }
+  void TearDown() override {
+    std::error_code ignored;
+    fs::remove_all(dir_, ignored);
+  }
+
+  std::string ckpt_dir() const { return (dir_ / "ckpt").string(); }
+
+  Trainer::Config base_config() const {
+    Trainer::Config tc;
+    tc.epochs = 3;
+    tc.batch_size = 8;  // 4 optimiser steps per epoch
+    tc.seed = 5;
+    tc.sgd.kind = OptimizerKind::kAdam;
+    tc.sgd.learning_rate = 0.01f;
+    return tc;
+  }
+
+  // Reference: the full uninterrupted trajectory.
+  std::vector<float> uninterrupted_weights() {
+    Net net = make_net();
+    Trainer(base_config()).fit(net, images_, labels_);
+    return flat_state(net);
+  }
+
+  // Trains to `interrupt_at` steps with checkpointing, then resumes to
+  // completion in a fresh net; returns the final weights.
+  std::vector<float> interrupted_weights(Dim checkpoint_every,
+                                         Dim interrupt_at) {
+    Trainer::Config tc = base_config();
+    tc.checkpoint_dir = ckpt_dir();
+    tc.checkpoint_every = checkpoint_every;
+    {
+      Net net = make_net();
+      tc.max_steps = interrupt_at;  // cooperative "crash"
+      Trainer(tc).fit(net, images_, labels_);
+    }
+    Net net = make_net();  // fresh process: nothing carried over
+    tc.max_steps = 0;
+    tc.resume = true;
+    Trainer(tc).fit(net, images_, labels_);
+    return flat_state(net);
+  }
+
+  fs::path dir_;
+  Tensor images_;
+  std::vector<int> labels_;
+};
+
+TEST_F(CheckpointTest, MidEpochInterruptResumesBitIdentically) {
+  const std::vector<float> reference = uninterrupted_weights();
+  // Interrupt at step 5 (mid-epoch 2); last checkpoint is step 3, so the
+  // resumed run replays steps 4-5 — dropout masks and shuffle included.
+  const std::vector<float> resumed = interrupted_weights(3, 5);
+  EXPECT_TRUE(bit_identical(reference, resumed));
+}
+
+TEST_F(CheckpointTest, EpochBoundaryInterruptResumesBitIdentically) {
+  const std::vector<float> reference = uninterrupted_weights();
+  // Checkpoint lands exactly on the last step of epoch 1 (4 steps per
+  // epoch); resume must roll into epoch 2 with the right RNG phase.
+  const std::vector<float> resumed = interrupted_weights(4, 4);
+  EXPECT_TRUE(bit_identical(reference, resumed));
+}
+
+TEST_F(CheckpointTest, InterruptBeforeFirstCheckpointRestartsCleanly) {
+  const std::vector<float> reference = uninterrupted_weights();
+  // Killed before any checkpoint exists: resume finds no manifest and
+  // must run the whole (deterministic) trajectory from scratch.
+  const std::vector<float> resumed = interrupted_weights(8, 2);
+  EXPECT_TRUE(bit_identical(reference, resumed));
+}
+
+TEST_F(CheckpointTest, CheckpointingItselfDoesNotPerturbTraining) {
+  const std::vector<float> reference = uninterrupted_weights();
+  Trainer::Config tc = base_config();
+  tc.checkpoint_dir = ckpt_dir();
+  tc.checkpoint_every = 1;
+  Net net = make_net();
+  Trainer(tc).fit(net, images_, labels_);
+  EXPECT_TRUE(bit_identical(reference, flat_state(net)));
+}
+
+TEST_F(CheckpointTest, ManifestNamesNewestAndOldCheckpointsArePruned) {
+  Trainer::Config tc = base_config();
+  tc.checkpoint_dir = ckpt_dir();
+  tc.checkpoint_every = 1;  // 12 checkpoints over 3 epochs
+  Net net = make_net();
+  Trainer(tc).fit(net, images_, labels_);
+
+  EXPECT_EQ(read_manifest(manifest_path(ckpt_dir())), "ckpt-12.mpck");
+  std::vector<std::string> files;
+  for (const auto& entry : fs::directory_iterator(ckpt_dir())) {
+    files.push_back(entry.path().filename().string());
+  }
+  std::sort(files.begin(), files.end());
+  EXPECT_EQ(files, (std::vector<std::string>{
+                       "ckpt-11.mpck", "ckpt-12.mpck", "manifest.mpcm"}));
+}
+
+TEST_F(CheckpointTest, CheckpointRoundTripPreservesEveryField) {
+  Trainer::Config tc = base_config();
+  tc.checkpoint_dir = ckpt_dir();
+  tc.checkpoint_every = 3;
+  Net net = make_net();
+  Trainer(tc).fit(net, images_, labels_);
+
+  TrainerCheckpoint ck;
+  ASSERT_TRUE(load_last_checkpoint(ckpt_dir(), &ck));
+  EXPECT_EQ(ck.global_step, 12);
+  EXPECT_EQ(ck.epoch, 2);
+  EXPECT_EQ(ck.sgd_step_count, 12);
+  EXPECT_EQ(ck.velocity.size(), ck.second.size());
+  EXPECT_FALSE(ck.net_state.empty());
+  EXPECT_EQ(ck.layer_rngs.size(), 1u);  // the one dropout layer
+
+  // The artifact layer should recognise and verify both files.
+  const std::string ckpt_file =
+      (fs::path(ckpt_dir()) / "ckpt-12.mpck").string();
+  EXPECT_TRUE(is_checkpoint_file(ckpt_file));
+  EXPECT_TRUE(is_manifest_file(manifest_path(ckpt_dir())));
+  EXPECT_FALSE(is_net_file(ckpt_file));
+  const io::ArtifactInfo info = io::inspect(ckpt_file);
+  EXPECT_EQ(info.format, "training checkpoint");
+  EXPECT_TRUE(info.crc_ok);
+}
+
+TEST_F(CheckpointTest, CorruptCheckpointIsRejectedNotLoaded) {
+  Trainer::Config tc = base_config();
+  tc.checkpoint_dir = ckpt_dir();
+  tc.checkpoint_every = 4;
+  {
+    Net net = make_net();
+    Trainer(tc).fit(net, images_, labels_);
+  }
+  const std::string name = read_manifest(manifest_path(ckpt_dir()));
+  const std::string ckpt_file = (fs::path(ckpt_dir()) / name).string();
+
+  // Flip one payload byte in place.
+  std::fstream f(ckpt_file,
+                 std::ios::binary | std::ios::in | std::ios::out);
+  f.seekg(40);
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x08);
+  f.seekp(40);
+  f.write(&byte, 1);
+  f.close();
+
+  TrainerCheckpoint ck;
+  EXPECT_THROW(load_last_checkpoint(ckpt_dir(), &ck), Error);
+  EXPECT_FALSE(io::inspect(ckpt_file).crc_ok);
+}
+
+TEST_F(CheckpointTest, ManifestNamingAPathOutsideTheDirIsRejected) {
+  fs::create_directories(ckpt_dir());
+  io::ArtifactWriter w({'M', 'P', 'C', 'M'}, 1);
+  w.pod(std::int64_t{3});
+  const std::string evil = "../../etc/passwd";
+  w.pod(static_cast<std::uint32_t>(evil.size()));
+  w.bytes(evil.data(), evil.size());
+  w.commit(manifest_path(ckpt_dir()));
+  TrainerCheckpoint ck;
+  EXPECT_THROW(load_last_checkpoint(ckpt_dir(), &ck), Error);
+}
+
+TEST_F(CheckpointTest, StaleTempFilesAreIgnoredAndCleaned) {
+  fs::create_directories(ckpt_dir());
+  // A writer killed mid-commit leaves temp droppings; they must neither
+  // resume (no manifest) nor survive the next successful save.
+  {
+    std::ofstream junk(fs::path(ckpt_dir()) / "ckpt-7.mpck.tmp",
+                       std::ios::binary);
+    junk << "torn write";
+  }
+  TrainerCheckpoint ck;
+  EXPECT_FALSE(load_last_checkpoint(ckpt_dir(), &ck));
+
+  Trainer::Config tc = base_config();
+  tc.checkpoint_dir = ckpt_dir();
+  tc.checkpoint_every = 4;
+  Net net = make_net();
+  Trainer(tc).fit(net, images_, labels_);
+  EXPECT_FALSE(fs::exists(fs::path(ckpt_dir()) / "ckpt-7.mpck.tmp"));
+  ASSERT_TRUE(load_last_checkpoint(ckpt_dir(), &ck));
+  EXPECT_EQ(ck.global_step, 12);
+}
+
+TEST_F(CheckpointTest, ApplyRejectsTopologyMismatch) {
+  Trainer::Config tc = base_config();
+  tc.checkpoint_dir = ckpt_dir();
+  tc.checkpoint_every = 4;
+  {
+    Net net = make_net();
+    Trainer(tc).fit(net, images_, labels_);
+  }
+  TrainerCheckpoint ck;
+  ASSERT_TRUE(load_last_checkpoint(ckpt_dir(), &ck));
+
+  Net wrong("wrong", Shape{1, 4});
+  wrong.add<Dense>(4, 2);
+  Sgd sgd(base_config().sgd);
+  EXPECT_THROW(apply_checkpoint(ck, wrong, sgd), Error);
+}
+
+}  // namespace
+}  // namespace mpcnn::nn

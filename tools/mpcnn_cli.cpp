@@ -1,15 +1,26 @@
 // mpcnn command-line interface.
 //
-//   mpcnn_cli train   [--cache DIR]            train/refresh every model
+//   mpcnn_cli train   [--cache DIR] [--tiny]    train/refresh every model
+//                     [--checkpoint-every N] [--resume]
 //   mpcnn_cli eval    [--cache DIR] [--model A|B|C|bnn]
 //   mpcnn_cli cascade [--cache DIR] [--model A|B|C] [--threshold T]
 //                     [--batch N] [--arm]
 //   mpcnn_cli export  [--cache DIR] --out FILE  export the compiled BNN
+//   mpcnn_cli verify  PATH           integrity-check any mpcnn artifact
 //   mpcnn_cli design  [--fps F] [--device zc702|zc706]
 //   mpcnn_cli stream  [--cache DIR] [--model A|B|C] [--threshold T]
 //                     [--batch N] [--images N] [--seed S] [--faults SPEC]
 //                     [--policy block|drop|reject] [--capacity N]
 //                     [--scrub N]
+//
+// `train --checkpoint-every N` writes crash-safe checkpoints every N
+// optimiser steps; after a kill -9, `train --resume` continues from the
+// last-good manifest and reaches bit-identical weights.  `--tiny`
+// shrinks the workbench to a seconds-scale configuration (used by the
+// kill/resume script test).
+//
+// `verify` probes the magic, validates the CRC frame and prints a
+// format/version/shape summary, exiting nonzero on corruption.
 //
 // `stream` replays the test set through the supervised streaming session
 // and reports the SupervisorStats counters.  SPEC is a comma-separated
@@ -31,6 +42,9 @@
 #include "core/fault.hpp"
 #include "core/workbench.hpp"
 #include "finn/explorer.hpp"
+#include "io/artifact.hpp"
+#include "nn/checkpoint.hpp"
+#include "nn/serialize.hpp"
 
 using namespace mpcnn;
 
@@ -39,6 +53,7 @@ namespace {
 struct Args {
   std::string command;
   std::map<std::string, std::string> options;
+  std::vector<std::string> positional;
 
   bool has(const std::string& key) const { return options.count(key) > 0; }
   std::string get(const std::string& key, const std::string& fallback) const {
@@ -52,7 +67,10 @@ Args parse(int argc, char** argv) {
   if (argc >= 2) args.command = argv[1];
   for (int i = 2; i < argc; ++i) {
     std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
+    if (key.rfind("--", 0) != 0) {
+      args.positional.push_back(key);
+      continue;
+    }
     key = key.substr(2);
     if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
       args.options[key] = argv[++i];
@@ -66,18 +84,36 @@ Args parse(int argc, char** argv) {
 core::WorkbenchConfig config_from(const Args& args) {
   core::WorkbenchConfig config;
   config.cache_dir = args.get("cache", "mpcnn_cache");
+  if (args.has("tiny")) {
+    // Seconds-scale workbench for smoke and kill/resume script tests.
+    config.train_size = 300;
+    config.test_size = 100;
+    config.model_a_width = 0.125f;
+    config.model_b_width = 0.125f;
+    config.model_c_width = 0.125f;
+    config.bnn_width = 0.125f;
+    config.float_epochs = 2;
+    config.deep_float_epochs = 2;
+    config.bnn_epochs = 2;
+  }
+  config.checkpoint_every = std::stol(args.get("checkpoint-every", "0"));
+  config.resume_training = args.has("resume");
   return config;
 }
 
 int usage() {
   std::fprintf(stderr,
-               "usage: mpcnn_cli <train|eval|cascade|export|design|stream> "
+               "usage: mpcnn_cli "
+               "<train|eval|cascade|export|verify|design|stream> "
                "[options]\n"
-               "  train   [--cache DIR]\n"
+               "  train   [--cache DIR] [--tiny] [--checkpoint-every N]\n"
+               "          [--resume]\n"
                "  eval    [--cache DIR] [--model A|B|C|bnn]\n"
                "  cascade [--cache DIR] [--model A|B|C] [--threshold T]\n"
                "          [--batch N] [--arm]\n"
                "  export  [--cache DIR] --out FILE\n"
+               "  verify  PATH   (weights, compiled BNN, checkpoint or\n"
+               "          manifest; nonzero exit on corruption)\n"
                "  design  [--fps F] [--device zc702|zc706]\n"
                "  stream  [--cache DIR] [--model A|B|C] [--threshold T]\n"
                "          [--batch N] [--images N] [--seed S]\n"
@@ -204,6 +240,56 @@ int cmd_export(const Args& args) {
   std::printf("verified: %zu stages, %lld classes, %s\n",
               check.stages.size(), static_cast<long long>(check.classes),
               check.fully_binary() ? "fully binary" : "partially binarised");
+  return 0;
+}
+
+// Integrity check for any mpcnn artifact: container frame first (magic,
+// version, declared length, CRC), then a full structural parse of the
+// payload through the same hardened loader the runtime uses.  Exit 0
+// only when both pass.
+int cmd_verify(const Args& args) {
+  if (args.positional.size() != 1) return usage();
+  const std::string& path = args.positional[0];
+  const io::ArtifactInfo info = io::inspect(path);
+  std::printf("%s: %s v%u, %llu payload bytes (%llu on disk), %s\n",
+              path.c_str(), info.format.c_str(), info.version,
+              static_cast<unsigned long long>(info.payload_bytes),
+              static_cast<unsigned long long>(info.file_bytes),
+              !info.framed ? "legacy unframed (no CRC)"
+              : info.crc_ok ? "CRC ok"
+                            : "CRC MISMATCH");
+  if (info.framed && !info.crc_ok) {
+    std::fprintf(stderr, "error: %s is corrupt (CRC mismatch)\n",
+                 path.c_str());
+    return 1;
+  }
+  if (nn::is_net_file(path)) {
+    const nn::NetFileSummary summary = nn::summarize_net_file(path);
+    std::printf("  %zu state tensors:", summary.shapes.size());
+    for (const Shape& shape : summary.shapes) {
+      std::printf(" %s", shape.str().c_str());
+    }
+    std::printf("\n");
+  } else if (bnn::is_compiled_file(path)) {
+    const bnn::CompiledBnn net = bnn::load_compiled(path);
+    std::printf("  %zu stages, %lld classes, %d input levels, %s\n",
+                net.stages.size(), static_cast<long long>(net.classes),
+                net.input_levels,
+                net.fully_binary() ? "fully binary"
+                                   : "partially binarised");
+  } else if (nn::is_checkpoint_file(path)) {
+    const nn::TrainerCheckpoint ck = nn::load_checkpoint_file(path);
+    std::printf("  step %lld (epoch %d, item %lld), lr %.5f, "
+                "%zu state tensors, %zu optimiser slots, %zu layer RNGs\n",
+                static_cast<long long>(ck.global_step), ck.epoch,
+                static_cast<long long>(ck.next_item), ck.learning_rate,
+                ck.net_state.size(), ck.velocity.size(),
+                ck.layer_rngs.size());
+  } else if (nn::is_manifest_file(path)) {
+    std::printf("  last-good checkpoint: %s\n",
+                nn::read_manifest(path).c_str());
+  }
+  std::printf("ok\n");
   return 0;
 }
 
@@ -346,6 +432,7 @@ int main(int argc, char** argv) {
     if (args.command == "eval") return cmd_eval(args);
     if (args.command == "cascade") return cmd_cascade(args);
     if (args.command == "export") return cmd_export(args);
+    if (args.command == "verify") return cmd_verify(args);
     if (args.command == "design") return cmd_design(args);
     if (args.command == "stream") return cmd_stream(args);
   } catch (const Error& e) {
