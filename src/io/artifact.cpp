@@ -6,6 +6,7 @@
 #include <fstream>
 
 #if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
 #include <unistd.h>
 #define MPCNN_HAVE_FSYNC 1
 #endif
@@ -37,6 +38,26 @@ const std::array<std::uint32_t, 256>& crc_table() {
 
 std::string magic_str(ArtifactMagic magic) {
   return std::string(magic.data(), magic.size());
+}
+
+// Makes a completed rename durable: a rename only becomes crash-safe
+// once the directory entry itself reaches stable storage.  Best-effort
+// (some filesystems reject directory fsync) — the rename is still
+// atomic either way, only its ordering against later writes depends on
+// this.
+void fsync_dir_of(const std::string& path) {
+#ifdef MPCNN_HAVE_FSYNC
+  const std::filesystem::path parent =
+      std::filesystem::path(path).parent_path();
+  const std::string dir = parent.empty() ? "." : parent.string();
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
+#else
+  (void)path;
+#endif
 }
 
 // The artifact registry: every known format with the version at which it
@@ -191,6 +212,10 @@ void ArtifactWriter::commit(const std::string& path) const {
     MPCNN_CHECK(false, "rename " << tmp << " -> " << path << ": "
                                  << ec.message());
   }
+  // Persist the directory entry too, so the rename — and any
+  // write-ordering callers rely on across successive commits (e.g.
+  // checkpoint before manifest) — survives a power cut.
+  fsync_dir_of(path);
 }
 
 ArtifactReader::ArtifactReader(const std::string& path, ArtifactMagic magic,

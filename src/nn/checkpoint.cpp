@@ -71,11 +71,13 @@ std::string checkpoint_name(std::int64_t step) {
   return "ckpt-" + std::to_string(step) + ".mpck";
 }
 
-// Step parsed from "ckpt-<step>.mpck", or -1 for anything else.
+// Step parsed from "ckpt-<step>.mpck", or -1 for anything else
+// (including temp droppings like "ckpt-7.mpck.tmp").
 std::int64_t step_of(const std::string& filename) {
   if (filename.rfind("ckpt-", 0) != 0) return -1;
   const std::size_t dot = filename.find(".mpck");
-  if (dot == std::string::npos || dot <= 5) return -1;
+  if (dot == std::string::npos || dot <= 5 || dot + 5 != filename.size())
+    return -1;
   const std::string digits = filename.substr(5, dot - 5);
   std::int64_t step = 0;
   for (char c : digits) {
@@ -149,6 +151,28 @@ void apply_checkpoint(const TrainerCheckpoint& ck, Net& net, Sgd& sgd) {
                                 << rngs.size());
   for (std::size_t i = 0; i < rngs.size(); ++i) {
     rngs[i]->set_state(ck.layer_rngs[i]);
+  }
+  // Optimiser slots must match the net's parameter list exactly.  A
+  // count mismatch would make Sgd::step silently reinitialise the slots
+  // to zero (losing bit-identity); a shape mismatch would make the Adam
+  // branch index second_[i] past its allocation.  A CRC-valid but
+  // crafted checkpoint can reach here, so this is a hard Error, not UB.
+  const std::vector<Param*> params = net.params();
+  MPCNN_CHECK(ck.velocity.size() == params.size() &&
+                  ck.second.size() == params.size(),
+              "checkpoint has " << ck.velocity.size() << "/"
+                                << ck.second.size()
+                                << " optimiser slots, net needs "
+                                << params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    MPCNN_CHECK(ck.velocity[i].same_shape(params[i]->value) &&
+                    ck.second[i].same_shape(params[i]->value),
+                "checkpoint optimiser slot " << i << " is "
+                                             << ck.velocity[i].shape().str()
+                                             << "/"
+                                             << ck.second[i].shape().str()
+                                             << ", param is "
+                                             << params[i]->value.shape().str());
   }
   sgd.restore_slots(ck.sgd_step_count, ck.velocity, ck.second);
   sgd.set_learning_rate(ck.learning_rate);
@@ -244,12 +268,45 @@ std::string read_manifest(const std::string& manifest) {
 }
 
 bool load_last_checkpoint(const std::string& dir, TrainerCheckpoint* ck) {
+  // Preferred path: the last-good manifest names the newest checkpoint.
   const std::string manifest = manifest_path(dir);
-  if (!std::filesystem::exists(manifest)) return false;
-  const std::string name = read_manifest(manifest);
-  *ck = load_checkpoint_file(
-      (std::filesystem::path(dir) / name).string());
-  return true;
+  const bool have_manifest = std::filesystem::exists(manifest);
+  if (have_manifest) {
+    try {
+      const std::string name = read_manifest(manifest);
+      *ck = load_checkpoint_file(
+          (std::filesystem::path(dir) / name).string());
+      return true;
+    } catch (const Error&) {
+      // The manifest is corrupt, or it names a checkpoint that is
+      // missing or fails to parse.  kKeepCheckpoints > 1 keeps an older
+      // durable checkpoint around for exactly this case — fall back to
+      // the newest one that still loads.
+    }
+  }
+  std::vector<std::pair<std::int64_t, std::filesystem::path>> ckpts;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    const std::int64_t step = step_of(entry.path().filename().string());
+    if (step >= 0) ckpts.emplace_back(step, entry.path());
+  }
+  std::sort(ckpts.begin(), ckpts.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  for (const auto& candidate : ckpts) {
+    try {
+      *ck = load_checkpoint_file(candidate.second.string());
+      return true;
+    } catch (const Error&) {
+      // Corrupt survivor; try the next-newest.
+    }
+  }
+  // A fresh/empty directory means "nothing to resume".  Checkpoint
+  // state that exists but all fails to load is a hard error — silently
+  // restarting from scratch would mask the corruption.
+  MPCNN_CHECK(!have_manifest && ckpts.empty(),
+              dir << ": checkpoint state present but no checkpoint loads"
+                     " cleanly");
+  return false;
 }
 
 bool is_checkpoint_file(const std::string& path) {

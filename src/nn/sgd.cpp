@@ -22,7 +22,8 @@ void Sgd::step(const std::vector<Param*>& params) {
   for (std::size_t i = 0; i < params.size(); ++i) {
     Param& p = *params[i];
     Tensor& v = velocity_[i];
-    MPCNN_CHECK(v.same_shape(p.value), "optimizer/param shape drift");
+    MPCNN_CHECK(v.same_shape(p.value) && second_[i].same_shape(p.value),
+                "optimizer/param shape drift");
     const float lr = config_.learning_rate;
     const float wd = config_.weight_decay;
     float* vel = v.data();

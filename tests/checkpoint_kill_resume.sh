@@ -70,10 +70,16 @@ if [ "$FOUND" -eq 0 ]; then
     STATUS=1
 fi
 
-# A corrupt artifact must make verify exit nonzero.
+# A corrupt artifact must make verify exit nonzero.  Flip the byte
+# relative to its current value (XOR 0xFF) so the file is guaranteed to
+# change no matter what it held.
 FIRST_REF=$(ls "$WORK"/ref/*.bin | head -n 1)
 cp "$FIRST_REF" "$WORK/corrupt.bin"
-printf 'X' | dd of="$WORK/corrupt.bin" bs=1 seek=40 conv=notrunc 2>/dev/null
+ORIG=$(dd if="$WORK/corrupt.bin" bs=1 skip=40 count=1 2>/dev/null \
+    | od -An -tu1 | tr -d ' \n')
+FLIPPED=$((ORIG ^ 255))
+printf "$(printf '\\%03o' "$FLIPPED")" \
+    | dd of="$WORK/corrupt.bin" bs=1 seek=40 conv=notrunc 2>/dev/null
 if "$CLI" verify "$WORK/corrupt.bin" > /dev/null 2>&1; then
     echo "FAIL: verify accepted a corrupt artifact"
     STATUS=1

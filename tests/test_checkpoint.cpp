@@ -213,7 +213,7 @@ TEST_F(CheckpointTest, CheckpointRoundTripPreservesEveryField) {
   EXPECT_TRUE(info.crc_ok);
 }
 
-TEST_F(CheckpointTest, CorruptCheckpointIsRejectedNotLoaded) {
+TEST_F(CheckpointTest, CorruptCheckpointFallsBackThenRejects) {
   Trainer::Config tc = base_config();
   tc.checkpoint_dir = ckpt_dir();
   tc.checkpoint_every = 4;
@@ -225,19 +225,28 @@ TEST_F(CheckpointTest, CorruptCheckpointIsRejectedNotLoaded) {
   const std::string ckpt_file = (fs::path(ckpt_dir()) / name).string();
 
   // Flip one payload byte in place.
-  std::fstream f(ckpt_file,
-                 std::ios::binary | std::ios::in | std::ios::out);
-  f.seekg(40);
-  char byte = 0;
-  f.read(&byte, 1);
-  byte = static_cast<char>(byte ^ 0x08);
-  f.seekp(40);
-  f.write(&byte, 1);
-  f.close();
-
-  TrainerCheckpoint ck;
-  EXPECT_THROW(load_last_checkpoint(ckpt_dir(), &ck), Error);
+  const auto corrupt = [](const std::string& path) {
+    std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+    f.seekg(40);
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x08);
+    f.seekp(40);
+    f.write(&byte, 1);
+  };
+  corrupt(ckpt_file);
   EXPECT_FALSE(io::inspect(ckpt_file).crc_ok);
+
+  // The corrupt newest checkpoint (step 12) is skipped; resume falls
+  // back to the older kept one (step 8).
+  TrainerCheckpoint ck;
+  ASSERT_TRUE(load_last_checkpoint(ckpt_dir(), &ck));
+  EXPECT_EQ(ck.global_step, 8);
+
+  // With every checkpoint corrupt, resume is a clean Error — never a
+  // silent from-scratch restart that would mask the corruption.
+  corrupt((fs::path(ckpt_dir()) / "ckpt-8.mpck").string());
+  EXPECT_THROW(load_last_checkpoint(ckpt_dir(), &ck), Error);
 }
 
 TEST_F(CheckpointTest, ManifestNamingAPathOutsideTheDirIsRejected) {
@@ -272,6 +281,41 @@ TEST_F(CheckpointTest, StaleTempFilesAreIgnoredAndCleaned) {
   EXPECT_FALSE(fs::exists(fs::path(ckpt_dir()) / "ckpt-7.mpck.tmp"));
   ASSERT_TRUE(load_last_checkpoint(ckpt_dir(), &ck));
   EXPECT_EQ(ck.global_step, 12);
+}
+
+TEST_F(CheckpointTest, ApplyRejectsMismatchedOptimiserSlots) {
+  Trainer::Config tc = base_config();
+  tc.checkpoint_dir = ckpt_dir();
+  tc.checkpoint_every = 4;
+  {
+    Net net = make_net();
+    Trainer(tc).fit(net, images_, labels_);
+  }
+  TrainerCheckpoint ck;
+  ASSERT_TRUE(load_last_checkpoint(ckpt_dir(), &ck));
+
+  // A crafted (CRC-valid) checkpoint with an undersized second-moment
+  // slot must be a clean Error at apply time — never an out-of-bounds
+  // write on the first resumed Adam step.
+  {
+    Net net = make_net();
+    Sgd sgd(base_config().sgd);
+    TrainerCheckpoint bad = ck;
+    ASSERT_FALSE(bad.second.empty());
+    bad.second[0] = Tensor(Shape{1});
+    EXPECT_THROW(apply_checkpoint(bad, net, sgd), Error);
+  }
+  // Same for a missing slot: Sgd::step would otherwise silently
+  // reinitialise all slots to zero and break bit-identity.
+  {
+    Net net = make_net();
+    Sgd sgd(base_config().sgd);
+    TrainerCheckpoint bad = ck;
+    ASSERT_FALSE(bad.velocity.empty());
+    bad.velocity.pop_back();
+    bad.second.pop_back();
+    EXPECT_THROW(apply_checkpoint(bad, net, sgd), Error);
+  }
 }
 
 TEST_F(CheckpointTest, ApplyRejectsTopologyMismatch) {
