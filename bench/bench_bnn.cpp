@@ -3,10 +3,23 @@
 // the speedup of the word-parallel engine over the per-bit oracle is
 // tracked across PRs; both engines score identically, so the ratio of the
 // two img/s counters is pure execution-engine speedup.
+//
+// The custom main additionally registers per-ISA dispatch rows, forced
+// via MPCNN_ISA + refresh_isa outside the timed loop: the packed engine
+// (BM_BnnReferencePackedIsa/<isa>, thread-swept BM_BnnBatchPackedIsa),
+// and a wide fixed-point byte-conv net (BM_BnnFixedConvIsa) that
+// isolates the SAD kernel dispatch at its partial-binarisation shape.
+// The JSON context is stamped with core::cpu_signature() for the
+// regression gate in run_all.sh.
 #include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bnn/compile.hpp"
 #include "bnn/topology.hpp"
+#include "core/cpu.hpp"
 #include "core/threadpool.hpp"
 #include "tensor/rng.hpp"
 
@@ -35,6 +48,56 @@ struct BnnFixture {
 
 BnnFixture& fixture() {
   static BnnFixture fx;
+  return fx;
+}
+
+// Partial-binarisation operating point: a wide 8-bit fixed-point conv
+// (128→256 channels, 1152-byte patches) feeding an output dense.  This
+// is the byte-conv (SAD) kernel's natural shape — per-ISA rows isolate
+// the PSADBW-vs-VPSADBW dispatch choice rather than whole-net plumbing.
+struct ByteConvFixture {
+  bnn::CompiledBnn net;
+  Tensor image{Shape{1, 128, 16, 16}};
+
+  ByteConvFixture() {
+    Rng rng(29);
+    net.classes = 10;
+    net.input_levels = 255;
+    auto stage = [&rng](bnn::StageKind kind, Dim in_ch, Dim in_hw,
+                        Dim out_ch, Dim out_hw, Dim kernel, Dim cols,
+                        int in_levels) {
+      bnn::CompiledStage s;
+      s.kind = kind;
+      s.in_ch = in_ch;
+      s.in_h = s.in_w = in_hw;
+      s.out_ch = out_ch;
+      s.out_h = s.out_w = out_hw;
+      s.kernel = kernel;
+      s.in_levels = in_levels;
+      s.out_levels = 2;
+      s.weights = bnn::BitMatrix(out_ch, cols);
+      for (Dim r = 0; r < out_ch; ++r) {
+        for (Dim c = 0; c < cols; ++c) {
+          s.weights.set(r, c, rng.uniform(0.0, 1.0) < 0.5);
+        }
+      }
+      s.thresholds.resize(static_cast<std::size_t>(out_ch));
+      for (auto& t : s.thresholds) {
+        t = static_cast<std::int32_t>(rng.uniform(-64.0, 64.0));
+      }
+      s.negate.resize(static_cast<std::size_t>(out_ch), 0);
+      return s;
+    };
+    net.stages.push_back(stage(bnn::StageKind::kFixedPointConv, 128, 16,
+                               256, 14, 3, 128 * 9, 256));
+    net.stages.push_back(stage(bnn::StageKind::kOutputDense, 256 * 14 * 14,
+                               1, 10, 1, 0, 256 * 14 * 14, 2));
+    image.fill_uniform(rng, 0.0f, 1.0f);
+  }
+};
+
+ByteConvFixture& byte_conv_fixture() {
+  static ByteConvFixture fx;
   return fx;
 }
 
@@ -79,6 +142,99 @@ void BM_BnnReferenceBatchPacked(benchmark::State& state) {
 }
 BENCHMARK(BM_BnnReferenceBatchPacked)->Arg(1)->Arg(4)->UseRealTime();
 
+// ---- per-ISA dispatch benchmarks --------------------------------------
+
+std::vector<std::string> supported_isa_levels() {
+  const core::CpuFeatures& f = core::cpu_features();
+  std::vector<std::string> levels = {"scalar"};
+  if (f.sse2) levels.push_back("sse2");
+  if (f.avx2 && f.popcnt) levels.push_back("avx2");
+  return levels;
+}
+
+// Forces one dispatch level for the scope of a benchmark body; the env
+// flip and table rebind happen outside the timed loop.
+struct IsaScope {
+  explicit IsaScope(const std::string& isa) {
+    ::setenv("MPCNN_ISA", isa.c_str(), 1);
+    core::refresh_isa();
+  }
+  ~IsaScope() {
+    ::unsetenv("MPCNN_ISA");
+    core::refresh_isa();
+  }
+};
+
+void packed_isa_body(const std::string& isa, benchmark::State& state) {
+  BnnFixture& fx = fixture();
+  IsaScope scope(isa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bnn::run_reference(fx.net, fx.image, bnn::BnnExec::kPacked));
+  }
+  state.counters["img/s"] = benchmark::Counter(
+      1.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void batch_packed_isa_body(const std::string& isa,
+                           benchmark::State& state) {
+  BnnFixture& fx = fixture();
+  IsaScope scope(isa);
+  const int threads = static_cast<int>(state.range(0));
+  const int prior = core::thread_count();
+  core::set_thread_count(threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bnn::run_reference_batch(fx.net, fx.batch, bnn::BnnExec::kPacked));
+  }
+  state.counters["img/s"] = benchmark::Counter(
+      static_cast<double>(fx.batch.shape()[0]),
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["threads"] = static_cast<double>(threads);
+  core::set_thread_count(prior);
+}
+
+void byte_conv_isa_body(const std::string& isa, benchmark::State& state) {
+  ByteConvFixture& fx = byte_conv_fixture();
+  IsaScope scope(isa);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        bnn::run_reference(fx.net, fx.image, bnn::BnnExec::kPacked));
+  }
+  state.counters["img/s"] = benchmark::Counter(
+      1.0, benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void register_isa_benchmarks() {
+  for (const std::string& isa : supported_isa_levels()) {
+    benchmark::RegisterBenchmark(
+        ("BM_BnnReferencePackedIsa/" + isa).c_str(),
+        [isa](benchmark::State& state) { packed_isa_body(isa, state); })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(
+        ("BM_BnnFixedConvIsa/" + isa).c_str(),
+        [isa](benchmark::State& state) { byte_conv_isa_body(isa, state); })
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(
+        ("BM_BnnBatchPackedIsa/" + isa).c_str(),
+        [isa](benchmark::State& state) {
+          batch_packed_isa_body(isa, state);
+        })
+        ->Arg(1)
+        ->Arg(4)
+        ->UseRealTime();
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("mpcnn_cpu_signature",
+                              mpcnn::core::cpu_signature());
+  benchmark::Initialize(&argc, argv);
+  register_isa_benchmarks();
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

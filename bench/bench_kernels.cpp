@@ -1,13 +1,23 @@
 // Micro-benchmarks of the compute kernels underneath everything
 // (google-benchmark): float GEMM, XNOR-popcount dot products, im2col,
 // and whole-network BNN inference in both executors.
+//
+// The custom main below additionally registers one benchmark per
+// supported ISA dispatch level (BM_GemmIsa/<isa>, BM_XnorGemmIsa/<isa>,
+// forced via MPCNN_ISA + refresh_isa outside the timed loop) and stamps
+// the JSON context with core::cpu_signature(), so BENCH_host.json
+// carries directly comparable scalar/sse2/avx2 rows for the regression
+// gate in run_all.sh.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "bnn/bitpack.hpp"
 #include "bnn/compile.hpp"
 #include "bnn/topology.hpp"
+#include "core/cpu.hpp"
 #include "core/threadpool.hpp"
 #include "finn/executor.hpp"
 #include "tensor/gemm.hpp"
@@ -216,6 +226,104 @@ void BM_BnnFoldedExecutor(benchmark::State& state) {
 }
 BENCHMARK(BM_BnnFoldedExecutor);
 
+// ---- per-ISA dispatch benchmarks --------------------------------------
+
+std::vector<std::string> supported_isa_levels() {
+  const core::CpuFeatures& f = core::cpu_features();
+  std::vector<std::string> levels = {"scalar"};
+  if (f.sse2) levels.push_back("sse2");
+  if (f.avx2 && f.popcnt) levels.push_back("avx2");
+  return levels;
+}
+
+// Forces one dispatch level for the scope of a benchmark body; the env
+// flip and table rebind happen outside the timed loop.
+struct IsaScope {
+  explicit IsaScope(const std::string& isa) {
+    ::setenv("MPCNN_ISA", isa.c_str(), 1);
+    core::refresh_isa();
+  }
+  ~IsaScope() {
+    ::unsetenv("MPCNN_ISA");
+    core::refresh_isa();
+  }
+};
+
+void gemm_isa_body(const std::string& isa, benchmark::State& state) {
+  IsaScope scope(isa);
+  const Dim n = state.range(0);
+  const int threads = static_cast<int>(state.range(1));
+  const int prior = core::thread_count();
+  core::set_thread_count(threads);
+  Rng rng(1);
+  std::vector<float> A(static_cast<std::size_t>(n * n));
+  std::vector<float> B(static_cast<std::size_t>(n * n));
+  std::vector<float> C(static_cast<std::size_t>(n * n));
+  for (auto& v : A) v = static_cast<float>(rng.uniform());
+  for (auto& v : B) v = static_cast<float>(rng.uniform());
+  for (auto _ : state) {
+    gemm(n, n, n, 1.0f, A.data(), B.data(), 0.0f, C.data());
+    benchmark::DoNotOptimize(C.data());
+  }
+  state.counters["GFLOPs"] = benchmark::Counter(
+      2.0 * static_cast<double>(n) * n * n,
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+  state.counters["threads"] = static_cast<double>(threads);
+  core::set_thread_count(prior);
+}
+
+void xnor_gemm_isa_body(const std::string& isa, benchmark::State& state) {
+  IsaScope scope(isa);
+  const Dim out_ch = state.range(0);
+  const Dim cols = state.range(1) * 3 * 3;
+  const Dim positions = 28 * 28;
+  Rng rng(5);
+  bnn::BitMatrix a(out_ch, cols), b(positions, cols);
+  for (Dim r = 0; r < out_ch; ++r) {
+    for (Dim c = 0; c < cols; ++c) a.set(r, c, rng.bernoulli(0.5));
+  }
+  for (Dim p = 0; p < positions; ++p) {
+    for (Dim c = 0; c < cols; ++c) b.set(p, c, rng.bernoulli(0.5));
+  }
+  std::vector<std::int32_t> out(
+      static_cast<std::size_t>(out_ch * positions));
+  for (auto _ : state) {
+    bnn::xnor_gemm(a, b, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.counters["GXOP/s"] = benchmark::Counter(
+      2.0 * static_cast<double>(out_ch) * cols * positions,
+      benchmark::Counter::kIsIterationInvariantRate,
+      benchmark::Counter::kIs1000);
+}
+
+void register_isa_benchmarks() {
+  for (const std::string& isa : supported_isa_levels()) {
+    benchmark::RegisterBenchmark(
+        ("BM_GemmIsa/" + isa).c_str(),
+        [isa](benchmark::State& state) { gemm_isa_body(isa, state); })
+        ->ArgsProduct({{256, 512}, {1, 4}})
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(
+        ("BM_XnorGemmIsa/" + isa).c_str(),
+        [isa](benchmark::State& state) {
+          xnor_gemm_isa_body(isa, state);
+        })
+        ->Args({128, 128})
+        ->UseRealTime();
+  }
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::AddCustomContext("mpcnn_cpu_signature",
+                              mpcnn::core::cpu_signature());
+  benchmark::Initialize(&argc, argv);
+  register_isa_benchmarks();
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

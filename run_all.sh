@@ -1,23 +1,45 @@
 #!/bin/sh
 # Builds, tests and regenerates every table/figure; the transcript of a
-# full run lands in test_output.txt and bench_output.txt.  bench_kernels
-# additionally writes BENCH_kernels.json so the kernel-perf trajectory
-# (GFLOPs, thread scaling) is tracked across PRs.
+# full run lands in test_output.txt and bench_output.txt.  The release
+# benches emit BENCH_host.json (float/bit kernels) and BENCH_bnn.json
+# (compiled-BNN engine) with per-ISA dispatch rows and the machine's CPU
+# signature in the JSON context, so kernel-perf trajectories are
+# comparable across PRs *and* machines.
 set -e
-cmake -B build -G Ninja
+cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build
 ctest --test-dir build 2>&1 | tee test_output.txt
 
+# ISA sweep: the kernel/BNN/dispatch test trees must pass with the
+# dispatcher forced to every level this host supports (forcing an
+# unsupported level is refused by the registry, so probe first).
+ISA_LEVELS="scalar sse2"
+if build/tools/mpcnn_cli cpuinfo | grep -q 'avx2=1'; then
+  ISA_LEVELS="$ISA_LEVELS avx2"
+fi
+for isa in $ISA_LEVELS; do
+  MPCNN_ISA="$isa" ctest --test-dir build \
+    -R 'Gemm|Bitpack|PackedBnn|Partial|Dispatch|Determinism' \
+    --output-on-failure 2>&1 | tee "isa_${isa}_output.txt"
+done
+
 # Artifact robustness: 1200+ seeded corruptions of every on-disk format
-# must be rejected with clean errors, and a kill -9 mid-training must
-# resume to byte-identical artifacts.
+# (including the MPTU tuning cache) must be rejected with clean errors,
+# and a kill -9 mid-training must resume to byte-identical artifacts.
 build/tools/fuzz_artifact --iterations 1200 2>&1 | tee fuzz_output.txt
 sh tests/checkpoint_kill_resume.sh build/tools/mpcnn_cli \
   2>&1 | tee kill_resume_output.txt
+
+# Autotune this machine once (persists mpcnn_tune.mptu through the
+# artifact layer), then record the probe + bindings; the benches below
+# run against the warm cache, so their rows are the tuned paths.
+build/tools/mpcnn_cli tune 2>&1 | tee tune_output.txt
+build/tools/mpcnn_cli cpuinfo 2>&1 | tee cpuinfo_output.txt
+
 for b in build/bench/*; do
   case "$(basename "$b")" in
     bench_kernels)
-      "$b" --benchmark_out=BENCH_kernels.json --benchmark_out_format=json
+      "$b" --benchmark_out=BENCH_host.json --benchmark_out_format=json
       ;;
     bench_bnn)
       "$b" --benchmark_out=BENCH_bnn.json --benchmark_out_format=json
@@ -29,13 +51,14 @@ for b in build/bench/*; do
 done 2>&1 | tee bench_output.txt
 
 # Sanitizer matrix.  Tree 1: ThreadSanitizer — the thread-pool semantics,
-# the 1-vs-N determinism tests, and the fault-injection/supervisor paths
-# (which mutate emulated weight memory under a live executor) must report
-# zero races.
+# the 1-vs-N determinism tests, the fault-injection/supervisor paths
+# (which mutate emulated weight memory under a live executor), and the
+# runtime-dispatched kernel paths (Dispatch/Gemm force MPCNN_ISA levels
+# while the pool is hot) must report zero races.
 cmake -B build-tsan -G Ninja -DMPCNN_SANITIZE=thread
 cmake --build build-tsan
 MPCNN_THREADS=4 ctest --test-dir build-tsan \
-  -R 'ThreadPool|Determinism|PackedBnn|Fault|WeightScrub|Stream' \
+  -R 'ThreadPool|Determinism|PackedBnn|Fault|WeightScrub|Stream|Dispatch|Gemm' \
   --output-on-failure 2>&1 | tee tsan_output.txt
 
 # Tree 2: ASan+UBSan (MPCNN_SANITIZE=address enables both) — guards the
@@ -46,7 +69,7 @@ MPCNN_THREADS=4 ctest --test-dir build-tsan \
 cmake -B build-asan -G Ninja -DMPCNN_SANITIZE=address
 cmake --build build-asan
 MPCNN_THREADS=4 ctest --test-dir build-asan \
-  -R 'Fault|WeightScrub|Crc32|Stream|ThreadPool|Bitpack|Artifact|Checkpoint' \
+  -R 'Fault|WeightScrub|Crc32|Stream|ThreadPool|Bitpack|Artifact|Checkpoint|Dispatch' \
   --output-on-failure 2>&1 | tee asan_output.txt
 build-asan/tools/fuzz_artifact --iterations 1200 \
   2>&1 | tee -a asan_output.txt

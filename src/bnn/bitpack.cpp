@@ -1,11 +1,153 @@
 #include "bnn/bitpack.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
+#include <mutex>
+#include <string>
+#include <vector>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "bnn/kernels.hpp"
+#include "bnn/kernels_impl.hpp"
+#include "core/autotune.hpp"
+#include "core/cpu.hpp"
 #include "core/threadpool.hpp"
 
 namespace mpcnn::bnn {
+namespace detail {
+namespace {
+
+#if defined(__SSE2__)
+// SSE2 byte sums for the fixed-point first stage (PSADBW against zero =
+// horizontal byte sum).  Baseline x86-64 always has SSE2, so these live
+// in the ordinary TU; the AVX2 widening lives in bitpack_avx2.cpp.
+std::int64_t byte_sum_sse2(const std::uint8_t* p, std::int64_t nbytes) {
+  __m128i total = _mm_setzero_si128();
+  for (std::int64_t i = 0; i + 16 <= nbytes; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    total = _mm_add_epi64(total, _mm_sad_epu8(v, _mm_setzero_si128()));
+  }
+  return _mm_cvtsi128_si64(total) +
+         _mm_cvtsi128_si64(_mm_unpackhi_epi64(total, total));
+}
+
+std::int64_t masked_byte_sum_sse2(const std::uint8_t* p,
+                                  const std::uint8_t* w,
+                                  std::int64_t nbytes) {
+  __m128i acc = _mm_setzero_si128();
+  for (std::int64_t i = 0; i + 16 <= nbytes; i += 16) {
+    const __m128i v =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(p + i));
+    const __m128i m =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i));
+    acc = _mm_add_epi64(
+        acc, _mm_sad_epu8(_mm_and_si128(v, m), _mm_setzero_si128()));
+  }
+  return _mm_cvtsi128_si64(acc) +
+         _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc));
+}
+#endif  // __SSE2__
+
+const BnnKernels& scalar_table() {
+  static const BnnKernels t = {"scalar",       "none",
+                               &xor_pop_impl,  &xor_pop4_impl,
+                               &xor_range_impl, nullptr,
+                               nullptr,         nullptr};
+  return t;
+}
+
+const BnnKernels& sse2_table(bool with_popcnt) {
+#if defined(__SSE2__)
+  static const BnnKernels plain = {"scalar",        "sse2",
+                                   &xor_pop_impl,   &xor_pop4_impl,
+                                   &xor_range_impl, &byte_sum_sse2,
+                                   &masked_byte_sum_sse2, nullptr};
+  static const BnnKernels popcnt = {
+      "popcnt",
+      "sse2",
+      kBnnPopPopcnt.xor_pop != nullptr ? kBnnPopPopcnt.xor_pop
+                                       : &xor_pop_impl,
+      kBnnPopPopcnt.xor_pop4 != nullptr ? kBnnPopPopcnt.xor_pop4
+                                        : &xor_pop4_impl,
+      kBnnPopPopcnt.xor_range != nullptr ? kBnnPopPopcnt.xor_range
+                                         : &xor_range_impl,
+      &byte_sum_sse2,
+      &masked_byte_sum_sse2,
+      nullptr};
+  return with_popcnt && kBnnPopPopcnt.xor_pop != nullptr ? popcnt : plain;
+#else
+  (void)with_popcnt;
+  return scalar_table();
+#endif
+}
+
+const BnnKernels& avx2_table() {
+#if defined(__SSE2__)
+  if (kBnnPopAvx2.xor_pop == nullptr || kBnnSumAvx2.byte_sum == nullptr) {
+    return sse2_table(true);
+  }
+  static const BnnKernels t = {"avx2",
+                               "avx2",
+                               kBnnPopAvx2.xor_pop,
+                               kBnnPopAvx2.xor_pop4,
+                               kBnnPopAvx2.xor_range,
+                               kBnnSumAvx2.byte_sum,
+                               kBnnSumAvx2.masked_byte_sum,
+                               kBnnSumAvx2.masked_byte_sum4};
+  return t;
+#else
+  return scalar_table();
+#endif
+}
+
+}  // namespace
+
+// Rebinds when core::refresh_isa() bumps the generation (test hook); in
+// production this resolves once on first use and stays put.
+const BnnKernels& kernels() {
+  static std::atomic<const BnnKernels*> cur{nullptr};
+  static std::atomic<int> bound_gen{-1};
+  static std::mutex mu;
+  const int gen = core::isa_generation();
+  const BnnKernels* k = cur.load(std::memory_order_acquire);
+  if (k == nullptr || bound_gen.load(std::memory_order_acquire) != gen) {
+    std::lock_guard<std::mutex> lock(mu);
+    switch (core::active_isa()) {
+      case core::Isa::kScalar:
+        k = &scalar_table();
+        break;
+      case core::Isa::kSse2:
+        k = &sse2_table(core::cpu_features().popcnt);
+        break;
+      case core::Isa::kAvx2:
+        k = &avx2_table();
+        break;
+    }
+    cur.store(k, std::memory_order_release);
+    bound_gen.store(gen, std::memory_order_release);
+  }
+  return *k;
+}
+
+namespace {
+
+const char* bnn_pop_variant() { return kernels().pop_name; }
+const char* bnn_sum_variant() { return kernels().sum_name; }
+[[maybe_unused]] const bool kPopSlotRegistered =
+    core::register_kernel_slot("bnn.xor_popcount", &bnn_pop_variant);
+[[maybe_unused]] const bool kPop4SlotRegistered =
+    core::register_kernel_slot("bnn.xor_popcount4", &bnn_pop_variant);
+[[maybe_unused]] const bool kSumSlotRegistered =
+    core::register_kernel_slot("bnn.byte_conv", &bnn_sum_variant);
+
+}  // namespace
+}  // namespace detail
+
 namespace {
 
 Dim words_for(Dim nbits) { return (nbits + 63) / 64; }
@@ -81,8 +223,9 @@ Dim BitVector::xnor_matches(const BitVector& other) const {
                                           << nbits_ << " vs "
                                           << other.nbits_);
   // Padding bits are zero in both vectors, so they never mismatch.
-  return nbits_ - xor_popcount_words(words_.data(), other.words_.data(),
-                                     static_cast<Dim>(words_.size()));
+  return nbits_ - static_cast<Dim>(detail::kernels().xor_pop(
+                      words_.data(), other.words_.data(),
+                      static_cast<Dim>(words_.size())));
 }
 
 std::int64_t BitVector::dot_bipolar(const BitVector& other) const {
@@ -127,7 +270,8 @@ bool BitMatrix::get(Dim r, Dim c) const {
 Dim BitMatrix::row_xnor_matches(Dim r, const BitVector& v) const {
   MPCNN_CHECK(r >= 0 && r < rows_, "BitMatrix row " << r);
   MPCNN_CHECK(v.size() == cols_, "row dot size mismatch");
-  return cols_ - xor_popcount_words(row_data(r), v.data(), words_per_row_);
+  return cols_ - static_cast<Dim>(detail::kernels().xor_pop(
+                     row_data(r), v.data(), words_per_row_));
 }
 
 std::int64_t BitMatrix::row_dot_bipolar(Dim r, const BitVector& v) const {
@@ -138,19 +282,7 @@ Dim xor_mismatches_range(const std::uint64_t* a, const std::uint64_t* b,
                          Dim begin, Dim end) {
   MPCNN_CHECK(begin >= 0 && begin <= end, "bad bit range [" << begin << ", "
                                                             << end << ")");
-  if (begin == end) return 0;
-  const Dim w0 = begin >> 6;
-  const Dim w1 = (end - 1) >> 6;
-  const std::uint64_t head = ~0ULL << (begin & 63);
-  const std::uint64_t tail = mask_n(((end - 1) & 63) + 1);
-  if (w0 == w1) {
-    return std::popcount((a[w0] ^ b[w0]) & head & tail);
-  }
-  Dim mismatches = std::popcount((a[w0] ^ b[w0]) & head);
-  for (Dim t = w0 + 1; t < w1; ++t) {
-    mismatches += std::popcount(a[t] ^ b[t]);
-  }
-  return mismatches + std::popcount((a[w1] ^ b[w1]) & tail);
+  return static_cast<Dim>(detail::kernels().xor_range(a, b, begin, end));
 }
 
 void copy_bits(const std::uint64_t* src, Dim src_bit, std::uint64_t* dst,
@@ -220,22 +352,115 @@ BitMatrix bit_im2col(const std::uint64_t* planes, Dim plane_words, Dim ch,
   return patches;
 }
 
-void xnor_gemm(const BitMatrix& a, const BitMatrix& b, std::int32_t* c) {
-  MPCNN_CHECK(a.cols() == b.cols(), "xnor_gemm column mismatch: "
-                                        << a.cols() << " vs " << b.cols());
+namespace {
+
+// Autotuned xnor_gemm schedule: `grain` is the thread-chunk of A rows
+// (kept a multiple of 4 so chunk edges stay on quad-row block edges) and
+// `pblock` tiles B's rows so a block of patch rows stays cache-hot while
+// every A-row quad sweeps it.  Both parameters only reorder independent
+// integer dot products — outputs are identical for any choice.
+struct XnorSchedule {
+  Dim grain, pblock;
+};
+
+const char* xnor_class(Dim wpr) {
+  if (wpr <= 2) return "narrow";
+  if (wpr <= 8) return "mid";
+  return "wide";
+}
+
+void xnor_gemm_with_schedule(const BitMatrix& a, const BitMatrix& b,
+                             std::int32_t* c, const XnorSchedule& sched);
+
+BitMatrix synthetic_bits(Dim rows, Dim cols, std::uint64_t seed) {
+  BitMatrix m(rows, cols);
+  std::uint64_t x = seed;
+  for (Dim r = 0; r < rows; ++r) {
+    std::uint64_t* row = m.row_data(r);
+    for (Dim t = 0; t < m.words_per_row(); ++t) {
+      x ^= x << 13;
+      x ^= x >> 7;
+      x ^= x << 17;
+      row[t] = x;
+    }
+    // Keep the padding contract: bits past `cols` stay zero.
+    const Dim pad = m.words_per_row() * 64 - cols;
+    if (pad > 0) row[m.words_per_row() - 1] &= ~0ULL >> pad;
+  }
+  return m;
+}
+
+XnorSchedule xnor_schedule_for(Dim wpr) {
+  const char* cls = xnor_class(wpr);
+  static const std::vector<std::string> names = {"grain", "pblock"};
+  static const std::vector<std::vector<std::int64_t>> candidates = {
+      {4, 1 << 30},  // quad rows, unblocked sweep — the PR 2 baseline
+      {4, 256},      {8, 512}, {16, 1024}, {4, 128}, {8, 1 << 30},
+  };
+  const auto measure = [&](const std::vector<std::int64_t>& cand) {
+    const Dim rep_cols = wpr <= 2 ? 128 : (wpr <= 8 ? 512 : 2048);
+    const BitMatrix wa = synthetic_bits(128, rep_cols, 0x2545F4914F6CDD1DULL);
+    const BitMatrix pb = synthetic_bits(512, rep_cols, 0x9E3779B97F4A7C15ULL);
+    std::vector<std::int32_t> out(static_cast<std::size_t>(128 * 512));
+    const XnorSchedule sched{static_cast<Dim>(cand[0]),
+                             static_cast<Dim>(cand[1])};
+    return core::autotune::measure_seconds(
+        [&] { xnor_gemm_with_schedule(wa, pb, out.data(), sched); });
+  };
+  const auto v =
+      core::autotune::pick("xnor_gemm", cls, names, candidates, measure);
+  return {static_cast<Dim>(v[0]), static_cast<Dim>(v[1])};
+}
+
+void xnor_gemm_with_schedule(const BitMatrix& a, const BitMatrix& b,
+                             std::int32_t* c, const XnorSchedule& sched) {
   const Dim n = b.rows();
   const Dim wpr = a.words_per_row();
   const Dim cols = a.cols();
-  core::parallel_for(0, a.rows(), 1, [&](Dim r0, Dim r1) {
-    for (Dim r = r0; r < r1; ++r) {
-      const std::uint64_t* ar = a.row_data(r);
-      std::int32_t* crow = c + r * n;
-      for (Dim p = 0; p < n; ++p) {
-        crow[p] = static_cast<std::int32_t>(
-            cols - 2 * xor_popcount_words(ar, b.row_data(p), wpr));
+  const detail::BnnKernels& kern = detail::kernels();
+  core::parallel_for(0, a.rows(), sched.grain, [&](Dim r0, Dim r1) {
+    for (Dim p0 = 0; p0 < n; p0 += sched.pblock) {
+      const Dim p1 = std::min<Dim>(n, p0 + sched.pblock);
+      Dim r = r0;
+      for (; r + 4 <= r1; r += 4) {
+        const std::uint64_t* ar = a.row_data(r);
+        std::int32_t* crow = c + r * n;
+        for (Dim p = p0; p < p1; ++p) {
+          std::int64_t m[4];
+          kern.xor_pop4(ar, wpr, b.row_data(p), wpr, m);
+          crow[p] = static_cast<std::int32_t>(cols - 2 * m[0]);
+          crow[n + p] = static_cast<std::int32_t>(cols - 2 * m[1]);
+          crow[2 * n + p] = static_cast<std::int32_t>(cols - 2 * m[2]);
+          crow[3 * n + p] = static_cast<std::int32_t>(cols - 2 * m[3]);
+        }
+      }
+      for (; r < r1; ++r) {
+        const std::uint64_t* ar = a.row_data(r);
+        std::int32_t* crow = c + r * n;
+        for (Dim p = p0; p < p1; ++p) {
+          crow[p] = static_cast<std::int32_t>(
+              cols - 2 * kern.xor_pop(ar, b.row_data(p), wpr));
+        }
       }
     }
   });
+}
+
+void tune_xnor_gemm() {
+  for (const Dim wpr : {Dim{2}, Dim{8}, Dim{32}}) {
+    xnor_schedule_for(wpr);
+  }
+}
+
+[[maybe_unused]] const bool kXnorTunerRegistered =
+    core::autotune::register_tuner("xnor_gemm", &tune_xnor_gemm);
+
+}  // namespace
+
+void xnor_gemm(const BitMatrix& a, const BitMatrix& b, std::int32_t* c) {
+  MPCNN_CHECK(a.cols() == b.cols(), "xnor_gemm column mismatch: "
+                                        << a.cols() << " vs " << b.cols());
+  xnor_gemm_with_schedule(a, b, c, xnor_schedule_for(a.words_per_row()));
 }
 
 }  // namespace mpcnn::bnn

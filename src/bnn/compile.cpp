@@ -1,17 +1,16 @@
 #include "bnn/compile.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <cmath>
 #include <cstdlib>
+#include <cstring>
 #include <limits>
 #include <string_view>
 
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
-
 #include "bnn/binary_layers.hpp"
+#include "bnn/kernels.hpp"
 #include "core/threadpool.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/flatten.hpp"
@@ -445,18 +444,26 @@ inline void or_bits(std::uint64_t* words, Dim bit, std::uint64_t v,
   if (off + count > 64) words[wi + 1] |= v >> (64 - off);
 }
 
-#if defined(__SSE2__)
-// SSE2 first stage: patches as byte vectors, weights as 0x00/0xFF byte
-// masks, Σ_{w=1} x via PAND + PSADBW (sum of absolute differences
-// against zero = horizontal byte sum).  Pure integer arithmetic, so the
-// accumulators are bit-identical to the plane path and the scalar oracle;
-// pixels must fit a byte (input_levels ≤ 256).
+// Byte-SAD first stage: patches as byte vectors, weights as 0x00/0xFF
+// byte masks, Σ_{w=1} x via masked byte sums (PSADBW on SSE2, VPSADBW on
+// AVX2 — whichever the dispatch table bound).  Pure integer arithmetic,
+// so the accumulators are bit-identical to the plane path and the scalar
+// oracle; pixels must fit a byte (input_levels ≤ 256).
 PlanedBitMap exec_fixed_point_conv_sad(const CompiledStage& s,
-                                       const std::vector<int>& px) {
+                                       const std::vector<int>& px,
+                                       const detail::BnnKernels& kern) {
   const Dim positions = s.out_h * s.out_w;
   const Dim patch = s.in_ch * s.kernel * s.kernel;
   const Dim vecs = (patch + 15) / 16;
   const Dim stride = vecs * 16;
+
+  // Narrow the integer image to bytes once (pixels fit: levels ≤ 256),
+  // so the patch assembly below is pure byte copies instead of per-patch
+  // int→byte narrowing.
+  std::vector<std::uint8_t> img(px.size());
+  for (std::size_t i = 0; i < px.size(); ++i) {
+    img[i] = static_cast<std::uint8_t>(px[i]);
+  }
 
   // Byte-level im2col (zero padding past `patch` contributes nothing to
   // either masked or unmasked sums).
@@ -469,23 +476,39 @@ PlanedBitMap exec_fixed_point_conv_sad(const CompiledStage& s,
       std::uint8_t* dst = patches.data() + pos * stride;
       for (Dim c = 0; c < s.in_ch; ++c) {
         for (Dim kh = 0; kh < s.kernel; ++kh, dst += s.kernel) {
-          const int* row =
-              px.data() + ((c * s.in_h + oh + kh) * s.in_w + ow);
-          for (Dim kw = 0; kw < s.kernel; ++kw) {
-            dst[kw] = static_cast<std::uint8_t>(row[kw]);
-          }
+          const std::uint8_t* row =
+              img.data() + ((c * s.in_h + oh + kh) * s.in_w + ow);
+          std::memcpy(dst, row, static_cast<std::size_t>(s.kernel));
         }
       }
     }
   });
 
-  // Weight rows as byte masks in the same column order.
+  // Weight rows as byte masks in the same column order, expanded eight
+  // bits at a time through a byte→mask-word LUT (bit k of weight byte v
+  // becomes mask byte k).  Zero padding bits past `patch` expand to zero
+  // mask bytes, so the masked sums need no correction.
+  static constexpr std::array<std::uint64_t, 256> kMaskLut = [] {
+    std::array<std::uint64_t, 256> t{};
+    for (int v = 0; v < 256; ++v) {
+      std::uint64_t m = 0;
+      for (int k = 0; k < 8; ++k) {
+        if ((v >> k) & 1) m |= std::uint64_t{0xFF} << (8 * k);
+      }
+      t[static_cast<std::size_t>(v)] = m;
+    }
+    return t;
+  }();
   std::vector<std::uint8_t> wmask(
       static_cast<std::size_t>(s.out_ch * stride), 0);
+  const Dim groups = (patch + 7) / 8;  // 8·groups ≤ stride (16-aligned)
   for (Dim oc = 0; oc < s.out_ch; ++oc) {
     std::uint8_t* row = wmask.data() + oc * stride;
-    for (Dim bit = 0; bit < patch; ++bit) {
-      row[bit] = s.weights.get(oc, bit) ? 0xFF : 0x00;
+    const std::uint64_t* wrow = s.weights.row_data(oc);
+    for (Dim g = 0; g < groups; ++g) {
+      const std::uint64_t m =
+          kMaskLut[(wrow[g >> 3] >> ((g & 7) * 8)) & 0xFF];
+      std::memcpy(row + g * 8, &m, 8);
     }
   }
 
@@ -494,30 +517,24 @@ PlanedBitMap exec_fixed_point_conv_sad(const CompiledStage& s,
     std::vector<std::uint64_t> accw(static_cast<std::size_t>(s.out_ch), 0);
     for (Dim pos = p0; pos < p1; ++pos) {
       const std::uint8_t* pb = patches.data() + pos * stride;
-      __m128i total = _mm_setzero_si128();
-      for (Dim j = 0; j < vecs; ++j) {
-        const __m128i v = _mm_loadu_si128(
-            reinterpret_cast<const __m128i*>(pb + 16 * j));
-        total = _mm_add_epi64(total,
-                              _mm_sad_epu8(v, _mm_setzero_si128()));
-      }
-      const std::int64_t sum =
-          _mm_cvtsi128_si64(total) +
-          _mm_cvtsi128_si64(_mm_unpackhi_epi64(total, total));
-      for (Dim oc = 0; oc < s.out_ch; ++oc) {
-        const std::uint8_t* wb = wmask.data() + oc * stride;
-        __m128i acc = _mm_setzero_si128();
-        for (Dim j = 0; j < vecs; ++j) {
-          const __m128i v = _mm_loadu_si128(
-              reinterpret_cast<const __m128i*>(pb + 16 * j));
-          const __m128i w = _mm_loadu_si128(
-              reinterpret_cast<const __m128i*>(wb + 16 * j));
-          acc = _mm_add_epi64(
-              acc, _mm_sad_epu8(_mm_and_si128(v, w), _mm_setzero_si128()));
+      const std::int64_t sum = kern.byte_sum(pb, stride);
+      Dim oc = 0;
+      if (kern.masked_byte_sum4 != nullptr) {
+        for (; oc + 4 <= s.out_ch; oc += 4) {
+          std::int64_t s4[4];
+          kern.masked_byte_sum4(pb, wmask.data() + oc * stride, stride,
+                                stride, s4);
+          for (Dim r = 0; r < 4; ++r) {
+            accw[static_cast<std::size_t>(oc + r)] |=
+                static_cast<std::uint64_t>(
+                    fire_binary(s, oc + r, 2 * s4[r] - sum))
+                << (pos & 63);
+          }
         }
-        const std::int64_t s1 =
-            _mm_cvtsi128_si64(acc) +
-            _mm_cvtsi128_si64(_mm_unpackhi_epi64(acc, acc));
+      }
+      for (; oc < s.out_ch; ++oc) {
+        const std::uint8_t* wb = wmask.data() + oc * stride;
+        const std::int64_t s1 = kern.masked_byte_sum(pb, wb, stride);
         accw[static_cast<std::size_t>(oc)] |=
             static_cast<std::uint64_t>(fire_binary(s, oc, 2 * s1 - sum))
             << (pos & 63);
@@ -539,14 +556,16 @@ PlanedBitMap exec_fixed_point_conv_sad(const CompiledStage& s,
   });
   return out;
 }
-#endif  // __SSE2__
 
 PlanedBitMap exec_fixed_point_conv_packed(const CompiledStage& s,
                                           const std::vector<int>& px,
                                           int input_levels) {
-#if defined(__SSE2__)
-  if (input_levels <= 256) return exec_fixed_point_conv_sad(s, px);
-#endif
+  const detail::BnnKernels& kern = detail::kernels();
+  // The byte path needs the SAD kernels (absent at the scalar level,
+  // where the bit-plane stage below is the dispatched variant).
+  if (kern.masked_byte_sum != nullptr && input_levels <= 256) {
+    return exec_fixed_point_conv_sad(s, px, kern);
+  }
   const Dim positions = s.out_h * s.out_w;
   const Dim patch = s.in_ch * s.kernel * s.kernel;
   const Dim wpr = (patch + 63) / 64;
@@ -681,35 +700,28 @@ PlanedBitMap exec_binary_conv_packed(const CompiledStage& s,
   const Dim cols = s.weights.cols();
   const Dim wpr = patches.words_per_row();
   PlanedBitMap out(s.out_ch, s.out_h, s.out_w);
-  // Register blocking: four weight rows per pass share every patch-row
-  // load and keep four independent popcount chains in flight.  Grain 4
-  // keeps parallel chunk boundaries on block edges; per-channel results
-  // are independent, so blocking cannot change any accumulator.
+  // Register blocking: the dispatched quad kernel counts four weight
+  // rows per pass so they share every patch-row load (POPCNT or AVX2
+  // nibble-LUT under the hood).  Grain 4 keeps parallel chunk boundaries
+  // on block edges; per-channel results are independent, so blocking
+  // cannot change any accumulator.
+  const detail::BnnKernels& kern = detail::kernels();
+  const Dim wstride = s.weights.words_per_row();
   core::parallel_for(0, s.out_ch, 4, [&](Dim c0, Dim c1) {
     Dim oc = c0;
     for (; oc + 4 <= c1; oc += 4) {
       const std::uint64_t* w0 = s.weights.row_data(oc);
-      const std::uint64_t* w1 = s.weights.row_data(oc + 1);
-      const std::uint64_t* w2 = s.weights.row_data(oc + 2);
-      const std::uint64_t* w3 = s.weights.row_data(oc + 3);
       BitPackEpilogue ep0{out.plane(oc)};
       BitPackEpilogue ep1{out.plane(oc + 1)};
       BitPackEpilogue ep2{out.plane(oc + 2)};
       BitPackEpilogue ep3{out.plane(oc + 3)};
       for (Dim pos = 0; pos < positions; ++pos) {
-        const std::uint64_t* p = patches.row_data(pos);
-        Dim m0 = 0, m1 = 0, m2 = 0, m3 = 0;
-        for (Dim t = 0; t < wpr; ++t) {
-          const std::uint64_t pv = p[t];
-          m0 += std::popcount(w0[t] ^ pv);
-          m1 += std::popcount(w1[t] ^ pv);
-          m2 += std::popcount(w2[t] ^ pv);
-          m3 += std::popcount(w3[t] ^ pv);
-        }
-        ep0.push(pos, fire_binary(s, oc, cols - 2 * m0));
-        ep1.push(pos, fire_binary(s, oc + 1, cols - 2 * m1));
-        ep2.push(pos, fire_binary(s, oc + 2, cols - 2 * m2));
-        ep3.push(pos, fire_binary(s, oc + 3, cols - 2 * m3));
+        std::int64_t m[4];
+        kern.xor_pop4(w0, wstride, patches.row_data(pos), wpr, m);
+        ep0.push(pos, fire_binary(s, oc, cols - 2 * m[0]));
+        ep1.push(pos, fire_binary(s, oc + 1, cols - 2 * m[1]));
+        ep2.push(pos, fire_binary(s, oc + 2, cols - 2 * m[2]));
+        ep3.push(pos, fire_binary(s, oc + 3, cols - 2 * m[3]));
       }
       ep0.flush(positions);
       ep1.flush(positions);
@@ -721,7 +733,7 @@ PlanedBitMap exec_binary_conv_packed(const CompiledStage& s,
       BitPackEpilogue ep{out.plane(oc)};
       for (Dim pos = 0; pos < positions; ++pos) {
         const std::int64_t acc =
-            cols - 2 * xor_popcount_words(wrow, patches.row_data(pos), wpr);
+            cols - 2 * kern.xor_pop(wrow, patches.row_data(pos), wpr);
         ep.push(pos, fire_binary(s, oc, acc));
       }
       ep.flush(positions);
@@ -801,13 +813,14 @@ std::vector<std::int32_t> run_reference_packed(const CompiledBnn& net,
                     "dense stage input width mismatch");
         const Dim cols = stage.weights.cols();
         const Dim wpr = stage.weights.words_per_row();
+        const detail::BnnKernels& kern = detail::kernels();
         std::vector<std::int32_t> accs(
             static_cast<std::size_t>(stage.out_ch));
         core::parallel_for(0, stage.out_ch, 8, [&](Dim c0, Dim c1) {
           for (Dim oc = c0; oc < c1; ++oc) {
             accs[static_cast<std::size_t>(oc)] = static_cast<std::int32_t>(
-                cols - 2 * xor_popcount_words(stage.weights.row_data(oc),
-                                              flat.data(), wpr));
+                cols - 2 * kern.xor_pop(stage.weights.row_data(oc),
+                                        flat.data(), wpr));
           }
         });
         if (stage.kind == StageKind::kOutputDense) return accs;

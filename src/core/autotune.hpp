@@ -1,0 +1,106 @@
+// Per-machine kernel autotuning with a persisted MPTU tuning cache.
+//
+// FINN's lesson (PAPERS.md) is that throughput comes from folding the
+// schedule to the workload; the software analogue here is picking each
+// kernel's tile/block/chunk parameters by *measuring the machine* instead
+// of hard-coding one laptop's cache sizes.  Kernel owners call pick()
+// with a named candidate grid and a measure callback; the winner is
+// memoised in-process and persisted through the PR 5 artifact layer as a
+// framed, CRC-checked "MPTU" file (atomic commit, bounded hostile-field
+// reader, `mpcnn_cli verify` support).  Entries are keyed by
+// (kernel, shape-class) and tagged with the CPU signature
+// (core::cpu_signature()), so moving the cache to a different machine —
+// or changing MPCNN_ISA — silently invalidates them instead of applying
+// a foreign machine's tiles.
+//
+// Tuned parameters only ever change *blocking* (tile sizes, packing
+// panel sizes, parallel grain).  They never change the per-element
+// summation order or row ownership, so results stay bit-identical for
+// any parameter choice — tuning is a pure performance knob.
+//
+// Policy (env MPCNN_TUNE, re-read on every decision):
+//   cache (default) — use persisted winners when present; never measure.
+//   off             — ignore the cache, always use built-in defaults.
+//   auto            — measure on first miss, persist the winner.
+// `mpcnn_cli tune` runs every registered tuner eagerly (measuring even
+// under the default policy) and writes the cache for later runs.
+//
+// Cache location: env MPCNN_TUNE_CACHE, else "mpcnn_tune.mptu" in the
+// working directory.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mpcnn::core::autotune {
+
+enum class Policy { kOff, kCacheOnly, kAuto };
+
+/// Current policy from MPCNN_TUNE (throws Error on unknown values).
+Policy policy();
+
+/// Resolved cache file path (MPCNN_TUNE_CACHE or "mpcnn_tune.mptu").
+std::string cache_path();
+
+/// One tuned record, as stored in memory and in MPTU files.
+struct Entry {
+  std::string signature;   ///< core::cpu_signature() at tuning time
+  std::string kernel;      ///< e.g. "gemm"
+  std::string shape_class; ///< e.g. "large"
+  std::vector<std::pair<std::string, std::int64_t>> params;
+  double seconds = 0.0;    ///< winning candidate's measured time
+};
+
+/// Returns the parameter values for (kernel, shape_class).
+///   * cached winner (matching CPU signature) → its values;
+///   * else, policy auto (or an eager `mpcnn_cli tune` run) with a
+///     non-null `measure` → sweep every candidate, memoise + persist the
+///     fastest, return it;
+///   * else → candidates.front(), the built-in default.
+/// `names` labels each position of a candidate vector (all candidates
+/// must have names.size() values).  `measure` runs one candidate and
+/// returns its time in seconds (lower is better).
+std::vector<std::int64_t> pick(
+    const std::string& kernel, const std::string& shape_class,
+    const std::vector<std::string>& names,
+    const std::vector<std::vector<std::int64_t>>& candidates,
+    const std::function<double(const std::vector<std::int64_t>&)>& measure);
+
+/// Times `fn` (one warm-up call, then best of `reps` timed calls).
+double measure_seconds(const std::function<void()>& fn, int reps = 3);
+
+/// In-memory entries matching the current CPU signature, sorted by
+/// (kernel, shape_class) — cpuinfo reporting.
+std::vector<Entry> entries();
+
+/// Writes the current-signature entries as a framed MPTU artifact
+/// (atomic commit).  Throws Error on I/O failure.
+void save_cache_file(const std::string& path);
+
+/// Replaces the in-memory store with the file's entries.  Throws Error
+/// on any structural or CRC corruption; a signature mismatch is *not* an
+/// error — the entries load but stay invisible until the signature
+/// matches again.
+void load_cache_file(const std::string& path);
+
+/// Parses an MPTU file without touching the in-memory store; every entry
+/// carries the file's stored signature.  Throws Error on any structural
+/// or CRC corruption (`mpcnn_cli verify` rides on this).
+std::vector<Entry> read_cache_file(const std::string& path);
+
+/// True if `path` exists and carries the MPTU magic.
+bool is_tuning_cache_file(const std::string& path);
+
+/// Registered eager tuners (kernel owners register at static-init time;
+/// run_tuners() drives them with measuring force-enabled).
+bool register_tuner(const char* kernel, void (*fn)());
+void run_tuners();
+
+/// Drops every in-memory entry and forgets any load attempt, so the next
+/// pick() re-reads the cache file.  Test hook.
+void reset_for_testing();
+
+}  // namespace mpcnn::core::autotune

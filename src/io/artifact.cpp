@@ -73,6 +73,7 @@ constexpr KnownFormat kKnownFormats[] = {
     {{'M', 'P', 'B', 'N'}, "compiled BNN", 2},
     {{'M', 'P', 'C', 'K'}, "training checkpoint", 1},
     {{'M', 'P', 'C', 'M'}, "checkpoint manifest", 1},
+    {{'M', 'P', 'T', 'U'}, "tuning cache", 1},
 };
 
 const KnownFormat* find_format(ArtifactMagic magic) {

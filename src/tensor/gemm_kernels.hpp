@@ -1,0 +1,53 @@
+// Internal GEMM dispatch table — not part of the public API.
+//
+// gemm.cpp owns the portable tile kernels and the dispatch decision;
+// gemm_avx2.cpp (compiled with -mavx2 in its own TU so the rest of the
+// binary stays baseline x86-64) contributes the 256-bit variants.  Both
+// sides implement the *same per-element accumulation order* as the
+// original blocked kernels, so every variant is bit-identical to the
+// scalar/SSE2 baseline — the contract the dispatch tests enforce.
+//
+// Keep this header dependency-free (<cstdint> only): it is included by
+// ISA-flagged TUs, and any inline function a -mavx2 TU emits into a
+// shared COMDAT section could be picked by the linker for the whole
+// binary, smuggling AVX2 code onto baseline CPUs.
+#pragma once
+
+#include <cstdint>
+
+namespace mpcnn::detail {
+
+/// Accumulates a (mb × nb) C tile from an (mb × kb) A slice and a packed
+/// B panel with rows of length ldb:
+///   C[i][j] += Σ_k (alpha·A[i·lda+k]) · B[k·ldb+j]   (k ascending,
+/// one rounding per multiply and per add — never fused).
+using GemmTileFn = void (*)(std::int64_t mb, std::int64_t nb,
+                            std::int64_t kb, float alpha, const float* A,
+                            std::int64_t lda, const float* B,
+                            std::int64_t ldb, float* C, std::int64_t ldc);
+
+/// A·Bᵀ tile with the dot-form epilogue of the original gemm_bt:
+///   acc = Σ_k A[i·lda+k] · Bp[k·nb+j]  (k ascending, register-resident
+///   over the *full* K so the summation chain is never split), then
+///   C[i·ldc+j] += alpha·acc  (two roundings, like the scalar path).
+/// Bp holds nb columns of Bᵀ re-packed row-major by k (row k = the k-th
+/// element of each of the nb columns).
+using GemmBtTileFn = void (*)(std::int64_t mb, std::int64_t nb,
+                              std::int64_t K, float alpha, const float* A,
+                              std::int64_t lda, const float* Bp, float* C,
+                              std::int64_t ldc);
+
+struct GemmKernels {
+  const char* name;       ///< variant label for cpuinfo ("generic", "avx2")
+  GemmTileFn tile;        ///< never null
+  GemmBtTileFn bt_tile;   ///< null → gemm_bt uses the unpacked dot form
+};
+
+/// Table bound to the active ISA level (rebinds after core::refresh_isa).
+const GemmKernels& gemm_kernels();
+
+/// AVX2 variant, defined in gemm_avx2.cpp.  On non-x86 builds its
+/// function pointers are null and the dispatcher never selects it.
+extern const GemmKernels kGemmKernelsAvx2;
+
+}  // namespace mpcnn::detail

@@ -1,0 +1,438 @@
+// Runtime-ISA dispatch equivalence and the MPTU tuning cache.
+//
+// Every kernel the CPU-feature registry can bind (generic/SSE2/AVX2 GEMM
+// tiles, SWAR/POPCNT/AVX2 popcount, PSADBW/AVX2 byte convolution) must
+// produce *bit-identical* results: the dispatcher may only change speed,
+// never a single output bit, at any thread count.  These tests force each
+// level through MPCNN_ISA + refresh_isa() and compare against the
+// scalar-forced run and the naive oracles.  The tuning-cache tests cover
+// the MPTU round trip, CPU-signature invalidation and corruption
+// handling (explicit load throws; the implicit startup load degrades to
+// built-in defaults).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "bnn/bitpack.hpp"
+#include "bnn/compile.hpp"
+#include "bnn/topology.hpp"
+#include "core/autotune.hpp"
+#include "core/cpu.hpp"
+#include "core/threadpool.hpp"
+#include "tensor/gemm.hpp"
+#include "tensor/rng.hpp"
+
+namespace mpcnn {
+namespace {
+
+// Forces MPCNN_ISA for one scope and rebinds every dispatch table;
+// restores the prior environment (and rebinds again) on exit.
+struct IsaOverride {
+  std::string prior;
+  bool had = false;
+
+  explicit IsaOverride(const std::string& isa) {
+    if (const char* p = std::getenv("MPCNN_ISA")) {
+      had = true;
+      prior = p;
+    }
+    ::setenv("MPCNN_ISA", isa.c_str(), 1);
+    core::refresh_isa();
+  }
+  ~IsaOverride() {
+    if (had) {
+      ::setenv("MPCNN_ISA", prior.c_str(), 1);
+    } else {
+      ::unsetenv("MPCNN_ISA");
+    }
+    core::refresh_isa();
+  }
+};
+
+struct PoolSizeRestore {
+  int prior = core::thread_count();
+  ~PoolSizeRestore() { core::set_thread_count(prior); }
+};
+
+// Every level this machine can execute, scalar first (the oracle run).
+std::vector<std::string> supported_levels() {
+  const core::CpuFeatures& f = core::cpu_features();
+  std::vector<std::string> levels = {"scalar"};
+  if (f.sse2) levels.push_back("sse2");
+  if (f.avx2 && f.popcnt) levels.push_back("avx2");
+  return levels;
+}
+
+std::vector<float> random_floats(Dim n, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> v(static_cast<std::size_t>(n));
+  for (float& x : v) x = static_cast<float>(rng.uniform(-1.0, 1.0));
+  return v;
+}
+
+bnn::BitMatrix random_bits(Dim rows, Dim cols, std::uint64_t seed) {
+  Rng rng(seed);
+  bnn::BitMatrix m(rows, cols);
+  for (Dim r = 0; r < rows; ++r) {
+    for (Dim c = 0; c < cols; ++c) {
+      m.set(r, c, rng.uniform(0.0, 1.0) < 0.5);
+    }
+  }
+  return m;
+}
+
+// ---- registry introspection -------------------------------------------
+
+TEST(DispatchRegistry, ReportsEveryKernelSlot) {
+  const auto bindings = core::kernel_bindings();
+  std::vector<std::string> slots;
+  for (const auto& b : bindings) {
+    slots.push_back(b.slot);
+    EXPECT_FALSE(b.variant.empty()) << b.slot;
+  }
+  for (const char* expected :
+       {"bnn.byte_conv", "bnn.xor_popcount", "bnn.xor_popcount4",
+        "gemm.bt", "gemm.tile"}) {
+    EXPECT_NE(std::find(slots.begin(), slots.end(), expected), slots.end())
+        << "slot " << expected << " not registered";
+  }
+  EXPECT_TRUE(std::is_sorted(slots.begin(), slots.end()));
+}
+
+TEST(DispatchRegistry, ScalarForcedBindsPortableVariants) {
+  IsaOverride scalar("scalar");
+  EXPECT_EQ(core::active_isa(), core::Isa::kScalar);
+  for (const auto& b : core::kernel_bindings()) {
+    if (b.slot == "gemm.tile") {
+      EXPECT_EQ(b.variant, "generic");
+    }
+    if (b.slot == "gemm.bt") {
+      EXPECT_EQ(b.variant, "dot");
+    }
+    if (b.slot == "bnn.xor_popcount") {
+      EXPECT_EQ(b.variant, "scalar");
+    }
+    if (b.slot == "bnn.byte_conv") {
+      EXPECT_EQ(b.variant, "none");
+    }
+  }
+}
+
+TEST(DispatchRegistry, UnknownIsaNameThrowsAndKeepsState) {
+  const core::Isa before = core::active_isa();
+  ::setenv("MPCNN_ISA", "simd-ish", 1);
+  EXPECT_THROW(core::refresh_isa(), Error);
+  ::unsetenv("MPCNN_ISA");
+  EXPECT_EQ(core::active_isa(), before);  // failed refresh left state intact
+  core::refresh_isa();
+}
+
+TEST(DispatchRegistry, RefreshBumpsGeneration) {
+  const int before = core::isa_generation();
+  core::refresh_isa();
+  EXPECT_GT(core::isa_generation(), before);
+}
+
+TEST(DispatchRegistry, SignatureNamesActiveLevel) {
+  IsaOverride scalar("scalar");
+  EXPECT_NE(core::cpu_signature().find("isa=scalar"), std::string::npos);
+}
+
+// ---- GEMM bit-identity ------------------------------------------------
+
+// Shapes exercising every tile tail: single rows/columns, exact register
+// widths, one-off widths, and K spanning multiple packing panels.
+struct GemmShape {
+  Dim m, n, k;
+};
+
+const GemmShape kShapes[] = {{1, 1, 1},     {1, 3, 1},    {3, 1, 3},
+                             {4, 16, 8},    {5, 17, 9},   {63, 255, 257},
+                             {65, 3, 255},  {1, 257, 63}, {127, 129, 1},
+                             {66, 258, 3},  {129, 511, 259}};
+
+using GemmFn = void (*)(std::int64_t, std::int64_t, std::int64_t, float,
+                        const float*, const float*, float, float*);
+
+void expect_bit_identical_across_levels(GemmFn fn, const char* what) {
+  for (const GemmShape& s : kShapes) {
+    const std::vector<float> a = random_floats(s.m * s.k, 11 + s.m);
+    const std::vector<float> b = random_floats(s.k * s.n, 23 + s.n);
+    const std::vector<float> c0 = random_floats(s.m * s.n, 37 + s.k);
+
+    std::vector<float> want;
+    {
+      IsaOverride scalar("scalar");
+      want = c0;
+      fn(s.m, s.n, s.k, 0.75f, a.data(), b.data(), 0.25f, want.data());
+    }
+    for (const std::string& level : supported_levels()) {
+      IsaOverride isa(level);
+      std::vector<float> got = c0;
+      fn(s.m, s.n, s.k, 0.75f, a.data(), b.data(), 0.25f, got.data());
+      ASSERT_EQ(std::memcmp(got.data(), want.data(),
+                            got.size() * sizeof(float)),
+                0)
+          << what << " isa=" << level << " shape " << s.m << "x" << s.n
+          << "x" << s.k << " diverged from the scalar-forced run";
+    }
+  }
+}
+
+TEST(DispatchGemm, GemmBitIdenticalAcrossIsaLevels) {
+  expect_bit_identical_across_levels(&gemm, "gemm");
+}
+
+TEST(DispatchGemm, GemmAtBitIdenticalAcrossIsaLevels) {
+  expect_bit_identical_across_levels(&gemm_at, "gemm_at");
+}
+
+TEST(DispatchGemm, GemmBtBitIdenticalAcrossIsaLevels) {
+  expect_bit_identical_across_levels(&gemm_bt, "gemm_bt");
+}
+
+TEST(DispatchGemm, DispatchedGemmStaysNearNaiveOracle) {
+  for (const std::string& level : supported_levels()) {
+    IsaOverride isa(level);
+    const GemmShape s{65, 257, 300};
+    const std::vector<float> a = random_floats(s.m * s.k, 3);
+    const std::vector<float> b = random_floats(s.k * s.n, 5);
+    std::vector<float> got(static_cast<std::size_t>(s.m * s.n), 0.0f);
+    std::vector<float> want = got;
+    gemm(s.m, s.n, s.k, 1.0f, a.data(), b.data(), 0.0f, got.data());
+    gemm_naive(s.m, s.n, s.k, 1.0f, a.data(), b.data(), 0.0f, want.data());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i], want[i], 1e-3f * static_cast<float>(s.k))
+          << "isa=" << level << " element " << i;
+    }
+  }
+}
+
+TEST(DispatchGemm, BitIdenticalAcrossThreadCountsPerIsa) {
+  PoolSizeRestore restore;
+  const GemmShape s{66, 258, 131};
+  const std::vector<float> a = random_floats(s.m * s.k, 7);
+  const std::vector<float> b = random_floats(s.k * s.n, 9);
+  for (const std::string& level : supported_levels()) {
+    IsaOverride isa(level);
+    core::set_thread_count(1);
+    std::vector<float> serial(static_cast<std::size_t>(s.m * s.n), 0.0f);
+    gemm(s.m, s.n, s.k, 1.0f, a.data(), b.data(), 0.0f, serial.data());
+    for (int threads : {2, 7}) {
+      core::set_thread_count(threads);
+      std::vector<float> threaded(serial.size(), 0.0f);
+      gemm(s.m, s.n, s.k, 1.0f, a.data(), b.data(), 0.0f,
+           threaded.data());
+      ASSERT_EQ(std::memcmp(serial.data(), threaded.data(),
+                            serial.size() * sizeof(float)),
+                0)
+          << "isa=" << level << " threads=" << threads;
+    }
+  }
+}
+
+// ---- packed-bit kernel bit-identity -----------------------------------
+
+TEST(DispatchXnor, MatchesPerBitOracleOnEveryLevel) {
+  for (Dim cols : {1, 63, 64, 65, 127, 200}) {
+    const bnn::BitMatrix a = random_bits(9, cols, 41 + cols);
+    const bnn::BitMatrix b = random_bits(7, cols, 43 + cols);
+    // Per-bit oracle, no word tricks at all.
+    std::vector<std::int32_t> want(static_cast<std::size_t>(9 * 7));
+    for (Dim r = 0; r < 9; ++r) {
+      for (Dim p = 0; p < 7; ++p) {
+        Dim matches = 0;
+        for (Dim c = 0; c < cols; ++c) {
+          matches += a.get(r, c) == b.get(p, c) ? 1 : 0;
+        }
+        want[static_cast<std::size_t>(r * 7 + p)] =
+            static_cast<std::int32_t>(2 * matches - cols);
+      }
+    }
+    for (const std::string& level : supported_levels()) {
+      IsaOverride isa(level);
+      std::vector<std::int32_t> got(want.size(), 0);
+      bnn::xnor_gemm(a, b, got.data());
+      ASSERT_EQ(got, want) << "isa=" << level << " cols=" << cols;
+    }
+  }
+}
+
+TEST(DispatchXnor, RangeMismatchesMatchInlineOracle) {
+  const bnn::BitMatrix a = random_bits(1, 5 * 64, 71);
+  const bnn::BitMatrix b = random_bits(1, 5 * 64, 73);
+  for (const std::string& level : supported_levels()) {
+    IsaOverride isa(level);
+    for (const auto& [begin, end] : {std::pair<Dim, Dim>{0, 320},
+                                    {0, 1},
+                                    {63, 65},
+                                    {17, 17},
+                                    {1, 319},
+                                    {64, 256},
+                                    {130, 131}}) {
+      Dim want = 0;
+      for (Dim i = begin; i < end; ++i) {
+        want += a.get(0, i) != b.get(0, i) ? 1 : 0;
+      }
+      EXPECT_EQ(bnn::xor_mismatches_range(a.row_data(0), b.row_data(0),
+                                          begin, end),
+                want)
+          << "isa=" << level << " [" << begin << ", " << end << ")";
+    }
+  }
+}
+
+TEST(DispatchBnn, PackedScoresIdenticalAcrossIsaLevels) {
+  bnn::CnvConfig config;
+  config.width = 0.125f;
+  config.fc_width = 64;
+  nn::Net graph = bnn::make_cnv_net(config);
+  Rng rng(53);
+  graph.init(rng);
+  const bnn::CompiledBnn net = bnn::compile_bnn(graph);
+  Tensor img(Shape{1, 3, 32, 32});
+  img.fill_uniform(rng, 0.0f, 1.0f);
+
+  std::vector<std::int32_t> want;
+  {
+    IsaOverride scalar("scalar");
+    // The scalar per-bit engine is the ground truth; the scalar-forced
+    // packed engine must already agree with it.
+    want = bnn::run_reference(net, img, bnn::BnnExec::kScalar);
+    ASSERT_EQ(bnn::run_reference(net, img, bnn::BnnExec::kPacked), want);
+  }
+  for (const std::string& level : supported_levels()) {
+    IsaOverride isa(level);
+    EXPECT_EQ(bnn::run_reference(net, img, bnn::BnnExec::kPacked), want)
+        << "isa=" << level;
+  }
+}
+
+// ---- MPTU tuning cache ------------------------------------------------
+
+// Points the cache at a scratch file and silences measuring; restores
+// the store to a pristine (empty, will-reload) state afterwards.
+struct TuneCacheScope {
+  std::string path;
+
+  explicit TuneCacheScope(const char* name, const char* policy = "cache")
+      : path(::testing::TempDir() + name) {
+    std::remove(path.c_str());
+    ::setenv("MPCNN_TUNE_CACHE", path.c_str(), 1);
+    ::setenv("MPCNN_TUNE", policy, 1);
+    core::autotune::reset_for_testing();
+  }
+  ~TuneCacheScope() {
+    std::remove(path.c_str());
+    ::unsetenv("MPCNN_TUNE_CACHE");
+    ::unsetenv("MPCNN_TUNE");
+    core::autotune::reset_for_testing();
+  }
+};
+
+// Deterministic fake measurement: candidate {32, ...} wins.
+double fake_measure(const std::vector<std::int64_t>& c) {
+  return c[0] == 32 ? 1.0 : 2.0;
+}
+
+TEST(DispatchTune, PickMeasuresPersistsAndReloads) {
+  TuneCacheScope scope("dispatch_tune_roundtrip.mptu", "auto");
+  const std::vector<std::int64_t> won = core::autotune::pick(
+      "test_kernel", "small", {"mc", "nc"}, {{64, 8}, {32, 16}},
+      &fake_measure);
+  EXPECT_EQ(won, (std::vector<std::int64_t>{32, 16}));
+
+  // A fresh store must serve the winner from the file without measuring
+  // (policy `cache` + a measure fn that fails the test if called).
+  ::setenv("MPCNN_TUNE", "cache", 1);
+  core::autotune::reset_for_testing();
+  const std::vector<std::int64_t> cached = core::autotune::pick(
+      "test_kernel", "small", {"mc", "nc"}, {{64, 8}, {32, 16}},
+      [](const std::vector<std::int64_t>&) -> double {
+        ADD_FAILURE() << "cache-only pick() measured";
+        return 0.0;
+      });
+  EXPECT_EQ(cached, won);
+
+  const auto entries = core::autotune::read_cache_file(scope.path);
+  ASSERT_EQ(entries.size(), 1u);
+  EXPECT_EQ(entries[0].kernel, "test_kernel");
+  EXPECT_EQ(entries[0].shape_class, "small");
+  EXPECT_EQ(entries[0].signature, core::cpu_signature());
+  ASSERT_EQ(entries[0].params.size(), 2u);
+  EXPECT_EQ(entries[0].params[0].first, "mc");
+  EXPECT_EQ(entries[0].params[0].second, 32);
+}
+
+TEST(DispatchTune, OffPolicySkipsCacheAndMeasurement) {
+  TuneCacheScope scope("dispatch_tune_off.mptu", "off");
+  const std::vector<std::int64_t> got = core::autotune::pick(
+      "test_kernel", "small", {"mc"}, {{64}, {32}}, &fake_measure);
+  EXPECT_EQ(got, std::vector<std::int64_t>{64});  // built-in default
+  EXPECT_FALSE(core::autotune::is_tuning_cache_file(scope.path));
+}
+
+TEST(DispatchTune, CpuSignatureChangeInvalidatesEntries) {
+  TuneCacheScope scope("dispatch_tune_sig.mptu", "auto");
+  core::autotune::pick("test_kernel", "small", {"mc"}, {{64}, {32}},
+                       &fake_measure);
+  ASSERT_EQ(core::autotune::entries().size(), 1u);
+
+  // Forcing a different ISA changes cpu_signature(), so the persisted
+  // winner must become invisible: pick() falls back to the default.
+  // "Different" must account for the ambient level: the whole suite may
+  // itself be running under MPCNN_ISA=scalar (run_all.sh's ISA sweep).
+  if (core::active_isa() == core::Isa::kScalar &&
+      !core::cpu_features().sse2) {
+    GTEST_SKIP() << "no second ISA level available to force";
+  }
+  IsaOverride other(core::active_isa() == core::Isa::kScalar ? "sse2"
+                                                             : "scalar");
+  ::setenv("MPCNN_TUNE", "cache", 1);
+  core::autotune::reset_for_testing();
+  EXPECT_TRUE(core::autotune::entries().empty());
+  const std::vector<std::int64_t> got = core::autotune::pick(
+      "test_kernel", "small", {"mc"}, {{64}, {32}}, nullptr);
+  EXPECT_EQ(got, std::vector<std::int64_t>{64});
+}
+
+TEST(DispatchTune, CorruptCacheThrowsExplicitlyDegradesImplicitly) {
+  TuneCacheScope scope("dispatch_tune_corrupt.mptu", "auto");
+  core::autotune::pick("test_kernel", "small", {"mc"}, {{64}, {32}},
+                       &fake_measure);
+  ASSERT_TRUE(core::autotune::is_tuning_cache_file(scope.path));
+
+  // Flip one payload byte: the CRC frame must reject the file.
+  std::vector<char> bytes;
+  {
+    std::ifstream in(scope.path, std::ios::binary);
+    bytes.assign(std::istreambuf_iterator<char>(in),
+                 std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(bytes.size(), 24u);
+  bytes[20] = static_cast<char>(bytes[20] ^ 0x40);
+  {
+    std::ofstream out(scope.path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+
+  EXPECT_THROW(core::autotune::read_cache_file(scope.path), Error);
+  EXPECT_THROW(core::autotune::load_cache_file(scope.path), Error);
+
+  // The implicit startup load must swallow the corruption and fall back
+  // to built-in defaults — a damaged perf hint may not break inference.
+  ::setenv("MPCNN_TUNE", "cache", 1);
+  core::autotune::reset_for_testing();
+  const std::vector<std::int64_t> got = core::autotune::pick(
+      "test_kernel", "small", {"mc"}, {{64}, {32}}, nullptr);
+  EXPECT_EQ(got, std::vector<std::int64_t>{64});
+}
+
+}  // namespace
+}  // namespace mpcnn

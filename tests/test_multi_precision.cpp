@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <filesystem>
 
 #include "core/workbench.hpp"
@@ -75,10 +76,15 @@ TEST_F(MultiPrecisionTest, ReportInvariants) {
   EXPECT_LE(report.system_accuracy, 1.0);
   EXPECT_GE(report.rerun_ratio, 0.0);
   EXPECT_LE(report.rerun_ratio, 1.0);
-  // Throughput sits between the host-alone and fabric-alone rates (a
-  // full-rerun cascade degrades to host speed minus the fabric batch
-  // overhead, which is material when the measured host is very fast).
-  EXPECT_GE(report.images_per_second, report.host_images_per_second * 0.5);
+  // Throughput floor: each pipelined iteration takes at most the sum of
+  // its two legs (fabric batch + host rerun), i.e. twice the slower leg,
+  // so the cascade runs at ≥ half the slower resource's rate.  (Half the
+  // *host* rate is not an invariant: with the AVX2-dispatched GEMM the
+  // measured host can outrun the simulated fabric, and the cascade is
+  // then capped by the fabric, not the host.)
+  EXPECT_GE(report.images_per_second,
+            0.5 * std::min(report.host_images_per_second,
+                           report.bnn_images_per_second));
   EXPECT_LE(report.images_per_second, report.bnn_images_per_second * 1.01);
 }
 

@@ -1,7 +1,7 @@
 // Structure-aware corruption fuzzer for every mpcnn artifact format.
 //
 // Builds one golden artifact per format (MPCN net weights, MPBN compiled
-// BNN, MPCK training checkpoint, MPCM manifest), then applies seeded
+// BNN, MPCK training checkpoint, MPTU tuning cache), then applies seeded
 // random mutations — truncation, extension, single bit flips, and
 // multi-byte field overwrites aimed at the frame's magic / version /
 // length / payload / CRC regions — and feeds each mutant to the real
@@ -17,6 +17,7 @@
 // in run_all.sh) so bounded-read violations abort loudly.
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <filesystem>
@@ -26,6 +27,7 @@
 #include <vector>
 
 #include "bnn/export.hpp"
+#include "core/autotune.hpp"
 #include "nn/activations.hpp"
 #include "nn/checkpoint.hpp"
 #include "nn/conv.hpp"
@@ -164,6 +166,30 @@ std::string build_checkpoint_golden(const std::string& dir) {
       .string();
 }
 
+std::string build_tune_golden(const std::string& dir) {
+  // Drive the real tuner front door (deterministic fake measurements) so
+  // the golden MPTU carries genuine multi-entry, multi-param content.
+  const std::string path = dir + "/golden_tune.mptu";
+  setenv("MPCNN_TUNE_CACHE", path.c_str(), 1);
+  setenv("MPCNN_TUNE", "auto", 1);
+  core::autotune::reset_for_testing();
+  core::autotune::pick(
+      "fuzz_kernel", "small", {"mc", "nc"}, {{8, 16}, {16, 32}, {32, 64}},
+      [](const std::vector<std::int64_t>& c) {
+        return 1.0 / static_cast<double>(c[0]);
+      });
+  core::autotune::pick(
+      "fuzz_kernel", "large", {"grain"}, {{4}, {8}},
+      [](const std::vector<std::int64_t>& c) {
+        return static_cast<double>(c[0]);
+      });
+  core::autotune::save_cache_file(path);
+  unsetenv("MPCNN_TUNE");
+  unsetenv("MPCNN_TUNE_CACHE");
+  core::autotune::reset_for_testing();
+  return path;
+}
+
 // ---- mutation engine ---------------------------------------------------
 
 // Byte regions of the framed container; payload gets most of the budget.
@@ -296,6 +322,10 @@ int run(const Options& opt) {
   targets.push_back({"MPCK", build_checkpoint_golden(opt.dir),
                      [](const std::string& p) {
                        nn::load_checkpoint_file(p);
+                     }});
+  targets.push_back({"MPTU", build_tune_golden(opt.dir),
+                     [](const std::string& p) {
+                       core::autotune::read_cache_file(p);
                      }});
 
   const std::size_t per_target =
