@@ -1,0 +1,274 @@
+// Trace-driven load generator for the multi-tenant serving front-end.
+//
+// Drives core/serve through the open-loop scenarios the serving design
+// is judged on — steady multi-tenant load, fabric-saturating overload
+// (continuous batching vs the fixed-batch StreamSession baseline on the
+// SAME traces), a diurnal ramp, an adversarial tenant stampede with
+// fairness on and off, and a chaos run composing the load with an active
+// FaultPlan + CRC scrubbing.  Rates are expressed relative to the
+// operating design's steady fabric throughput, so the scenario regimes
+// (and pass/fail meaning of the numbers) are machine-independent.
+//
+// Emits one table row per scenario on stdout and, with `--out FILE`
+// (run_all.sh passes BENCH_serve.json), a JSON report of per-scenario
+// p50/p95/p99 latency, throughput and goodput with the machine's CPU
+// signature in the context block, comparable across PRs and machines.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/cpu.hpp"
+#include "core/serve.hpp"
+#include "core/threadpool.hpp"
+#include "core/workbench.hpp"
+
+using namespace mpcnn;
+
+namespace {
+
+struct ScenarioResult {
+  std::string name;
+  core::ServeReport report;
+};
+
+core::WorkbenchConfig bench_config() {
+  core::WorkbenchConfig config;
+  config.verbose = false;
+  return config;
+}
+
+// The per-image steady fabric interval: the capacity unit every
+// scenario's rates are expressed in.
+double image_seconds(core::Workbench& wb) {
+  return wb.operating_design().steady_seconds_per_image();
+}
+
+std::vector<core::TenantConfig> uniform_tenants(Dim n, double slo_s,
+                                                double admit_hz = 0.0) {
+  std::vector<core::TenantConfig> tenants(static_cast<std::size_t>(n));
+  for (Dim t = 0; t < n; ++t) {
+    tenants[static_cast<std::size_t>(t)].name =
+        "tenant" + std::to_string(t);
+    tenants[static_cast<std::size_t>(t)].slo_s = slo_s;
+    tenants[static_cast<std::size_t>(t)].bucket_rate = admit_hz;
+    tenants[static_cast<std::size_t>(t)].bucket_burst = 8.0;
+  }
+  return tenants;
+}
+
+std::vector<std::vector<double>> poisson_traces(Dim tenants,
+                                                double rate_hz,
+                                                double duration_s,
+                                                std::uint64_t seed) {
+  std::vector<std::vector<double>> arrivals(
+      static_cast<std::size_t>(tenants));
+  for (Dim t = 0; t < tenants; ++t) {
+    core::TraceConfig trace;
+    trace.rate_hz = rate_hz;
+    trace.duration_s = duration_s;
+    arrivals[static_cast<std::size_t>(t)] = core::generate_arrivals(
+        trace, seed + 97ULL * static_cast<std::uint64_t>(t));
+  }
+  return arrivals;
+}
+
+void print_row(const ScenarioResult& s) {
+  const core::TenantReport& total = s.report.total;
+  std::printf("%-24s %6lld served %5lld shed  p50 %7.2f ms  p99 %7.2f ms"
+              "  %8.1f img/s  goodput %8.1f/s\n",
+              s.name.c_str(), static_cast<long long>(total.served),
+              static_cast<long long>(total.shed_admission +
+                                     total.shed_overload + total.shed_slo),
+              1e3 * total.latency.p50_s, 1e3 * total.latency.p99_s,
+              s.report.throughput_fps, total.goodput_fps);
+}
+
+void write_json(const std::vector<ScenarioResult>& results,
+                const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  MPCNN_CHECK(f != nullptr, "cannot write " << path);
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"cpu_signature\": \"%s\",\n",
+               core::cpu_signature().c_str());
+  std::fprintf(f, "    \"threads\": %d,\n", core::thread_count());
+  std::fprintf(f, "    \"suite\": \"serve\"\n  },\n");
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::ServeReport& r = results[i].report;
+    const core::TenantReport& total = r.total;
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", results[i].name.c_str());
+    std::fprintf(f, "      \"tenants\": %zu,\n", r.tenants.size());
+    std::fprintf(f, "      \"offered\": %lld,\n",
+                 static_cast<long long>(total.offered));
+    std::fprintf(f, "      \"served\": %lld,\n",
+                 static_cast<long long>(total.served));
+    std::fprintf(f, "      \"shed_admission\": %lld,\n",
+                 static_cast<long long>(total.shed_admission));
+    std::fprintf(f, "      \"shed_overload\": %lld,\n",
+                 static_cast<long long>(total.shed_overload));
+    std::fprintf(f, "      \"shed_slo\": %lld,\n",
+                 static_cast<long long>(total.shed_slo));
+    std::fprintf(f, "      \"host_routed\": %lld,\n",
+                 static_cast<long long>(total.host_routed));
+    std::fprintf(f, "      \"slo_met\": %lld,\n",
+                 static_cast<long long>(total.slo_met));
+    std::fprintf(f, "      \"batches\": %lld,\n",
+                 static_cast<long long>(r.batches));
+    std::fprintf(f, "      \"mean_batch_fill\": %.3f,\n",
+                 r.mean_batch_fill);
+    std::fprintf(f, "      \"span_s\": %.6f,\n", r.span_s);
+    std::fprintf(f, "      \"p50_ms\": %.4f,\n", 1e3 * total.latency.p50_s);
+    std::fprintf(f, "      \"p95_ms\": %.4f,\n", 1e3 * total.latency.p95_s);
+    std::fprintf(f, "      \"p99_ms\": %.4f,\n", 1e3 * total.latency.p99_s);
+    std::fprintf(f, "      \"max_ms\": %.4f,\n", 1e3 * total.latency.max_s);
+    std::fprintf(f, "      \"throughput_fps\": %.3f,\n", r.throughput_fps);
+    std::fprintf(f, "      \"goodput_fps\": %.3f\n", total.goodput_fps);
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
+  }
+
+  core::Workbench wb(bench_config());
+  const double img_s = image_seconds(wb);
+  const double capacity_hz = 1.0 / img_s;
+  const Dim batch = 16;
+  const double window = 4.0 * img_s;
+  const double slo = (window + 8.0 * static_cast<double>(batch) * img_s);
+  std::printf("serve load generator: fabric capacity %.1f img/s, batch "
+              "%lld, window %.2f ms, SLO %.2f ms\n",
+              capacity_hz, static_cast<long long>(batch), 1e3 * window,
+              1e3 * slo);
+
+  const auto image_at = [&](Dim tenant, Dim seq) {
+    const data::Dataset& set = wb.test_set();
+    return set.images.slice_batch((tenant * 31 + seq) % set.size());
+  };
+  std::vector<ScenarioResult> results;
+  const auto run_cb = [&](const std::string& name, core::ServeConfig config,
+                          std::vector<core::TenantConfig> tenants,
+                          const std::vector<std::vector<double>>& arrivals,
+                          Dim pipelines = 1,
+                          const core::FaultInjector* injector = nullptr) {
+    core::ServeFrontEnd serve =
+        wb.make_serve('A', std::move(config), std::move(tenants),
+                      pipelines, injector);
+    results.push_back(
+        {name, run_trace(serve, arrivals, image_at, /*threaded=*/false)});
+    print_row(results.back());
+  };
+
+  core::ServeConfig base;
+  base.batch_size = batch;
+  base.max_wait_s = window;
+  base.session.dmu_threshold = 0.0f;  // timing study: no rerun jitter
+  const double span = 320.0 * img_s;
+
+  // 1. steady_light: 4 tenants at 60% aggregate capacity — the healthy
+  // regime; continuous batching should serve everything inside SLO.
+  {
+    core::ServeConfig config = base;
+    run_cb("steady_light", config, uniform_tenants(4, slo),
+           poisson_traces(4, 0.15 * capacity_hz, span, 11));
+  }
+
+  // 2. saturating: the same 4 tenants at 1.8× aggregate capacity, CB
+  // (SLO shedding) vs the fixed-batch baseline on identical traces —
+  // the goodput-at-equal-p99 comparison of the serving design.
+  {
+    const auto arrivals = poisson_traces(4, 0.45 * capacity_hz, span, 23);
+    core::ServeConfig config = base;
+    config.slo_policy = core::SloPolicy::kShed;
+    run_cb("saturating_cb", config, uniform_tenants(4, slo), arrivals);
+
+    core::StreamSession::Config session = base.session;
+    session.batch_size = batch;
+    results.push_back(
+        {"saturating_fixed_batch",
+         core::run_fixed_baseline(wb.make_stream('A', session),
+                                  uniform_tenants(4, slo), arrivals,
+                                  image_at)});
+    print_row(results.back());
+  }
+
+  // 3. diurnal: sinusoidal ramp peaking at 1.6× capacity; host routing
+  // absorbs the crest.
+  {
+    std::vector<std::vector<double>> arrivals(4);
+    for (Dim t = 0; t < 4; ++t) {
+      core::TraceConfig trace;
+      trace.pattern = core::TracePattern::kDiurnal;
+      trace.rate_hz = 0.2 * capacity_hz;
+      trace.duration_s = span;
+      trace.diurnal_period_s = span;
+      trace.diurnal_amplitude = 1.0;
+      arrivals[static_cast<std::size_t>(t)] = core::generate_arrivals(
+          trace, 31 + static_cast<std::uint64_t>(t));
+    }
+    core::ServeConfig config = base;
+    config.slo_policy = core::SloPolicy::kHostRoute;
+    run_cb("diurnal_ramp", config, uniform_tenants(4, slo), arrivals);
+  }
+
+  // 4. stampede: 3 well-behaved tenants + 1 aggressor at 10× for the
+  // middle third, with weighted-round-robin fairness on and off.
+  {
+    std::vector<std::vector<double>> arrivals(4);
+    for (Dim t = 0; t < 3; ++t) {
+      core::TraceConfig trace;
+      trace.rate_hz = 0.15 * capacity_hz;
+      trace.duration_s = span;
+      arrivals[static_cast<std::size_t>(t)] = core::generate_arrivals(
+          trace, 53 + static_cast<std::uint64_t>(t));
+    }
+    core::TraceConfig burst;
+    burst.pattern = core::TracePattern::kStampede;
+    burst.rate_hz = 0.3 * capacity_hz;
+    burst.duration_s = span;
+    burst.stampede_start_s = span / 3.0;
+    burst.stampede_duration_s = span / 3.0;
+    burst.stampede_factor = 10.0;
+    arrivals[3] = core::generate_arrivals(burst, 59);
+    std::vector<core::TenantConfig> tenants = uniform_tenants(4, slo);
+    tenants[3].name = "stampede";
+    tenants[3].slo_s = 2.0 * static_cast<double>(batch) * img_s;
+
+    core::ServeConfig config = base;
+    config.slo_policy = core::SloPolicy::kShed;
+    config.fairness = true;
+    run_cb("stampede_fair", config, tenants, arrivals);
+    config.fairness = false;
+    run_cb("stampede_fifo", config, tenants, arrivals);
+  }
+
+  // 5. chaos: saturating load composed with an active FaultPlan (stall,
+  // SEU flips under CRC scrubbing, host spike) on two pipelines.
+  {
+    core::FaultPlan plan;
+    plan.add({core::FaultKind::kFabricStall, 4, 5, 1.0, 1});
+    plan.add({core::FaultKind::kSeuWeightFlip, 2, 12, 1.0, 2});
+    plan.add({core::FaultKind::kHostLatencySpike, 0, 20, 2.0, 1});
+    static const core::FaultInjector injector(77, plan);
+    core::ServeConfig config = base;
+    config.slo_policy = core::SloPolicy::kShed;
+    config.queue_capacity = 96;
+    config.overload = core::OverloadPolicy::kDropOldest;
+    config.session.scrub_interval = 3;
+    run_cb("chaos_faulted", config, uniform_tenants(4, slo),
+           poisson_traces(4, 0.4 * capacity_hz, span, 67), 2, &injector);
+  }
+
+  if (!out.empty()) write_json(results, out);
+  return 0;
+}

@@ -23,6 +23,11 @@ foreach(bench ${MPCNN_BENCHES})
   target_link_libraries(${bench} PRIVATE mpcnn_core)
 endforeach()
 
+add_executable(bench_serve ${CMAKE_SOURCE_DIR}/bench/bench_serve.cpp)
+set_target_properties(bench_serve PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+target_link_libraries(bench_serve PRIVATE mpcnn_core)
+
 add_executable(bench_kernels ${CMAKE_SOURCE_DIR}/bench/bench_kernels.cpp)
 set_target_properties(bench_kernels PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

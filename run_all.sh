@@ -4,7 +4,9 @@
 # benches emit BENCH_host.json (float/bit kernels) and BENCH_bnn.json
 # (compiled-BNN engine) with per-ISA dispatch rows and the machine's CPU
 # signature in the JSON context, so kernel-perf trajectories are
-# comparable across PRs *and* machines.
+# comparable across PRs *and* machines.  The serving load generator adds
+# BENCH_serve.json (per-scenario p50/p99 latency, throughput and goodput
+# of the multi-tenant continuous-batching front-end, same context block).
 set -e
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build
@@ -44,6 +46,9 @@ for b in build/bench/*; do
     bench_bnn)
       "$b" --benchmark_out=BENCH_bnn.json --benchmark_out_format=json
       ;;
+    bench_serve)
+      "$b" --out BENCH_serve.json
+      ;;
     *)
       "$b"
       ;;
@@ -58,7 +63,7 @@ done 2>&1 | tee bench_output.txt
 cmake -B build-tsan -G Ninja -DMPCNN_SANITIZE=thread
 cmake --build build-tsan
 MPCNN_THREADS=4 ctest --test-dir build-tsan \
-  -R 'ThreadPool|Determinism|PackedBnn|Fault|WeightScrub|Stream|Dispatch|Gemm' \
+  -R 'ThreadPool|Determinism|PackedBnn|Fault|WeightScrub|Stream|Serve|Dispatch|Gemm' \
   --output-on-failure 2>&1 | tee tsan_output.txt
 
 # Tree 2: ASan+UBSan (MPCNN_SANITIZE=address enables both) — guards the
@@ -69,7 +74,7 @@ MPCNN_THREADS=4 ctest --test-dir build-tsan \
 cmake -B build-asan -G Ninja -DMPCNN_SANITIZE=address
 cmake --build build-asan
 MPCNN_THREADS=4 ctest --test-dir build-asan \
-  -R 'Fault|WeightScrub|Crc32|Stream|ThreadPool|Bitpack|Artifact|Checkpoint|Dispatch' \
+  -R 'Fault|WeightScrub|Crc32|Stream|Serve|ThreadPool|Bitpack|Artifact|Checkpoint|Dispatch' \
   --output-on-failure 2>&1 | tee asan_output.txt
 build-asan/tools/fuzz_artifact --iterations 1200 \
   2>&1 | tee -a asan_output.txt

@@ -1,10 +1,36 @@
 #include "core/pipeline.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 #include "tensor/error.hpp"
 
 namespace mpcnn::core {
+
+double percentile_nearest_rank(const std::vector<double>& sorted,
+                               double p) {
+  MPCNN_CHECK(!sorted.empty(), "percentile of an empty sample");
+  MPCNN_CHECK(p > 0.0 && p <= 100.0, "percentile " << p);
+  const auto n = static_cast<double>(sorted.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p / 100.0 * n));
+  rank = std::min(std::max<std::size_t>(rank, 1), sorted.size());
+  return sorted[rank - 1];
+}
+
+LatencyStats summarize_latencies(std::vector<double> latencies) {
+  LatencyStats stats;
+  if (latencies.empty()) return stats;
+  std::sort(latencies.begin(), latencies.end());
+  stats.count = static_cast<Dim>(latencies.size());
+  double sum = 0.0;
+  for (double latency : latencies) sum += latency;
+  stats.mean_s = sum / static_cast<double>(latencies.size());
+  stats.p50_s = percentile_nearest_rank(latencies, 50.0);
+  stats.p95_s = percentile_nearest_rank(latencies, 95.0);
+  stats.p99_s = percentile_nearest_rank(latencies, 99.0);
+  stats.max_s = latencies.back();
+  return stats;
+}
 
 PipelineTiming simulate_pipeline(const std::vector<bool>& flags,
                                  Dim batch_size,
@@ -79,13 +105,16 @@ PipelineTiming simulate_pipeline(const std::vector<bool>& flags,
       timing.fpga_busy_seconds / std::max(timing.total_seconds, 1e-12);
   timing.host_utilisation =
       timing.host_busy_seconds / std::max(timing.total_seconds, 1e-12);
-  double latency_sum = 0.0;
+  std::vector<double> latencies(completion.size());
   for (std::size_t i = 0; i < completion.size(); ++i) {
-    const double latency = completion[i] - submit[i];
-    latency_sum += latency;
-    timing.max_latency_s = std::max(timing.max_latency_s, latency);
+    latencies[i] = completion[i] - submit[i];
   }
-  timing.mean_latency_s = latency_sum / static_cast<double>(total);
+  const LatencyStats stats = summarize_latencies(std::move(latencies));
+  timing.mean_latency_s = stats.mean_s;
+  timing.p50_latency_s = stats.p50_s;
+  timing.p95_latency_s = stats.p95_s;
+  timing.p99_latency_s = stats.p99_s;
+  timing.max_latency_s = stats.max_s;
   return timing;
 }
 

@@ -29,6 +29,27 @@ struct PipelineModel {
   double host_seconds_per_image = 0.0;
 };
 
+/// Deterministic nearest-rank percentile over an ascending-sorted
+/// sample: the value at rank ceil(p/100 · N), clamped to [1, N].  No
+/// interpolation, so the result is always an observed sample and
+/// bit-identical across platforms.  `p` must lie in (0, 100].
+double percentile_nearest_rank(const std::vector<double>& sorted, double p);
+
+/// Latency distribution summary shared by the pipeline simulator and the
+/// serving front-end report (core/serve).  All percentiles use the
+/// nearest-rank rule above.
+struct LatencyStats {
+  Dim count = 0;
+  double mean_s = 0.0;
+  double p50_s = 0.0;
+  double p95_s = 0.0;
+  double p99_s = 0.0;
+  double max_s = 0.0;
+};
+
+/// Sorts `latencies` and fills a LatencyStats (all zeros when empty).
+LatencyStats summarize_latencies(std::vector<double> latencies);
+
 /// Aggregate results of one simulated run.
 struct PipelineTiming {
   double total_seconds = 0.0;
@@ -38,6 +59,9 @@ struct PipelineTiming {
   double fpga_utilisation = 0.0;   ///< busy share of total
   double host_utilisation = 0.0;
   double mean_latency_s = 0.0;     ///< submit → final label, per image
+  double p50_latency_s = 0.0;      ///< nearest-rank percentiles
+  double p95_latency_s = 0.0;
+  double p99_latency_s = 0.0;
   double max_latency_s = 0.0;
   Dim images = 0;
   Dim reruns = 0;

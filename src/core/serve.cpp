@@ -1,0 +1,705 @@
+#include "core/serve.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <thread>
+
+#include "tensor/error.hpp"
+#include "tensor/rng.hpp"
+
+namespace mpcnn::core {
+
+namespace {
+
+// Shared between ServeFrontEnd::finish() and the fixed-batch baseline so
+// both reports are computed by the same rules.
+ServeReport make_report(const std::vector<ServeResult>& results,
+                        const std::vector<TenantConfig>& tenants,
+                        SupervisorStats supervisor, FabricState state,
+                        Dim batches, Dim fill_sum) {
+  ServeReport report;
+  report.supervisor = supervisor;
+  report.fabric_state = state;
+  report.batches = batches;
+  report.mean_batch_fill =
+      batches > 0 ? static_cast<double>(fill_sum) /
+                        static_cast<double>(batches)
+                  : 0.0;
+
+  report.tenants.resize(tenants.size());
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    report.tenants[t].name = tenants[t].name;
+  }
+  report.total.name = "total";
+
+  double first_arrival = 0.0, last_ready = 0.0;
+  bool any = false;
+  std::vector<std::vector<double>> latencies(tenants.size());
+  std::vector<double> all_latencies;
+  for (const ServeResult& r : results) {
+    TenantReport& tr = report.tenants[static_cast<std::size_t>(r.tenant)];
+    ++tr.offered;
+    if (!any || r.submitted_at < first_arrival) {
+      first_arrival = r.submitted_at;
+    }
+    if (!any || r.ready_at > last_ready) last_ready = r.ready_at;
+    any = true;
+    switch (r.status) {
+      case ServeStatus::kShedAdmission:
+        ++tr.shed_admission;
+        continue;
+      case ServeStatus::kShedOverload:
+        ++tr.shed_overload;
+        continue;
+      case ServeStatus::kShedSlo:
+        ++tr.shed_slo;
+        continue;
+      case ServeStatus::kDegraded:
+        ++tr.degraded;
+        break;
+      case ServeStatus::kOk:
+        break;
+    }
+    ++tr.admitted;
+    ++tr.served;
+    if (r.served_by == ServedBy::kHostRouted) ++tr.host_routed;
+    if (r.slo_met) {
+      ++tr.slo_met;
+    } else {
+      ++tr.slo_missed;
+    }
+    latencies[static_cast<std::size_t>(r.tenant)].push_back(r.latency());
+    all_latencies.push_back(r.latency());
+  }
+  // Overload/SLO sheds passed admission; only throttles did not.
+  for (TenantReport& tr : report.tenants) {
+    tr.admitted += tr.shed_overload + tr.shed_slo;
+  }
+
+  report.span_s = std::max(last_ready - first_arrival, 1e-12);
+  for (std::size_t t = 0; t < tenants.size(); ++t) {
+    TenantReport& tr = report.tenants[t];
+    tr.latency = summarize_latencies(std::move(latencies[t]));
+    tr.goodput_fps = static_cast<double>(tr.slo_met) / report.span_s;
+    report.total.offered += tr.offered;
+    report.total.admitted += tr.admitted;
+    report.total.served += tr.served;
+    report.total.degraded += tr.degraded;
+    report.total.host_routed += tr.host_routed;
+    report.total.shed_admission += tr.shed_admission;
+    report.total.shed_overload += tr.shed_overload;
+    report.total.shed_slo += tr.shed_slo;
+    report.total.slo_met += tr.slo_met;
+    report.total.slo_missed += tr.slo_missed;
+  }
+  report.total.latency = summarize_latencies(std::move(all_latencies));
+  report.total.goodput_fps =
+      static_cast<double>(report.total.slo_met) / report.span_s;
+  report.throughput_fps =
+      static_cast<double>(report.total.served) / report.span_s;
+  return report;
+}
+
+void finalize_slo(ServeResult& result) {
+  const bool served = result.status == ServeStatus::kOk ||
+                      result.status == ServeStatus::kDegraded;
+  result.slo_met =
+      served && (result.slo_s <= 0.0 || result.latency() <= result.slo_s);
+}
+
+void sort_by_completion(std::vector<ServeResult>& results) {
+  std::stable_sort(results.begin(), results.end(),
+                   [](const ServeResult& a, const ServeResult& b) {
+                     if (a.ready_at != b.ready_at) {
+                       return a.ready_at < b.ready_at;
+                     }
+                     return a.request_id < b.request_id;
+                   });
+}
+
+ServeStatus status_from(ResultStatus status) {
+  MPCNN_CHECK(status != ResultStatus::kShed,
+              "pipeline session shed a request in serve mode");
+  return status == ResultStatus::kDegraded ? ServeStatus::kDegraded
+                                           : ServeStatus::kOk;
+}
+
+}  // namespace
+
+ServeFrontEnd::ServeFrontEnd(ServeConfig config,
+                             std::vector<TenantConfig> tenants,
+                             std::vector<StreamSession> pipelines)
+    : config_(std::move(config)), tenants_(std::move(tenants)) {
+  MPCNN_CHECK(!tenants_.empty(), "serve needs at least one tenant");
+  MPCNN_CHECK(!pipelines.empty(), "serve needs at least one pipeline");
+  MPCNN_CHECK(config_.batch_size >= 1, "batch size");
+  MPCNN_CHECK(config_.max_wait_s >= 0.0, "max_wait_s must be >= 0");
+  MPCNN_CHECK(config_.queue_capacity >= 0, "queue_capacity must be >= 0");
+  for (const TenantConfig& tenant : tenants_) {
+    MPCNN_CHECK(tenant.weight > 0.0,
+                "tenant '" << tenant.name << "' weight must be positive");
+    MPCNN_CHECK(tenant.slo_s >= 0.0, "negative SLO");
+    MPCNN_CHECK(tenant.bucket_rate >= 0.0, "negative bucket rate");
+    MPCNN_CHECK(tenant.bucket_rate == 0.0 || tenant.bucket_burst >= 1.0,
+                "bucket burst must hold at least one request");
+  }
+  for (StreamSession& session : pipelines) {
+    MPCNN_CHECK(!session.config().auto_dispatch,
+                "pipeline sessions must be built with auto_dispatch off "
+                "(the front-end owns batch assembly)");
+    MPCNN_CHECK(session.config().queue_capacity == 0,
+                "the front-end owns the bounded queue; session "
+                "queue_capacity must be 0");
+    MPCNN_CHECK(session.submitted() == 0,
+                "pipeline sessions must be fresh");
+    pipelines_.emplace_back(std::move(session));
+  }
+  tenant_state_.resize(tenants_.size());
+  for (std::size_t t = 0; t < tenants_.size(); ++t) {
+    tenant_state_[t].tokens = tenants_[t].bucket_burst;
+  }
+}
+
+SubmitStatus ServeFrontEnd::submit(Dim tenant, const Tensor& image,
+                                   double arrival_time) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MPCNN_CHECK(!finished_, "submit after finish()");
+  MPCNN_CHECK(tenant >= 0 && tenant < tenant_count(),
+              "tenant " << tenant << " of " << tenant_count());
+  TenantState& state = tenant_state_[static_cast<std::size_t>(tenant)];
+  MPCNN_CHECK(!state.has_arrival || arrival_time >= state.last_arrival,
+              "tenant " << tenant << " arrivals must be monotone (got "
+                        << arrival_time << " after "
+                        << state.last_arrival << ")");
+  // Token bucket: refilled by this tenant's own inter-arrival gaps, so
+  // the verdict is independent of how the tenants' threads interleave.
+  const TenantConfig& contract =
+      tenants_[static_cast<std::size_t>(tenant)];
+  bool throttled = false;
+  if (contract.bucket_rate > 0.0) {
+    if (state.has_arrival) {
+      state.tokens = std::min(
+          contract.bucket_burst,
+          state.tokens +
+              (arrival_time - state.last_arrival) * contract.bucket_rate);
+    }
+    if (state.tokens >= 1.0) {
+      state.tokens -= 1.0;
+    } else {
+      throttled = true;
+    }
+  }
+  state.last_arrival = arrival_time;
+  state.has_arrival = true;
+
+  Staged staged;
+  staged.tenant = tenant;
+  staged.tenant_seq = state.next_seq++;
+  staged.arrival = arrival_time;
+  staged.throttled = throttled;
+  if (!throttled) staged.image = image;
+  staged_.push_back(std::move(staged));
+  return throttled ? SubmitStatus::kThrottled : SubmitStatus::kAccepted;
+}
+
+Dim ServeFrontEnd::pick_pipeline() const {
+  Dim best = 0;
+  for (Dim p = 1; p < pipeline_count(); ++p) {
+    if (pipelines_[static_cast<std::size_t>(p)].session.fpga_busy_until() <
+        pipelines_[static_cast<std::size_t>(best)]
+            .session.fpga_busy_until()) {
+      best = p;
+    }
+  }
+  return best;
+}
+
+double ServeFrontEnd::earliest_free() const {
+  double free = pipelines_.front().session.fpga_busy_until();
+  for (const Pipeline& pipe : pipelines_) {
+    free = std::min(free, pipe.session.fpga_busy_until());
+  }
+  return free;
+}
+
+double ServeFrontEnd::oldest_arrival() const {
+  double oldest = 0.0;
+  bool found = false;
+  for (const std::deque<Dim>& queue : queues_) {
+    if (queue.empty()) continue;
+    const double arrival =
+        results_[static_cast<std::size_t>(queue.front())].submitted_at;
+    if (!found || arrival < oldest) oldest = arrival;
+    found = true;
+  }
+  return oldest;
+}
+
+void ServeFrontEnd::advance_to(double horizon) {
+  // Fire every dispatch due at or before `horizon`.  A batch is due as
+  // soon as a pipeline is free AND it either filled up or the batching
+  // window from the oldest waiting arrival expired.  (A full backlog
+  // became full no later than `clock_`: had a pipeline been free at an
+  // earlier event, the batch would already have fired there.)
+  while (waiting_ > 0) {
+    const double free = earliest_free();
+    const double due =
+        waiting_ >= config_.batch_size
+            ? std::max(free, clock_)
+            : std::max(free, oldest_arrival() + config_.max_wait_s);
+    if (due > horizon) break;
+    dispatch_batch(due);
+    clock_ = std::max(clock_, due);
+  }
+}
+
+void ServeFrontEnd::dispatch_batch(double now) {
+  Pipeline& pipe = pipelines_[static_cast<std::size_t>(pick_pipeline())];
+  const Dim estimate = std::min(waiting_, config_.batch_size);
+  const double fpga_free = pipe.session.fpga_busy_until();
+  const bool hot = fpga_free > 0.0 && now <= fpga_free;
+  const double expected_done =
+      std::max(now, fpga_free) +
+      pipe.session.expected_batch_seconds(std::max<Dim>(estimate, 1), hot);
+
+  std::vector<Dim> selected;
+  // Pops one waiting request; SLO casualties free their batch slot.
+  auto consider = [&](Dim index) {
+    ServeResult& result = results_[static_cast<std::size_t>(index)];
+    Tensor& image = images_[static_cast<std::size_t>(index)];
+    result.dispatched_at = now;
+    if (result.slo_s > 0.0 && config_.slo_policy != SloPolicy::kIgnore &&
+        expected_done > result.submitted_at + result.slo_s) {
+      if (config_.slo_policy == SloPolicy::kHostRoute) {
+        pipe.session.host_route(image, result.submitted_at, now);
+        pipe.sid_to_request.push_back(index);
+      } else {
+        result.status = ServeStatus::kShedSlo;
+        result.ready_at = now;
+      }
+      image = Tensor();
+      return;
+    }
+    selected.push_back(index);
+  };
+
+  if (config_.fairness) {
+    // Weighted round-robin: cycle the tenants starting at the rotating
+    // cursor; each non-empty tenant contributes up to its quantum per
+    // round until the batch fills or the queues run dry.
+    const Dim num_tenants = tenant_count();
+    while (static_cast<Dim>(selected.size()) < config_.batch_size &&
+           waiting_ > 0) {
+      bool progressed = false;
+      for (Dim k = 0; k < num_tenants &&
+                      static_cast<Dim>(selected.size()) < config_.batch_size;
+           ++k) {
+        const Dim tenant = (rr_cursor_ + k) % num_tenants;
+        std::deque<Dim>& queue =
+            queues_[static_cast<std::size_t>(tenant)];
+        Dim quantum = std::max<Dim>(
+            1, static_cast<Dim>(std::llround(
+                   tenants_[static_cast<std::size_t>(tenant)].weight)));
+        while (quantum-- > 0 && !queue.empty() &&
+               static_cast<Dim>(selected.size()) < config_.batch_size) {
+          const Dim index = queue.front();
+          queue.pop_front();
+          --waiting_;
+          progressed = true;
+          consider(index);
+        }
+      }
+      if (!progressed) break;
+    }
+    rr_cursor_ = (rr_cursor_ + 1) % std::max<Dim>(tenant_count(), 1);
+  } else {
+    // Global FIFO: repeatedly take the oldest waiting request (ties
+    // break on tenant id, then submission order).
+    while (static_cast<Dim>(selected.size()) < config_.batch_size &&
+           waiting_ > 0) {
+      Dim best_tenant = -1;
+      for (Dim t = 0; t < tenant_count(); ++t) {
+        const std::deque<Dim>& queue =
+            queues_[static_cast<std::size_t>(t)];
+        if (queue.empty()) continue;
+        if (best_tenant < 0 ||
+            results_[static_cast<std::size_t>(queue.front())]
+                    .submitted_at <
+                results_[static_cast<std::size_t>(
+                             queues_[static_cast<std::size_t>(best_tenant)]
+                                 .front())]
+                    .submitted_at) {
+          best_tenant = t;
+        }
+      }
+      std::deque<Dim>& queue =
+          queues_[static_cast<std::size_t>(best_tenant)];
+      const Dim index = queue.front();
+      queue.pop_front();
+      --waiting_;
+      consider(index);
+    }
+  }
+
+  if (!selected.empty()) {
+    for (Dim index : selected) {
+      ServeResult& result = results_[static_cast<std::size_t>(index)];
+      // The session requires monotone submission times; assembly order
+      // (WRR) can interleave arrivals, so clamp.  True arrival and
+      // latency accounting stay serve-side.
+      const double submit_at =
+          std::max(result.submitted_at, pipe.last_submitted);
+      pipe.last_submitted = submit_at;
+      pipe.session.submit(images_[static_cast<std::size_t>(index)],
+                          submit_at);
+      pipe.sid_to_request.push_back(index);
+      images_[static_cast<std::size_t>(index)] = Tensor();
+    }
+    pipe.session.flush_at(now);
+    ++batches_;
+    fill_sum_ += static_cast<Dim>(selected.size());
+  }
+}
+
+ServeReport ServeFrontEnd::finish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  MPCNN_CHECK(!finished_, "finish() called twice");
+  finished_ = true;
+
+  // Deterministic trace order regardless of submitter interleaving: the
+  // triple (arrival, tenant, tenant_seq) is unique and depends only on
+  // what each tenant submitted, never on thread scheduling.
+  std::stable_sort(staged_.begin(), staged_.end(),
+                   [](const Staged& a, const Staged& b) {
+                     if (a.arrival != b.arrival) {
+                       return a.arrival < b.arrival;
+                     }
+                     if (a.tenant != b.tenant) return a.tenant < b.tenant;
+                     return a.tenant_seq < b.tenant_seq;
+                   });
+
+  results_.assign(staged_.size(), ServeResult{});
+  images_.resize(staged_.size());
+  queues_.assign(tenants_.size(), {});
+
+  double last_event = 0.0;
+  for (std::size_t i = 0; i < staged_.size(); ++i) {
+    Staged& staged = staged_[i];
+    ServeResult& result = results_[i];
+    result.request_id = static_cast<Dim>(i);
+    result.tenant = staged.tenant;
+    result.tenant_seq = staged.tenant_seq;
+    result.submitted_at = staged.arrival;
+    result.slo_s =
+        tenants_[static_cast<std::size_t>(staged.tenant)].slo_s;
+
+    // Catch up on dispatches due before this arrival, then process it.
+    advance_to(staged.arrival);
+    clock_ = staged.arrival;
+    last_event = staged.arrival;
+
+    if (staged.throttled) {
+      result.status = ServeStatus::kShedAdmission;
+      result.dispatched_at = staged.arrival;
+      result.ready_at = staged.arrival;
+      continue;
+    }
+    images_[i] = std::move(staged.image);
+
+    // Bounded cross-tenant waiting queue (freshness-first drops).
+    if (config_.queue_capacity > 0 && waiting_ >= config_.queue_capacity) {
+      if (config_.overload == OverloadPolicy::kReject) {
+        result.status = ServeStatus::kShedOverload;
+        result.dispatched_at = staged.arrival;
+        result.ready_at = staged.arrival;
+        images_[i] = Tensor();
+        continue;
+      }
+      if (config_.overload == OverloadPolicy::kDropOldest) {
+        Dim victim_tenant = -1;
+        for (Dim t = 0; t < tenant_count(); ++t) {
+          const std::deque<Dim>& queue =
+              queues_[static_cast<std::size_t>(t)];
+          if (queue.empty()) continue;
+          if (victim_tenant < 0 ||
+              results_[static_cast<std::size_t>(queue.front())]
+                      .submitted_at <
+                  results_[static_cast<std::size_t>(
+                               queues_[static_cast<std::size_t>(
+                                           victim_tenant)]
+                                   .front())]
+                      .submitted_at) {
+            victim_tenant = t;
+          }
+        }
+        std::deque<Dim>& queue =
+            queues_[static_cast<std::size_t>(victim_tenant)];
+        const Dim victim = queue.front();
+        queue.pop_front();
+        --waiting_;
+        ServeResult& dropped =
+            results_[static_cast<std::size_t>(victim)];
+        dropped.status = ServeStatus::kShedOverload;
+        dropped.dispatched_at = staged.arrival;
+        dropped.ready_at = staged.arrival;
+        images_[static_cast<std::size_t>(victim)] = Tensor();
+      } else {
+        // kBlock: advisory backpressure in simulated time — accept and
+        // count the stall the producer would have taken.
+        ++blocked_;
+      }
+    }
+
+    queues_[static_cast<std::size_t>(staged.tenant)].push_back(
+        static_cast<Dim>(i));
+    ++waiting_;
+    // A batch that fills (or whose window expires) exactly at this
+    // arrival dispatches at this instant, pipeline permitting.
+    advance_to(staged.arrival);
+  }
+  staged_.clear();
+  staged_.shrink_to_fit();
+
+  // End of trace: drain the backlog, batch by batch, as pipelines free
+  // up (no dispatch may precede the last staged event).
+  clock_ = std::max(clock_, last_event);
+  advance_to(std::numeric_limits<double>::infinity());
+  images_.clear();
+  images_.shrink_to_fit();
+
+  // Collect pipeline results back onto the trace records.
+  for (Pipeline& pipe : pipelines_) {
+    for (const StreamResult& sres : pipe.session.drain()) {
+      const Dim index =
+          pipe.sid_to_request[static_cast<std::size_t>(sres.image_id)];
+      ServeResult& result = results_[static_cast<std::size_t>(index)];
+      result.label = sres.label;
+      result.rerun = sres.rerun;
+      result.served_by = sres.served_by;
+      result.status = status_from(sres.status);
+      result.ready_at = sres.ready_at;
+    }
+  }
+  for (ServeResult& result : results_) finalize_slo(result);
+  sort_by_completion(results_);
+  return build_report();
+}
+
+ServeReport ServeFrontEnd::build_report() {
+  SupervisorStats supervisor;
+  FabricState state = FabricState::kOk;
+  for (const Pipeline& pipe : pipelines_) {
+    const SupervisorStats& s = pipe.session.stats();
+    supervisor.dispatches += s.dispatches;
+    supervisor.fabric_batches += s.fabric_batches;
+    supervisor.degraded_batches += s.degraded_batches;
+    supervisor.watchdog_timeouts += s.watchdog_timeouts;
+    supervisor.retries += s.retries;
+    supervisor.degraded_entries += s.degraded_entries;
+    supervisor.recoveries += s.recoveries;
+    supervisor.scrub_cycles += s.scrub_cycles;
+    supervisor.scrub_repairs += s.scrub_repairs;
+    supervisor.seu_flips += s.seu_flips;
+    supervisor.corrupted_inputs += s.corrupted_inputs;
+    supervisor.shed += s.shed;
+    supervisor.blocked += s.blocked;
+    supervisor.slo_host_routed += s.slo_host_routed;
+    if (pipe.session.fabric_state() == FabricState::kDegraded) {
+      state = FabricState::kDegraded;
+    } else if (pipe.session.fabric_state() == FabricState::kRecovering &&
+               state == FabricState::kOk) {
+      state = FabricState::kRecovering;
+    }
+  }
+  supervisor.blocked += blocked_;
+  for (const ServeResult& result : results_) {
+    switch (result.status) {
+      case ServeStatus::kShedAdmission:
+        ++supervisor.admission_shed;
+        break;
+      case ServeStatus::kShedOverload:
+        ++supervisor.shed;
+        break;
+      case ServeStatus::kShedSlo:
+        ++supervisor.slo_shed;
+        break;
+      default:
+        break;
+    }
+  }
+  return make_report(results_, tenants_, supervisor, state, batches_,
+                     fill_sum_);
+}
+
+const std::vector<ServeResult>& ServeFrontEnd::results() const {
+  MPCNN_CHECK(finished_, "results() before finish()");
+  return results_;
+}
+
+const StreamSession& ServeFrontEnd::pipeline(Dim i) const {
+  MPCNN_CHECK(i >= 0 && i < pipeline_count(), "pipeline " << i);
+  return pipelines_[static_cast<std::size_t>(i)].session;
+}
+
+// ---------------------------------------------------------------- trace
+
+std::vector<double> generate_arrivals(const TraceConfig& config,
+                                      std::uint64_t seed) {
+  MPCNN_CHECK(config.rate_hz > 0.0, "trace rate must be positive");
+  MPCNN_CHECK(config.duration_s > 0.0, "trace duration must be positive");
+  const double peak_factor =
+      config.pattern == TracePattern::kDiurnal
+          ? 1.0 + std::max(0.0, config.diurnal_amplitude)
+      : config.pattern == TracePattern::kStampede
+          ? std::max(1.0, config.stampede_factor)
+          : 1.0;
+  MPCNN_CHECK(config.rate_hz * peak_factor * config.duration_s <= 2e6,
+              "trace too large");
+  if (config.pattern == TracePattern::kDiurnal) {
+    MPCNN_CHECK(config.diurnal_period_s > 0.0, "diurnal period");
+    MPCNN_CHECK(config.diurnal_amplitude >= 0.0 &&
+                    config.diurnal_amplitude <= 1.0,
+                "diurnal amplitude must lie in [0, 1]");
+  }
+
+  std::vector<double> arrivals;
+  if (config.pattern == TracePattern::kSteady) {
+    const Dim count = static_cast<Dim>(
+        std::floor(config.rate_hz * config.duration_s));
+    arrivals.reserve(static_cast<std::size_t>(count));
+    for (Dim k = 0; k < count; ++k) {
+      arrivals.push_back(config.start_s +
+                         static_cast<double>(k) / config.rate_hz);
+    }
+    return arrivals;
+  }
+
+  constexpr double kTwoPi = 6.283185307179586476925286766559;
+  const double end = config.start_s + config.duration_s;
+  const double peak = config.rate_hz * peak_factor;
+  const auto rate_at = [&](double t) {
+    switch (config.pattern) {
+      case TracePattern::kDiurnal:
+        return std::max(
+            0.0, config.rate_hz *
+                     (1.0 + config.diurnal_amplitude *
+                                std::sin(kTwoPi * (t - config.start_s) /
+                                         config.diurnal_period_s)));
+      case TracePattern::kStampede:
+        return t >= config.stampede_start_s &&
+                       t < config.stampede_start_s +
+                               config.stampede_duration_s
+                   ? config.rate_hz * config.stampede_factor
+                   : config.rate_hz;
+      default:
+        return config.rate_hz;
+    }
+  };
+
+  // Inhomogeneous Poisson via thinning over the peak rate.
+  Rng rng(seed);
+  double t = config.start_s;
+  while (true) {
+    t += -std::log(1.0 - rng.uniform()) / peak;
+    if (t >= end) break;
+    if (rng.uniform() * peak <= rate_at(t)) arrivals.push_back(t);
+  }
+  return arrivals;
+}
+
+ServeReport run_trace(
+    ServeFrontEnd& front_end,
+    const std::vector<std::vector<double>>& arrivals,
+    const std::function<Tensor(Dim tenant, Dim seq)>& image_at,
+    bool threaded) {
+  MPCNN_CHECK(static_cast<Dim>(arrivals.size()) ==
+                  front_end.tenant_count(),
+              "one arrival trace per tenant");
+  const auto submit_tenant = [&](Dim tenant) {
+    const std::vector<double>& trace =
+        arrivals[static_cast<std::size_t>(tenant)];
+    for (std::size_t seq = 0; seq < trace.size(); ++seq) {
+      front_end.submit(tenant, image_at(tenant, static_cast<Dim>(seq)),
+                       trace[seq]);
+    }
+  };
+  if (threaded) {
+    std::vector<std::thread> submitters;
+    submitters.reserve(arrivals.size());
+    for (Dim t = 0; t < front_end.tenant_count(); ++t) {
+      submitters.emplace_back(submit_tenant, t);
+    }
+    for (std::thread& thread : submitters) thread.join();
+  } else {
+    for (Dim t = 0; t < front_end.tenant_count(); ++t) {
+      submit_tenant(t);
+    }
+  }
+  return front_end.finish();
+}
+
+ServeReport run_fixed_baseline(
+    StreamSession session, const std::vector<TenantConfig>& tenants,
+    const std::vector<std::vector<double>>& arrivals,
+    const std::function<Tensor(Dim tenant, Dim seq)>& image_at) {
+  MPCNN_CHECK(arrivals.size() == tenants.size(),
+              "one arrival trace per tenant");
+  MPCNN_CHECK(session.config().auto_dispatch,
+              "the baseline session dispatches fixed-size batches");
+  struct Event {
+    double arrival;
+    Dim tenant;
+    Dim seq;
+  };
+  std::vector<Event> events;
+  for (std::size_t t = 0; t < arrivals.size(); ++t) {
+    for (std::size_t seq = 0; seq < arrivals[t].size(); ++seq) {
+      events.push_back(Event{arrivals[t][seq], static_cast<Dim>(t),
+                             static_cast<Dim>(seq)});
+    }
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const Event& a, const Event& b) {
+                     if (a.arrival != b.arrival) {
+                       return a.arrival < b.arrival;
+                     }
+                     if (a.tenant != b.tenant) return a.tenant < b.tenant;
+                     return a.seq < b.seq;
+                   });
+
+  for (const Event& event : events) {
+    session.submit(image_at(event.tenant, event.seq), event.arrival);
+  }
+  session.flush();
+
+  // The session's image ids follow submission order, i.e. events order.
+  std::vector<ServeResult> results(events.size());
+  for (const StreamResult& sres : session.drain()) {
+    const Event& event =
+        events[static_cast<std::size_t>(sres.image_id)];
+    ServeResult& result =
+        results[static_cast<std::size_t>(sres.image_id)];
+    result.request_id = sres.image_id;
+    result.tenant = event.tenant;
+    result.tenant_seq = event.seq;
+    result.submitted_at = event.arrival;
+    result.dispatched_at = event.arrival;
+    result.ready_at = sres.ready_at;
+    result.label = sres.label;
+    result.rerun = sres.rerun;
+    result.served_by = sres.served_by;
+    result.slo_s = tenants[static_cast<std::size_t>(event.tenant)].slo_s;
+    result.status = sres.status == ResultStatus::kShed
+                        ? ServeStatus::kShedOverload
+                        : status_from(sres.status);
+    finalize_slo(result);
+  }
+  sort_by_completion(results);
+  return make_report(results, tenants, session.stats(),
+                     session.fabric_state(), session.stats().dispatches,
+                     static_cast<Dim>(events.size()) -
+                         session.stats().shed);
+}
+
+}  // namespace mpcnn::core

@@ -1,0 +1,289 @@
+// Multi-tenant continuous-batching serving front-end.
+//
+// StreamSession models one supervised pipeline with a single submitter
+// and fixed-size batches; ServeFrontEnd is the "millions of users" layer
+// above it.  Many concurrent tenants push requests through a thread-safe
+// pthreadpool-style submission boundary (a status code comes straight
+// back); a deterministic discrete-event scheduler then multiplexes the
+// admitted requests onto one or more StreamSession pipelines:
+//
+//  * continuous (dynamic) batching — requests from all tenants coalesce
+//    into fabric-sized batches; a batch dispatches as soon as a pipeline
+//    is free AND it either filled up or the batching window (`max_wait_s`
+//    from the oldest waiting arrival) expired, whichever comes first, so
+//    partial batches never wait for stragglers.  While every pipeline is
+//    busy, requests accumulate in the per-tenant queues (that backlog is
+//    what the fairness, overload and deadline machinery below acts on)
+//    and batch composition is decided at the dispatch instant;
+//  * admission control — a per-tenant token bucket turns away requests
+//    beyond the tenant's contracted rate at submit time (kThrottled);
+//  * per-tenant fairness — batch assembly is weighted round-robin over
+//    the tenant queues, so a stampeding tenant fills only its own share
+//    of each batch and cannot starve well-behaved tenants (with
+//    fairness off, assembly is global FIFO and a stampede wins);
+//  * deadline-aware scheduling — each request carries its tenant's SLO;
+//    at assembly time the Eq. (3)–(5) expected batch completion is
+//    compared against it, and requests that would miss are host-routed
+//    (served directly on the float path, StreamSession::host_route) or
+//    shed, per `SloPolicy`;
+//  * bounded waiting queue — the cross-tenant backlog of not-yet
+//    -assembled requests is capped by `queue_capacity` under the same
+//    OverloadPolicy vocabulary as StreamSession (overload drops are
+//    freshness-first and fairness-blind; admission + WRR are the
+//    fairness tools).
+//
+// Determinism contract: submit() only stages (the token-bucket decision
+// is a pure function of the tenant's own arrival sequence), and
+// finish() orders the staged trace by (arrival, tenant, tenant_seq)
+// before running the serial event loop — so the report is bit-identical
+// regardless of submitter interleaving, and, because all inference goes
+// through the bit-reproducible kernels, at any thread count, including
+// under an active FaultPlan.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/pipeline.hpp"
+#include "core/stream.hpp"
+
+namespace mpcnn::core {
+
+/// Verdict returned to the submitting tenant thread.
+enum class SubmitStatus {
+  kAccepted,   ///< staged for scheduling
+  kThrottled,  ///< token bucket empty; the request is shed at admission
+};
+
+/// What to do with a request whose Eq. (3)–(5) expected completion would
+/// miss its SLO.
+enum class SloPolicy {
+  kIgnore,     ///< serve anyway (the result just reports slo_met=false)
+  kHostRoute,  ///< bypass the fabric queue; serve on the host float path
+  kShed,       ///< drop it — a late answer is worthless to this tenant
+};
+
+/// Outcome class of a served request.
+enum class ServeStatus {
+  kOk,             ///< served by the healthy cascade
+  kDegraded,       ///< served while the fabric was down
+  kShedAdmission,  ///< token bucket turned it away at submit
+  kShedOverload,   ///< bounded waiting queue dropped it
+  kShedSlo,        ///< deadline scheduler judged the SLO unreachable
+};
+
+/// One tenant's contract with the front-end.
+struct TenantConfig {
+  std::string name = "tenant";
+  /// WRR share: requests this tenant may contribute per assembly round
+  /// (rounded to an integer quantum >= 1).
+  double weight = 1.0;
+  /// Per-request latency SLO in simulated seconds (0 = no SLO; such
+  /// results count as slo_met whenever they are served).
+  double slo_s = 0.0;
+  /// Token-bucket admission: sustained tokens/second (0 = admission
+  /// off) and bucket depth (burst tolerance, in requests).
+  double bucket_rate = 0.0;
+  double bucket_burst = 1.0;
+};
+
+/// Front-end knobs; `session` is forwarded to every pipeline replica
+/// (Workbench::make_serve forces auto_dispatch off and the session-level
+/// bounded queue off — serve owns both concerns).
+struct ServeConfig {
+  Dim batch_size = 32;        ///< fabric-sized assembly target
+  double max_wait_s = 0.0;    ///< batching window from the oldest arrival
+  Dim queue_capacity = 0;     ///< waiting-request bound, all tenants (0 = ∞)
+  OverloadPolicy overload = OverloadPolicy::kBlock;
+  SloPolicy slo_policy = SloPolicy::kHostRoute;
+  bool fairness = true;       ///< WRR assembly (false = global FIFO)
+  StreamSession::Config session;
+};
+
+/// One classified (or shed) request leaving the front-end.
+struct ServeResult {
+  Dim request_id = 0;   ///< global trace order (deterministic)
+  Dim tenant = 0;
+  Dim tenant_seq = 0;   ///< per-tenant submission index
+  int label = -1;
+  bool rerun = false;
+  ServedBy served_by = ServedBy::kNone;
+  ServeStatus status = ServeStatus::kOk;
+  double submitted_at = 0.0;
+  double dispatched_at = 0.0;  ///< assembly instant (= shed instant)
+  double ready_at = 0.0;
+  double slo_s = 0.0;
+  bool slo_met = false;  ///< served and latency <= SLO (or no SLO)
+
+  double latency() const { return ready_at - submitted_at; }
+};
+
+/// Per-tenant (and aggregate) accounting of one serving run.
+struct TenantReport {
+  std::string name;
+  Dim offered = 0;         ///< requests presented at the boundary
+  Dim admitted = 0;        ///< past the token bucket
+  Dim served = 0;          ///< got a label (kOk + kDegraded)
+  Dim degraded = 0;
+  Dim host_routed = 0;
+  Dim shed_admission = 0;
+  Dim shed_overload = 0;
+  Dim shed_slo = 0;
+  Dim slo_met = 0;
+  Dim slo_missed = 0;      ///< served but late (SLO tenants only)
+  LatencyStats latency;    ///< over served requests
+  double goodput_fps = 0.0;  ///< SLO-met completions per simulated second
+};
+
+/// Everything finish() measured.
+struct ServeReport {
+  std::vector<TenantReport> tenants;
+  TenantReport total;         ///< summed over tenants (name "total")
+  double span_s = 0.0;        ///< first arrival → last completion
+  double throughput_fps = 0.0;
+  Dim batches = 0;            ///< fabric batches assembled
+  double mean_batch_fill = 0.0;
+  /// Summed pipeline supervisor counters plus the serve-level
+  /// admission/overload/SLO counters.
+  SupervisorStats supervisor;
+  FabricState fabric_state = FabricState::kOk;
+};
+
+/// The front-end.  Owns its pipeline sessions; tenants are fixed at
+/// construction.  Lifecycle: submit() from any threads (one thread per
+/// tenant — a tenant's arrivals must be monotone), join the submitters,
+/// then finish() exactly once from a single thread.
+class ServeFrontEnd {
+ public:
+  /// Every session must be built with auto_dispatch off and the
+  /// session-level bounded queue off (queue_capacity 0) — checked.
+  ServeFrontEnd(ServeConfig config, std::vector<TenantConfig> tenants,
+                std::vector<StreamSession> pipelines);
+
+  /// Thread-safe staged submission.  The token-bucket verdict depends
+  /// only on this tenant's own arrival sequence, so it is deterministic
+  /// under any interleaving.  Throttled requests still appear in the
+  /// trace (status kShedAdmission) for accounting.
+  SubmitStatus submit(Dim tenant, const Tensor& image,
+                      double arrival_time);
+
+  /// Runs the deterministic event loop over the staged trace, drains
+  /// every pipeline and builds the report.  Call once, after all
+  /// submitter threads joined.
+  ServeReport finish();
+
+  /// All per-request outcomes, sorted by (ready_at, request_id).  Valid
+  /// after finish().
+  const std::vector<ServeResult>& results() const;
+
+  const ServeConfig& config() const { return config_; }
+  Dim tenant_count() const { return static_cast<Dim>(tenants_.size()); }
+  Dim pipeline_count() const { return static_cast<Dim>(pipelines_.size()); }
+  /// Pipeline introspection for tests (fabric state, supervisor stats).
+  const StreamSession& pipeline(Dim i) const;
+
+ private:
+  struct Staged {
+    Dim tenant = 0;
+    Dim tenant_seq = 0;
+    double arrival = 0.0;
+    bool throttled = false;
+    Tensor image;  ///< empty when throttled
+  };
+  struct TenantState {
+    Dim next_seq = 0;
+    double last_arrival = 0.0;
+    bool has_arrival = false;
+    double tokens = 0.0;
+  };
+  struct Pipeline {
+    StreamSession session;
+    std::vector<Dim> sid_to_request;  ///< session image id → trace index
+    double last_submitted = 0.0;      ///< monotone clamp for submit()
+    explicit Pipeline(StreamSession s) : session(std::move(s)) {}
+  };
+
+  void advance_to(double horizon);
+  void dispatch_batch(double now);
+  Dim pick_pipeline() const;
+  double earliest_free() const;
+  double oldest_arrival() const;
+  ServeReport build_report();
+
+  ServeConfig config_;
+  std::vector<TenantConfig> tenants_;
+  std::vector<Pipeline> pipelines_;
+
+  std::mutex mutex_;
+  std::vector<Staged> staged_;
+  std::vector<TenantState> tenant_state_;
+
+  // finish()-time event-loop state (indices into the sorted trace).
+  std::vector<ServeResult> results_;
+  std::vector<std::deque<Dim>> queues_;  ///< per-tenant waiting indices
+  std::vector<Tensor> images_;            ///< per-request payload
+  Dim waiting_ = 0;
+  double clock_ = 0.0;  ///< latest processed event time
+  Dim rr_cursor_ = 0;
+  Dim batches_ = 0;
+  Dim fill_sum_ = 0;
+  Dim blocked_ = 0;
+  bool finished_ = false;
+};
+
+// ---------------------------------------------------------------- trace
+
+/// Open-loop arrival process shapes for the load generator.
+enum class TracePattern {
+  kSteady,    ///< fixed inter-arrival 1/rate
+  kPoisson,   ///< exponential inter-arrivals at `rate_hz`
+  kDiurnal,   ///< inhomogeneous Poisson, sinusoidal rate ramp
+  kStampede,  ///< Poisson base with a rate×factor burst window
+};
+
+/// One tenant's arrival trace.  Everything derives from (config, seed)
+/// via the repository Rng, so traces replay bit-identically.
+struct TraceConfig {
+  TracePattern pattern = TracePattern::kPoisson;
+  double rate_hz = 100.0;
+  double start_s = 0.0;
+  double duration_s = 1.0;
+  // kDiurnal: rate(t) = rate_hz · (1 + amplitude · sin(2π t / period)).
+  double diurnal_period_s = 1.0;
+  double diurnal_amplitude = 0.8;
+  // kStampede: rate × factor inside [stampede_start, +stampede_duration).
+  double stampede_start_s = 0.0;
+  double stampede_duration_s = 0.0;
+  double stampede_factor = 10.0;
+};
+
+/// Arrival timestamps in [start_s, start_s + duration_s), ascending.
+std::vector<double> generate_arrivals(const TraceConfig& config,
+                                      std::uint64_t seed);
+
+/// Drives a front-end from per-tenant arrival traces — one real
+/// submitter thread per tenant when `threaded` (the concurrent boundary
+/// the TSan suite exercises), serial otherwise; both produce the same
+/// report.  `image_at(tenant, seq)` supplies each request's payload.
+/// Calls finish() and returns its report.
+ServeReport run_trace(
+    ServeFrontEnd& front_end,
+    const std::vector<std::vector<double>>& arrivals,
+    const std::function<Tensor(Dim tenant, Dim seq)>& image_at,
+    bool threaded = true);
+
+/// Fixed-batch baseline for the same workload: merges the tenant traces
+/// into one arrival-ordered stream through a plain auto-dispatching
+/// StreamSession (no window, no fairness, no admission, no SLO
+/// handling) and scores the results against the tenants' SLOs, so its
+/// goodput/percentiles compare apples-to-apples with ServeFrontEnd's.
+ServeReport run_fixed_baseline(
+    StreamSession session, const std::vector<TenantConfig>& tenants,
+    const std::vector<std::vector<double>>& arrivals,
+    const std::function<Tensor(Dim tenant, Dim seq)>& image_at);
+
+}  // namespace mpcnn::core

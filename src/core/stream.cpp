@@ -74,14 +74,44 @@ Dim StreamSession::submit(const Tensor& image, double arrival_time) {
   }
   batch_.push_back(Pending{next_id_, image, arrival_time});
   const Dim id = next_id_++;
-  if (static_cast<Dim>(batch_.size()) >= config_.batch_size) {
+  if (config_.auto_dispatch &&
+      static_cast<Dim>(batch_.size()) >= config_.batch_size) {
     dispatch(arrival_time);
   }
   return id;
 }
 
-void StreamSession::flush() {
-  if (!batch_.empty()) dispatch(last_arrival_);
+void StreamSession::flush() { flush_at(last_arrival_); }
+
+void StreamSession::flush_at(double now) {
+  if (!batch_.empty()) dispatch(std::max(now, last_arrival_));
+}
+
+Dim StreamSession::host_route(const Tensor& image, double arrival_time,
+                              double not_before) {
+  host_.set_training(false);
+  const double multiplier =
+      injector_ != nullptr
+          ? injector_->host_latency_multiplier(stats_.dispatches)
+          : 1.0;
+  StreamResult result;
+  result.image_id = next_id_++;
+  result.submitted_at = arrival_time;
+  result.bnn_label = -1;  // the fabric never saw this image
+  result.confidence = 0.0f;
+  result.rerun = false;
+  result.status = ResultStatus::kOk;
+  result.served_by = ServedBy::kHostRouted;
+  const double host_start = std::max(not_before, host_free_);
+  const double host_done =
+      host_start + host_seconds_per_image_ * multiplier;
+  host_free_ = host_done;
+  result.label = host_.predict(image).front();
+  result.ready_at = host_done;
+  ready_.push_back(result);
+  ++completed_;
+  ++stats_.slo_host_routed;
+  return result.image_id;
 }
 
 double StreamSession::expected_batch_seconds(Dim n, bool pipeline_hot) const {
@@ -279,13 +309,18 @@ void StreamSession::dispatch(double now) {
 }
 
 std::vector<StreamResult> StreamSession::drain() {
-  // Completion order with the image id as a deterministic tie-break
-  // (shed results share their drop instant).
-  std::sort(ready_.begin(), ready_.end(),
-            [](const StreamResult& a, const StreamResult& b) {
-              if (a.ready_at != b.ready_at) return a.ready_at < b.ready_at;
-              return a.image_id < b.image_id;
-            });
+  // Completion order with the image id as a deterministic tie-break: a
+  // fabric batch finishes as one instant, so every non-rerun result of a
+  // dispatch (and every shed result sharing a drop instant) carries the
+  // same ready_at.  The id makes the key a strict total order; the
+  // stable sort is belt-and-braces on top.
+  std::stable_sort(ready_.begin(), ready_.end(),
+                   [](const StreamResult& a, const StreamResult& b) {
+                     if (a.ready_at != b.ready_at) {
+                       return a.ready_at < b.ready_at;
+                     }
+                     return a.image_id < b.image_id;
+                   });
   std::vector<StreamResult> out;
   out.swap(ready_);
   return out;

@@ -52,6 +52,7 @@ enum class ServedBy {
   kFabric,        ///< BNN answer accepted by the DMU
   kHost,          ///< normal cascade rerun (DMU distrusted the BNN)
   kHostDegraded,  ///< fabric down; full host fallback
+  kHostRouted,    ///< deadline scheduler sent it straight to the host
   kNone,          ///< shed before any inference ran
 };
 
@@ -78,6 +79,10 @@ struct SupervisorStats {
   Dim corrupted_inputs = 0;    ///< fabric-side images overwritten by faults
   Dim shed = 0;                ///< results dropped by the overload policy
   Dim blocked = 0;             ///< submissions past the kBlock high-water mark
+  // ---- serving front-end (core/serve) ----
+  Dim admission_shed = 0;   ///< requests turned away by a tenant token bucket
+  Dim slo_shed = 0;         ///< requests shed because Eq.(3)–(5) misses the SLO
+  Dim slo_host_routed = 0;  ///< requests host-routed to rescue their SLO
 };
 
 /// One classified image leaving the stream.
@@ -116,6 +121,10 @@ class StreamSession {
     /// Fabric backlog bound, in batches of headroom (0 = unbounded).
     Dim queue_capacity = 0;
     OverloadPolicy overload = OverloadPolicy::kBlock;
+    /// Dispatch automatically once `batch_size` images are queued.  The
+    /// serving front-end (core/serve) turns this off and drives batch
+    /// assembly itself through flush_at().
+    bool auto_dispatch = true;
   };
 
   /// `injector` is optional; when non-null the session copies the
@@ -134,6 +143,29 @@ class StreamSession {
   /// Dispatches a partial batch immediately (end of stream / deadline).
   /// A no-op when nothing is queued, so repeated flushes are safe.
   void flush();
+
+  /// Dispatches the queued batch at simulated time `now` (clamped to the
+  /// last accepted arrival, so the dispatch instant never precedes a
+  /// queued image).  The serving front-end uses this to fire a batching
+  /// window whose deadline lies after the last arrival it coalesced.
+  void flush_at(double now);
+
+  /// Serves one image directly on the host float path, bypassing the
+  /// fabric queue entirely: the deadline-aware scheduler routes requests
+  /// here when the Eq. (3)–(5) expected fabric completion would miss
+  /// their SLO.  Starts once the host is free and not before
+  /// `not_before`; counted in SupervisorStats::slo_host_routed.  Returns
+  /// the image id.
+  Dim host_route(const Tensor& image, double arrival_time,
+                 double not_before);
+
+  /// Eq. (3)–(5) expected fabric seconds for a batch of `n` images; a
+  /// hot pipeline pays only the steady-state interval per image, a cold
+  /// one the full ramp-up.  The serving front-end uses this estimate for
+  /// deadline-aware admission.
+  double expected_batch_seconds(Dim n, bool pipeline_hot) const;
+
+  const Config& config() const { return config_; }
 
   /// Removes and returns every result finished so far, ordered by
   /// completion time.
@@ -162,7 +194,6 @@ class StreamSession {
   void dispatch(double now);
   void serve_on_host(double give_up_at, double host_multiplier);
   void shed(const Pending& pending);
-  double expected_batch_seconds(Dim n, bool pipeline_hot) const;
   const bnn::CompiledBnn& active_bnn() const {
     return fabric_ ? *fabric_ : bnn_;
   }

@@ -374,4 +374,25 @@ StreamSession Workbench::make_stream(char which, StreamSession::Config config,
                        seconds, dmu(), config, injector);
 }
 
+ServeFrontEnd Workbench::make_serve(char which, ServeConfig config,
+                                    std::vector<TenantConfig> tenants,
+                                    Dim pipelines,
+                                    const FaultInjector* injector,
+                                    bool arm_calibrated) {
+  MPCNN_CHECK(pipelines >= 1, "serve needs at least one pipeline");
+  // The front-end owns batch assembly and the bounded queue; the session
+  // just executes the batches it is handed.
+  config.session.auto_dispatch = false;
+  config.session.queue_capacity = 0;
+  config.session.batch_size = config.batch_size;
+  std::vector<StreamSession> sessions;
+  sessions.reserve(static_cast<std::size_t>(pipelines));
+  for (Dim p = 0; p < pipelines; ++p) {
+    sessions.push_back(
+        make_stream(which, config.session, injector, arm_calibrated));
+  }
+  return ServeFrontEnd(std::move(config), std::move(tenants),
+                       std::move(sessions));
+}
+
 }  // namespace mpcnn::core

@@ -17,6 +17,7 @@
 #include "core/dmu.hpp"
 #include "core/host_profile.hpp"
 #include "core/multi_precision.hpp"
+#include "core/serve.hpp"
 #include "core/stream.hpp"
 #include "data/cifar_like.hpp"
 #include "finn/explorer.hpp"
@@ -135,6 +136,17 @@ class Workbench {
   StreamSession make_stream(char which, StreamSession::Config config,
                             const FaultInjector* injector = nullptr,
                             bool arm_calibrated = false);
+
+  /// Multi-tenant continuous-batching front-end over `pipelines` fresh
+  /// stream sessions (host model `which`).  Forces the session config
+  /// into serve mode: auto_dispatch off, session-level bounded queue off
+  /// and the session batch size synced to the serve batch size — the
+  /// front-end owns batch assembly and overload (see core/serve.hpp).
+  ServeFrontEnd make_serve(char which, ServeConfig config,
+                           std::vector<TenantConfig> tenants,
+                           Dim pipelines = 1,
+                           const FaultInjector* injector = nullptr,
+                           bool arm_calibrated = false);
 
  private:
   std::string cache_path(const std::string& name,

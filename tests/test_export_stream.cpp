@@ -232,6 +232,24 @@ TEST_F(StreamTest, PartialFinalBatchIsServedByFlush) {
   EXPECT_GE(results.back().ready_at, results.front().ready_at);
 }
 
+TEST_F(StreamTest, DrainBreaksReadyAtTiesByImageId) {
+  core::Workbench& wb = workbench();
+  // Threshold 0: nothing reruns, so every image of a batch completes at
+  // the same instant (the batch's fabric-done time) — the equal-ready_at
+  // case drain() must order deterministically by image id.
+  core::StreamSession session = make_session(6, 0.0f);
+  for (Dim i = 0; i < 6; ++i) {
+    session.submit(wb.test_set().images.slice_batch(i), 0.0);
+  }
+  const auto results = session.drain();
+  ASSERT_EQ(results.size(), 6u);
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    EXPECT_EQ(results[i].ready_at, results[0].ready_at);
+    EXPECT_EQ(results[i].image_id, results[i - 1].image_id + 1)
+        << "equal ready_at must tie-break on image id";
+  }
+}
+
 TEST_F(StreamTest, FabricBacklogDelaysLaterBatches) {
   core::Workbench& wb = workbench();
   core::StreamSession session = make_session(4, 0.0f);

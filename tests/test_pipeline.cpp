@@ -112,6 +112,56 @@ TEST(Pipeline, UtilisationsAreFractions) {
   EXPECT_LE(t.host_utilisation, 1.0 + 1e-9);
 }
 
+TEST(Pipeline, NearestRankPercentileIsExact) {
+  // Nearest rank over {1..10}: rank = ceil(p/100 · 10), 1-indexed.
+  std::vector<double> sorted;
+  for (int i = 1; i <= 10; ++i) sorted.push_back(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(sorted, 50.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(sorted, 95.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(sorted, 99.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(sorted, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(sorted, 1.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(sorted, 10.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(sorted, 10.1), 2.0);
+  // The result is always an observed sample — no interpolation.
+  const std::vector<double> pair = {1.0, 100.0};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(pair, 50.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(pair, 51.0), 100.0);
+  const std::vector<double> one = {7.5};
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(one, 50.0), 7.5);
+  EXPECT_DOUBLE_EQ(percentile_nearest_rank(one, 99.0), 7.5);
+  EXPECT_THROW(percentile_nearest_rank({}, 50.0), Error);
+  EXPECT_THROW(percentile_nearest_rank(one, 0.0), Error);
+  EXPECT_THROW(percentile_nearest_rank(one, 101.0), Error);
+}
+
+TEST(Pipeline, SummarizeLatenciesSortsAndAggregates) {
+  const LatencyStats stats =
+      summarize_latencies({3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0});
+  EXPECT_EQ(stats.count, 8);
+  EXPECT_DOUBLE_EQ(stats.mean_s, 31.0 / 8.0);
+  EXPECT_DOUBLE_EQ(stats.p50_s, 3.0);   // rank ceil(4) = 4 of {1,1,2,3,…}
+  EXPECT_DOUBLE_EQ(stats.p95_s, 9.0);   // rank ceil(7.6) = 8
+  EXPECT_DOUBLE_EQ(stats.p99_s, 9.0);
+  EXPECT_DOUBLE_EQ(stats.max_s, 9.0);
+  const LatencyStats empty = summarize_latencies({});
+  EXPECT_EQ(empty.count, 0);
+  EXPECT_DOUBLE_EQ(empty.max_s, 0.0);
+}
+
+TEST(Pipeline, TimingPercentilesAreOrderedAndPopulated) {
+  std::vector<bool> flags(200, false);
+  for (std::size_t i = 0; i < flags.size(); i += 5) flags[i] = true;
+  const PipelineTiming t =
+      simulate_pipeline(flags, 20, constant_model(0.02, 0.01));
+  EXPECT_GT(t.p50_latency_s, 0.0);
+  EXPECT_LE(t.p50_latency_s, t.p95_latency_s);
+  EXPECT_LE(t.p95_latency_s, t.p99_latency_s);
+  EXPECT_LE(t.p99_latency_s, t.max_latency_s);
+  // Reruns form the latency tail, so the p99 must exceed the median.
+  EXPECT_GT(t.p99_latency_s, t.p50_latency_s);
+}
+
 TEST(Pipeline, RejectsBadInputs) {
   const std::vector<bool> flags(10, false);
   EXPECT_THROW(simulate_pipeline({}, 10, constant_model(1, 1)), Error);

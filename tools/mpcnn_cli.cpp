@@ -15,6 +15,14 @@
 //                     [--batch N] [--images N] [--seed S] [--faults SPEC]
 //                     [--policy block|drop|reject] [--capacity N]
 //                     [--scrub N]
+//   mpcnn_cli serve   [--cache DIR] [--model A|B|C] [--threshold T]
+//                     [--batch N] [--window MS] [--tenants N] [--rate HZ]
+//                     [--duration S] [--pattern steady|poisson|diurnal|
+//                     stampede] [--slo MS] [--slo-policy route|shed|
+//                     ignore] [--capacity N] [--policy block|drop|reject]
+//                     [--no-fairness] [--pipelines N] [--admit HZ]
+//                     [--burst N] [--seed S] [--faults SPEC] [--scrub N]
+//                     [--baseline]
 //
 // `train --checkpoint-every N` writes crash-safe checkpoints every N
 // optimiser steps; after a kill -9, `train --resume` continues from the
@@ -30,6 +38,14 @@
 // list of fault windows `kind:first:last[:magnitude[:count]]` over
 // dispatch indices, with kind one of stall|dma|seu|spike|input, e.g.
 // `--faults stall:2:4,seu:0:0:1:3` (see core/fault.hpp).
+//
+// `serve` drives the multi-tenant continuous-batching front-end
+// (core/serve) from seeded open-loop traces — `--tenants` concurrent
+// tenants at `--rate` requests/s each (default: fabric-saturating), with
+// `--pattern stampede` turning the last tenant into an aggressor — and
+// prints per-tenant p50/p95/p99 latency and goodput.  `--baseline`
+// replays the identical traces through a fixed-batch StreamSession (no
+// window, fairness, admission or SLO handling) for comparison.
 //
 // Everything rides on the shared Workbench cache, so `train` once and
 // the other commands are instant.
@@ -111,7 +127,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: mpcnn_cli "
                "<train|eval|cascade|export|verify|cpuinfo|tune|design|"
-               "stream> [options]\n"
+               "stream|serve> [options]\n"
                "  train   [--cache DIR] [--tiny] [--checkpoint-every N]\n"
                "          [--resume]\n"
                "  eval    [--cache DIR] [--model A|B|C|bnn]\n"
@@ -130,7 +146,16 @@ int usage() {
                "          [--batch N] [--images N] [--seed S]\n"
                "          [--faults kind:first:last[:mag[:count]],...]\n"
                "          [--policy block|drop|reject] [--capacity N]\n"
-               "          [--scrub N]   (kinds: stall dma seu spike input)\n");
+               "          [--scrub N]   (kinds: stall dma seu spike input)\n"
+               "  serve   [--cache DIR] [--model A|B|C] [--threshold T]\n"
+               "          [--batch N] [--window MS] [--tenants N]\n"
+               "          [--rate HZ] [--duration S]\n"
+               "          [--pattern steady|poisson|diurnal|stampede]\n"
+               "          [--slo MS] [--slo-policy route|shed|ignore]\n"
+               "          [--capacity N] [--policy block|drop|reject]\n"
+               "          [--no-fairness] [--pipelines N] [--admit HZ]\n"
+               "          [--burst N] [--seed S] [--faults SPEC]\n"
+               "          [--scrub N] [--baseline]\n");
   return 2;
 }
 
@@ -478,6 +503,176 @@ int cmd_stream(const Args& args) {
   return 0;
 }
 
+void print_tenant_row(const core::TenantReport& t) {
+  std::printf("  %-10s %6lld %6lld %5lld %5lld %5lld %5lld "
+              "%8.2f %8.2f %8.2f %9.2f\n",
+              t.name.c_str(), static_cast<long long>(t.offered),
+              static_cast<long long>(t.served),
+              static_cast<long long>(t.shed_admission),
+              static_cast<long long>(t.shed_overload),
+              static_cast<long long>(t.shed_slo),
+              static_cast<long long>(t.host_routed), 1e3 * t.latency.p50_s,
+              1e3 * t.latency.p95_s, 1e3 * t.latency.p99_s, t.goodput_fps);
+}
+
+int cmd_serve(const Args& args) {
+  core::Workbench wb(config_from(args));
+  const char which = args.get("model", "A")[0];
+  const float threshold = args.has("threshold")
+                              ? std::stof(args.get("threshold", "0.5"))
+                              : wb.operating_threshold();
+
+  core::ServeConfig config;
+  config.batch_size = std::stol(args.get("batch", "16"));
+  config.max_wait_s = 1e-3 * std::stod(args.get("window", "5"));
+  config.queue_capacity = std::stol(args.get("capacity", "0"));
+  config.fairness = !args.has("no-fairness");
+  config.session.dmu_threshold = threshold;
+  config.session.scrub_interval = std::stol(args.get("scrub", "0"));
+  const std::string policy = args.get("policy", "block");
+  if (policy == "drop") {
+    config.overload = core::OverloadPolicy::kDropOldest;
+  } else if (policy == "reject") {
+    config.overload = core::OverloadPolicy::kReject;
+  } else {
+    MPCNN_CHECK(policy == "block",
+                "--policy must be block|drop|reject, got " << policy);
+  }
+  const std::string slo_policy = args.get("slo-policy", "route");
+  if (slo_policy == "shed") {
+    config.slo_policy = core::SloPolicy::kShed;
+  } else if (slo_policy == "ignore") {
+    config.slo_policy = core::SloPolicy::kIgnore;
+  } else {
+    MPCNN_CHECK(slo_policy == "route",
+                "--slo-policy must be route|shed|ignore, got "
+                    << slo_policy);
+  }
+
+  const Dim num_tenants = std::stol(args.get("tenants", "4"));
+  MPCNN_CHECK(num_tenants >= 1, "--tenants must be >= 1");
+  const Dim pipelines = std::stol(args.get("pipelines", "1"));
+  const double duration = std::stod(args.get("duration", "1"));
+  // Default rate: split ~1.2× the fabric's steady throughput across the
+  // tenants, so the front-end runs just past saturation.
+  const double capacity_hz =
+      1.0 / wb.operating_design().steady_seconds_per_image();
+  const double rate =
+      args.has("rate") ? std::stod(args.get("rate", "0"))
+                       : 1.2 * capacity_hz / static_cast<double>(num_tenants);
+  const double slo_s = 1e-3 * std::stod(args.get("slo", "0"));
+  const double admit = std::stod(args.get("admit", "0"));
+  const double burst = std::stod(args.get("burst", "4"));
+  const std::uint64_t seed = std::stoull(args.get("seed", "1"));
+
+  const std::string pattern_name = args.get("pattern", "poisson");
+  core::TracePattern pattern = core::TracePattern::kPoisson;
+  if (pattern_name == "steady") {
+    pattern = core::TracePattern::kSteady;
+  } else if (pattern_name == "diurnal") {
+    pattern = core::TracePattern::kDiurnal;
+  } else if (pattern_name == "stampede") {
+    pattern = core::TracePattern::kStampede;
+  } else {
+    MPCNN_CHECK(pattern_name == "poisson",
+                "--pattern must be steady|poisson|diurnal|stampede, got "
+                    << pattern_name);
+  }
+
+  std::vector<core::TenantConfig> tenants(
+      static_cast<std::size_t>(num_tenants));
+  std::vector<std::vector<double>> arrivals(
+      static_cast<std::size_t>(num_tenants));
+  for (Dim t = 0; t < num_tenants; ++t) {
+    core::TenantConfig& tenant = tenants[static_cast<std::size_t>(t)];
+    tenant.name = "tenant" + std::to_string(t);
+    tenant.slo_s = slo_s;
+    tenant.bucket_rate = admit;
+    tenant.bucket_burst = burst;
+    core::TraceConfig trace;
+    trace.pattern = pattern == core::TracePattern::kStampede
+                        ? core::TracePattern::kPoisson
+                        : pattern;
+    trace.rate_hz = rate;
+    trace.duration_s = duration;
+    trace.diurnal_period_s = duration;
+    if (pattern == core::TracePattern::kStampede && t == num_tenants - 1) {
+      // The last tenant turns aggressor for the middle third of the run.
+      tenant.name = "stampede";
+      trace.pattern = core::TracePattern::kStampede;
+      trace.stampede_start_s = duration / 3.0;
+      trace.stampede_duration_s = duration / 3.0;
+      trace.stampede_factor = 10.0;
+    }
+    arrivals[static_cast<std::size_t>(t)] = core::generate_arrivals(
+        trace, seed + 0x9E37ULL * static_cast<std::uint64_t>(t));
+  }
+
+  const core::FaultPlan plan = parse_fault_plan(args.get("faults", ""));
+  core::FaultInjector injector(seed, plan);
+  const bool faulted =
+      !plan.empty() || config.session.scrub_interval > 0;
+
+  const data::Dataset& set = wb.test_set();
+  const auto image_at = [&](Dim tenant, Dim seq) {
+    return set.images.slice_batch((tenant * 31 + seq) % set.size());
+  };
+
+  core::ServeReport report;
+  if (args.has("baseline")) {
+    core::StreamSession::Config session = config.session;
+    session.batch_size = config.batch_size;
+    report = core::run_fixed_baseline(
+        wb.make_stream(which, session, faulted ? &injector : nullptr),
+        tenants, arrivals, image_at);
+    std::printf("serve %c&FINN fixed-batch BASELINE  ", which);
+  } else {
+    core::ServeFrontEnd serve =
+        wb.make_serve(which, config, tenants, pipelines,
+                      faulted ? &injector : nullptr);
+    report = run_trace(serve, arrivals, image_at, /*threaded=*/false);
+    std::printf("serve %c&FINN continuous batching  ", which);
+  }
+  std::printf("(batch %lld, window %.1f ms, %lld tenants x %.1f req/s, "
+              "pattern %s, seed %llu%s)\n",
+              static_cast<long long>(config.batch_size),
+              1e3 * config.max_wait_s,
+              static_cast<long long>(num_tenants), rate,
+              pattern_name.c_str(),
+              static_cast<unsigned long long>(seed),
+              plan.empty() ? "" : ", faults injected");
+  std::printf("  %-10s %6s %6s %5s %5s %5s %5s %8s %8s %8s %9s\n",
+              "tenant", "offer", "serve", "adm-", "ovl-", "slo-", "host",
+              "p50ms", "p95ms", "p99ms", "goodput");
+  for (const core::TenantReport& tenant : report.tenants) {
+    print_tenant_row(tenant);
+  }
+  print_tenant_row(report.total);
+  std::printf("  span %.3f s, throughput %.2f img/s, %lld batches "
+              "(mean fill %.1f), fabric %s\n",
+              report.span_s, report.throughput_fps,
+              static_cast<long long>(report.batches),
+              report.mean_batch_fill,
+              report.fabric_state == core::FabricState::kOk
+                  ? "FABRIC_OK"
+                  : "FABRIC_DEGRADED");
+  std::printf("  supervisor: %lld dispatches (%lld degraded), %lld "
+              "watchdog timeouts, %lld scrub repairs, %lld SEU flips\n",
+              static_cast<long long>(report.supervisor.dispatches),
+              static_cast<long long>(report.supervisor.degraded_batches),
+              static_cast<long long>(report.supervisor.watchdog_timeouts),
+              static_cast<long long>(report.supervisor.scrub_repairs),
+              static_cast<long long>(report.supervisor.seu_flips));
+  std::printf("  shed: %lld admission, %lld overload, %lld slo; %lld "
+              "host-routed, %lld blocked\n",
+              static_cast<long long>(report.supervisor.admission_shed),
+              static_cast<long long>(report.supervisor.shed),
+              static_cast<long long>(report.supervisor.slo_shed),
+              static_cast<long long>(report.supervisor.slo_host_routed),
+              static_cast<long long>(report.supervisor.blocked));
+  return 0;
+}
+
 int cmd_design(const Args& args) {
   const double fps = std::stod(args.get("fps", "400"));
   const finn::Device device = args.get("device", "zc702") == "zc706"
@@ -521,6 +716,7 @@ int main(int argc, char** argv) {
     if (args.command == "tune") return cmd_tune(args);
     if (args.command == "design") return cmd_design(args);
     if (args.command == "stream") return cmd_stream(args);
+    if (args.command == "serve") return cmd_serve(args);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
