@@ -1,0 +1,191 @@
+// Scene-streaming benchmark: temporal tile caching vs naive full-frame
+// inference.
+//
+// Replays seeded synthetic scene traces (data/scene_trace) through the
+// tile-streaming pipeline (core/scene_stream) twice — cache on and cache
+// off — on IDENTICAL traces, so the effective-FPS ratio isolates exactly
+// what temporal caching buys at each change rate:
+//
+//   static_low_change  — near-still camera, the cache's home turf (the
+//                        acceptance claim: >= 3x over naive full-frame);
+//   local_motion       — one mover over a static composite;
+//   pan                — every tile changes every frame, the worst case
+//                        (the honest bound: speedup ~= 1);
+//   scene_cut          — full invalidation burst every few frames.
+//
+// Emits one table row per scenario and, with `--out FILE` (run_all.sh
+// passes BENCH_scene.json), a JSON report with hit/escalation rates,
+// effective FPS, naive FPS and the speedup, plus per-frame p50/p95/p99
+// latency via the shared nearest-rank summary (core/pipeline).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/cpu.hpp"
+#include "core/scene_stream.hpp"
+#include "core/threadpool.hpp"
+#include "core/workbench.hpp"
+
+using namespace mpcnn;
+
+namespace {
+
+struct ScenarioResult {
+  std::string name;
+  core::SceneReport cached;
+  core::SceneReport naive;
+
+  double speedup() const {
+    return naive.effective_fps > 0.0
+               ? cached.effective_fps / naive.effective_fps
+               : 0.0;
+  }
+};
+
+core::WorkbenchConfig bench_config() {
+  core::WorkbenchConfig config;
+  config.verbose = false;
+  return config;
+}
+
+void print_row(const ScenarioResult& s) {
+  std::printf("%-18s hit %5.1f%%  esc %4.1f%%  cached %8.2f fps  naive "
+              "%8.2f fps  speedup %5.2fx  p99 %7.2f ms\n",
+              s.name.c_str(), 100.0 * s.cached.hit_rate,
+              100.0 * s.cached.escalation_rate, s.cached.effective_fps,
+              s.naive.effective_fps, s.speedup(),
+              1e3 * s.cached.frame_latency.p99_s);
+}
+
+void write_json(const std::vector<ScenarioResult>& results,
+                const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  MPCNN_CHECK(f != nullptr, "cannot write " << path);
+  std::fprintf(f, "{\n  \"context\": {\n");
+  std::fprintf(f, "    \"cpu_signature\": \"%s\",\n",
+               core::cpu_signature().c_str());
+  std::fprintf(f, "    \"threads\": %d,\n", core::thread_count());
+  std::fprintf(f, "    \"suite\": \"scene\"\n  },\n");
+  std::fprintf(f, "  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const core::SceneReport& r = results[i].cached;
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"name\": \"%s\",\n", results[i].name.c_str());
+    std::fprintf(f, "      \"frames\": %lld,\n",
+                 static_cast<long long>(r.frames));
+    std::fprintf(f, "      \"tiles_per_frame\": %lld,\n",
+                 static_cast<long long>(r.grid_tiles));
+    std::fprintf(f, "      \"tiles\": %lld,\n",
+                 static_cast<long long>(r.stats.tiles));
+    std::fprintf(f, "      \"cache_hits\": %lld,\n",
+                 static_cast<long long>(r.stats.cache_hits));
+    std::fprintf(f, "      \"cache_misses\": %lld,\n",
+                 static_cast<long long>(r.stats.cache_misses));
+    std::fprintf(f, "      \"cache_evictions\": %lld,\n",
+                 static_cast<long long>(r.stats.cache_evictions));
+    std::fprintf(f, "      \"hash_collisions\": %lld,\n",
+                 static_cast<long long>(r.stats.hash_collisions));
+    std::fprintf(f, "      \"hit_rate\": %.4f,\n", r.hit_rate);
+    std::fprintf(f, "      \"escalated\": %lld,\n",
+                 static_cast<long long>(r.stats.escalated));
+    std::fprintf(f, "      \"escalation_rate\": %.4f,\n",
+                 r.escalation_rate);
+    std::fprintf(f, "      \"span_s\": %.6f,\n", r.total_s);
+    std::fprintf(f, "      \"frame_p50_ms\": %.4f,\n",
+                 1e3 * r.frame_latency.p50_s);
+    std::fprintf(f, "      \"frame_p95_ms\": %.4f,\n",
+                 1e3 * r.frame_latency.p95_s);
+    std::fprintf(f, "      \"frame_p99_ms\": %.4f,\n",
+                 1e3 * r.frame_latency.p99_s);
+    std::fprintf(f, "      \"effective_fps\": %.3f,\n", r.effective_fps);
+    std::fprintf(f, "      \"naive_fps\": %.3f,\n",
+                 results[i].naive.effective_fps);
+    std::fprintf(f, "      \"speedup_vs_naive\": %.3f\n",
+                 results[i].speedup());
+    std::fprintf(f, "    }%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0) out = argv[i + 1];
+  }
+
+  core::Workbench wb(bench_config());
+  const float threshold = wb.operating_threshold();
+
+  core::SceneStreamSession::Config config;
+  config.tile = 64;
+  config.halo = 8;
+  config.batch_size = 16;
+  config.dmu_threshold = threshold;
+
+  // 360p frames (the hd_scene default): a 6x10 grid at tile 64, so one
+  // changed 32-pixel block invalidates only a few of the 60 tiles and
+  // the low-change regime is genuinely low-change.
+  data::SceneTraceConfig base;
+  base.frames = 12;
+  base.scene.height = 360;
+  base.scene.width = 640;
+
+  std::vector<ScenarioResult> results;
+  const auto run_scenario = [&](const std::string& name,
+                                const data::SceneTraceConfig& trace_config) {
+    const data::SceneTrace trace =
+        data::generate_scene_trace(wb.objects(), trace_config);
+    ScenarioResult result;
+    result.name = name;
+    core::SceneStreamSession cached = wb.make_scene('A', config);
+    result.cached = cached.run(trace);
+    core::SceneStreamSession::Config uncached_config = config;
+    uncached_config.cache_enabled = false;
+    core::SceneStreamSession naive = wb.make_scene('A', uncached_config);
+    result.naive = naive.run(trace);
+    results.push_back(result);
+    print_row(results.back());
+  };
+
+  std::printf("scene pipeline: %lldx%lld frames, tile %lld halo %lld, "
+              "threshold %.3f\n",
+              static_cast<long long>(base.scene.height),
+              static_cast<long long>(base.scene.width),
+              static_cast<long long>(config.tile),
+              static_cast<long long>(config.halo), threshold);
+
+  {
+    data::SceneTraceConfig trace = base;
+    trace.pattern = data::ScenePattern::kStatic;
+    trace.change_rate = 0.005;  // one 32-px block per frame at 360p
+    trace.seed = 11;
+    run_scenario("static_low_change", trace);
+  }
+  {
+    data::SceneTraceConfig trace = base;
+    trace.pattern = data::ScenePattern::kLocalMotion;
+    trace.seed = 23;
+    run_scenario("local_motion", trace);
+  }
+  {
+    data::SceneTraceConfig trace = base;
+    trace.pattern = data::ScenePattern::kPan;
+    trace.seed = 31;
+    run_scenario("pan", trace);
+  }
+  {
+    data::SceneTraceConfig trace = base;
+    trace.pattern = data::ScenePattern::kSceneCut;
+    trace.cut_period = 4;
+    trace.seed = 47;
+    run_scenario("scene_cut", trace);
+  }
+
+  if (!out.empty()) write_json(results, out);
+  return 0;
+}

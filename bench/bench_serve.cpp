@@ -4,8 +4,11 @@
 // is judged on — steady multi-tenant load, fabric-saturating overload
 // (continuous batching vs the fixed-batch StreamSession baseline on the
 // SAME traces), a diurnal ramp, an adversarial tenant stampede with
-// fairness on and off, and a chaos run composing the load with an active
-// FaultPlan + CRC scrubbing.  Rates are expressed relative to the
+// fairness on and off, a chaos run composing the load with an active
+// FaultPlan + CRC scrubbing, and a scene-payload run where tenants
+// submit tiles drawn from a synthetic scene trace (core/scene_stream's
+// SceneTileFeed) instead of dataset images.  Rates are expressed
+// relative to the
 // operating design's steady fabric throughput, so the scenario regimes
 // (and pass/fail meaning of the numbers) are machine-independent.
 //
@@ -19,6 +22,7 @@
 #include <vector>
 
 #include "core/cpu.hpp"
+#include "core/scene_stream.hpp"
 #include "core/serve.hpp"
 #include "core/threadpool.hpp"
 #include "core/workbench.hpp"
@@ -267,6 +271,33 @@ int main(int argc, char** argv) {
     config.session.scrub_interval = 3;
     run_cb("chaos_faulted", config, uniform_tenants(4, slo),
            poisson_traces(4, 0.4 * capacity_hz, span, 67), 2, &injector);
+  }
+
+  // 6. scene_payload: the steady regime again, but request payloads are
+  // tile crops of a local-motion scene trace (core/scene_stream's
+  // SceneTileFeed) instead of dataset images — serving latency under
+  // scene statistics.
+  {
+    data::SceneTraceConfig trace_config;
+    trace_config.pattern = data::ScenePattern::kLocalMotion;
+    trace_config.frames = 8;
+    trace_config.scene.height = 180;
+    trace_config.scene.width = 320;
+    trace_config.seed = 71;
+    const data::SceneTrace trace =
+        data::generate_scene_trace(wb.objects(), trace_config);
+    const core::SceneTileFeed feed(trace, 64, 8);
+    const auto tile_at = [&](Dim tenant, Dim seq) {
+      return feed.at(tenant * 31 + seq);
+    };
+    core::ServeFrontEnd serve = wb.make_serve(
+        'A', base, uniform_tenants(4, slo),
+        /*pipelines=*/1);
+    results.push_back(
+        {"scene_payload",
+         run_trace(serve, poisson_traces(4, 0.15 * capacity_hz, span, 83),
+                   tile_at, /*threaded=*/false)});
+    print_row(results.back());
   }
 
   if (!out.empty()) write_json(results, out);

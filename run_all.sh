@@ -6,7 +6,9 @@
 # signature in the JSON context, so kernel-perf trajectories are
 # comparable across PRs *and* machines.  The serving load generator adds
 # BENCH_serve.json (per-scenario p50/p99 latency, throughput and goodput
-# of the multi-tenant continuous-batching front-end, same context block).
+# of the multi-tenant continuous-batching front-end, same context block),
+# and the scene-streaming bench adds BENCH_scene.json (cache hit /
+# escalation rates and effective FPS vs naive full-frame inference).
 set -e
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build
@@ -26,7 +28,8 @@ for isa in $ISA_LEVELS; do
 done
 
 # Artifact robustness: 1200+ seeded corruptions of every on-disk format
-# (including the MPTU tuning cache) must be rejected with clean errors,
+# (including the MPTU tuning cache and MPSE scene traces) must be
+# rejected with clean errors,
 # and a kill -9 mid-training must resume to byte-identical artifacts.
 build/tools/fuzz_artifact --iterations 1200 2>&1 | tee fuzz_output.txt
 sh tests/checkpoint_kill_resume.sh build/tools/mpcnn_cli \
@@ -49,6 +52,9 @@ for b in build/bench/*; do
     bench_serve)
       "$b" --out BENCH_serve.json
       ;;
+    bench_scene)
+      "$b" --out BENCH_scene.json
+      ;;
     *)
       "$b"
       ;;
@@ -63,7 +69,7 @@ done 2>&1 | tee bench_output.txt
 cmake -B build-tsan -G Ninja -DMPCNN_SANITIZE=thread
 cmake --build build-tsan
 MPCNN_THREADS=4 ctest --test-dir build-tsan \
-  -R 'ThreadPool|Determinism|PackedBnn|Fault|WeightScrub|Stream|Serve|Dispatch|Gemm' \
+  -R 'ThreadPool|Determinism|PackedBnn|Fault|WeightScrub|Stream|Serve|Scene|Dispatch|Gemm' \
   --output-on-failure 2>&1 | tee tsan_output.txt
 
 # Tree 2: ASan+UBSan (MPCNN_SANITIZE=address enables both) — guards the
@@ -74,7 +80,7 @@ MPCNN_THREADS=4 ctest --test-dir build-tsan \
 cmake -B build-asan -G Ninja -DMPCNN_SANITIZE=address
 cmake --build build-asan
 MPCNN_THREADS=4 ctest --test-dir build-asan \
-  -R 'Fault|WeightScrub|Crc32|Stream|Serve|ThreadPool|Bitpack|Artifact|Checkpoint|Dispatch' \
+  -R 'Fault|WeightScrub|Crc32|Stream|Serve|Scene|ThreadPool|Bitpack|Artifact|Checkpoint|Dispatch' \
   --output-on-failure 2>&1 | tee asan_output.txt
 build-asan/tools/fuzz_artifact --iterations 1200 \
   2>&1 | tee -a asan_output.txt

@@ -77,6 +77,11 @@ std::string Workbench::cache_path(const std::string& name,
   return path.str();
 }
 
+const data::CifarLikeGenerator& Workbench::objects() {
+  if (!generator_) generator_.emplace(config_.data);
+  return *generator_;
+}
+
 const data::Dataset& Workbench::train_set() {
   if (!train_) {
     if (!generator_) generator_.emplace(config_.data);
@@ -393,6 +398,17 @@ ServeFrontEnd Workbench::make_serve(char which, ServeConfig config,
   }
   return ServeFrontEnd(std::move(config), std::move(tenants),
                        std::move(sessions));
+}
+
+SceneStreamSession Workbench::make_scene(char which,
+                                         SceneStreamSession::Config config,
+                                         const FaultInjector* injector,
+                                         bool arm_calibrated) {
+  const char key = normalize_model(which);
+  double seconds = host_profile(key).seconds_per_image;
+  if (arm_calibrated) seconds *= arm_scale_factor();
+  return SceneStreamSession(compiled_bnn(), operating_design(), model(key),
+                            seconds, dmu(), config, injector);
 }
 
 }  // namespace mpcnn::core

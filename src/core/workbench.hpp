@@ -17,6 +17,7 @@
 #include "core/dmu.hpp"
 #include "core/host_profile.hpp"
 #include "core/multi_precision.hpp"
+#include "core/scene_stream.hpp"
 #include "core/serve.hpp"
 #include "core/stream.hpp"
 #include "data/cifar_like.hpp"
@@ -78,6 +79,10 @@ class Workbench {
 
   const data::Dataset& train_set();
   const data::Dataset& test_set();
+
+  /// The synthetic object renderer behind both datasets (scene traces
+  /// composite their frames out of the same objects).
+  const data::CifarLikeGenerator& objects();
 
   /// Trained width-scaled float model ('A', 'B' or 'C').
   nn::Net& model(char which);
@@ -147,6 +152,12 @@ class Workbench {
                            Dim pipelines = 1,
                            const FaultInjector* injector = nullptr,
                            bool arm_calibrated = false);
+
+  /// Tile-streaming scene pipeline (host model `which`): temporal tile
+  /// cache in front of a fresh stream session; see core/scene_stream.hpp.
+  SceneStreamSession make_scene(char which, SceneStreamSession::Config config,
+                                const FaultInjector* injector = nullptr,
+                                bool arm_calibrated = false);
 
  private:
   std::string cache_path(const std::string& name,

@@ -126,7 +126,7 @@ Scene SceneGenerator::generate(Dim max_objects, Rng& rng) const {
   }
 
   // Paste objects at random non-overlapping positions, bilinearly
-  // upscaled from their 32x32 renders.
+  // upscaled from their 32x32 renders (paste_object).
   for (Dim attempt = 0, placed = 0;
        placed < max_objects && attempt < max_objects * 8; ++attempt) {
     SceneObject object;
@@ -154,24 +154,37 @@ Scene SceneGenerator::generate(Dim max_objects, Rng& rng) const {
 
     Rng item = rng.split();
     const Tensor render = objects_.render(object.label, item);
-    const float scale = 32.0f / static_cast<float>(object.size);
-    for (int c = 0; c < 3; ++c) {
-      const float* src = render.data() + c * 32 * 32;
-      for (Dim y = 0; y < object.size; ++y) {
-        for (Dim x = 0; x < object.size; ++x) {
-          const float v = bilinear(src, 32, 32,
-                                   (static_cast<float>(y) + 0.5f) * scale -
-                                       0.5f,
-                                   (static_cast<float>(x) + 0.5f) * scale -
-                                       0.5f);
-          scene.frame.at4(0, c, object.y + y, object.x + x) = v;
-        }
-      }
-    }
+    paste_object(scene.frame, render, object);
     scene.objects.push_back(object);
     ++placed;
   }
   return scene;
+}
+
+void paste_object(Tensor& frame, const Tensor& render32,
+                  const SceneObject& object) {
+  MPCNN_CHECK(frame.shape().rank() == 4 && frame.shape()[0] == 1 &&
+                  frame.shape()[1] == 3,
+              "paste_object expects one RGB frame");
+  MPCNN_CHECK(render32.shape() == Shape({1, 3, 32, 32}),
+              "paste_object expects a 32x32 render");
+  MPCNN_CHECK(object.size >= 1 && object.x >= 0 && object.y >= 0 &&
+                  object.x + object.size <= frame.shape()[3] &&
+                  object.y + object.size <= frame.shape()[2],
+              "object box outside the frame");
+  const float scale = 32.0f / static_cast<float>(object.size);
+  for (int c = 0; c < 3; ++c) {
+    const float* src = render32.data() + c * 32 * 32;
+    for (Dim y = 0; y < object.size; ++y) {
+      for (Dim x = 0; x < object.size; ++x) {
+        const float v = bilinear(
+            src, 32, 32,
+            (static_cast<float>(y) + 0.5f) * scale - 0.5f,
+            (static_cast<float>(x) + 0.5f) * scale - 0.5f);
+        frame.at4(0, c, object.y + y, object.x + x) = v;
+      }
+    }
+  }
 }
 
 std::vector<Roi> propose_rois(const Tensor& frame, Dim max_rois,
@@ -252,6 +265,62 @@ Tensor extract_roi(const Tensor& frame, const Roi& roi) {
                          (static_cast<float>(y) + 0.5f) * scale - 0.5f;
         const float sx = static_cast<float>(roi.x) +
                          (static_cast<float>(x) + 0.5f) * scale - 0.5f;
+        crop.at4(0, c, y, x) = bilinear(plane, H, W, sy, sx);
+      }
+    }
+  }
+  return crop;
+}
+
+std::vector<TileGeometry> tile_grid(Dim height, Dim width, Dim tile,
+                                    Dim halo) {
+  MPCNN_CHECK(height >= 1 && width >= 1, "empty frame");
+  MPCNN_CHECK(tile >= 8, "tile must be >= 8 pixels, got " << tile);
+  MPCNN_CHECK(halo >= 0, "halo must be >= 0, got " << halo);
+  const Dim rows = (height + tile - 1) / tile;
+  const Dim cols = (width + tile - 1) / tile;
+  std::vector<TileGeometry> grid;
+  grid.reserve(static_cast<std::size_t>(rows * cols));
+  for (Dim r = 0; r < rows; ++r) {
+    for (Dim c = 0; c < cols; ++c) {
+      TileGeometry g;
+      g.index = r * cols + c;
+      g.row = r;
+      g.col = c;
+      g.x = c * tile;
+      g.y = r * tile;
+      g.w = std::min(tile, width - g.x);
+      g.h = std::min(tile, height - g.y);
+      g.hx = std::max<Dim>(0, g.x - halo);
+      g.hy = std::max<Dim>(0, g.y - halo);
+      g.hw = std::min(width, g.x + g.w + halo) - g.hx;
+      g.hh = std::min(height, g.y + g.h + halo) - g.hy;
+      grid.push_back(g);
+    }
+  }
+  return grid;
+}
+
+Tensor extract_tile(const Tensor& frame, const TileGeometry& tile) {
+  MPCNN_CHECK(frame.shape().rank() == 4 && frame.shape()[0] == 1 &&
+                  frame.shape()[1] == 3,
+              "extract_tile expects one RGB frame");
+  const Dim H = frame.shape()[2], W = frame.shape()[3];
+  MPCNN_CHECK(tile.hw >= 1 && tile.hh >= 1 && tile.hx >= 0 &&
+                  tile.hy >= 0 && tile.hx + tile.hw <= W &&
+                  tile.hy + tile.hh <= H,
+              "tile halo rect outside the frame");
+  Tensor crop(Shape{1, 3, 32, 32});
+  const float scale_y = static_cast<float>(tile.hh) / 32.0f;
+  const float scale_x = static_cast<float>(tile.hw) / 32.0f;
+  for (int c = 0; c < 3; ++c) {
+    const float* plane = frame.data() + c * H * W;
+    for (Dim y = 0; y < 32; ++y) {
+      for (Dim x = 0; x < 32; ++x) {
+        const float sy = static_cast<float>(tile.hy) +
+                         (static_cast<float>(y) + 0.5f) * scale_y - 0.5f;
+        const float sx = static_cast<float>(tile.hx) +
+                         (static_cast<float>(x) + 0.5f) * scale_x - 0.5f;
         crop.at4(0, c, y, x) = bilinear(plane, H, W, sy, sx);
       }
     }

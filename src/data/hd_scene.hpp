@@ -75,4 +75,40 @@ std::vector<Roi> propose_rois(const Tensor& frame, Dim max_rois,
 /// (the classifier input).  Out-of-frame boxes are clamped.
 Tensor extract_roi(const Tensor& frame, const Roi& roi);
 
+/// Pastes a 32×32 object render into `frame` at `object`'s box,
+/// bilinearly rescaled to the object's extent.  The box must lie inside
+/// the frame (checked).  SceneGenerator and the scene-trace generator
+/// share this compositor so redrawn regions are bit-identical.
+void paste_object(Tensor& frame, const Tensor& render32,
+                  const SceneObject& object);
+
+// -------------------------------------------------------------- tiling
+
+/// One tile of a frame decomposition.  The coverage rect (x, y, w, h)
+/// partitions the frame — border tiles are short when the tile size does
+/// not divide the frame.  The halo rect (hx, hy, hw, hh) is the coverage
+/// rect grown by `halo` pixels on every side and clamped to the frame;
+/// it is what the classifier window actually sees, so a tile's result
+/// depends on exactly those pixels and nothing else.
+struct TileGeometry {
+  Dim index = 0;       ///< row-major tile index in the grid
+  Dim row = 0, col = 0;
+  Dim x = 0, y = 0;    ///< coverage rect top-left
+  Dim w = 0, h = 0;    ///< coverage extent
+  Dim hx = 0, hy = 0;  ///< halo rect top-left (clamped)
+  Dim hw = 0, hh = 0;  ///< halo extent (clamped)
+};
+
+/// Decomposes an H×W frame into ceil(H/tile) × ceil(W/tile) tiles with
+/// `halo` pixels of overlap context.  Handles non-dividing sizes (short
+/// border tiles), 1×N / N×1 grids and single-tile frames.  `tile` must
+/// be >= 8 (a classifier window needs content); `halo` >= 0.
+std::vector<TileGeometry> tile_grid(Dim height, Dim width, Dim tile,
+                                    Dim halo);
+
+/// Crops the tile's halo rect and bilinearly resamples it to the 32×32
+/// classifier input — the per-tile analogue of extract_roi (for a square
+/// halo rect the two agree exactly).
+Tensor extract_tile(const Tensor& frame, const TileGeometry& tile);
+
 }  // namespace mpcnn::data

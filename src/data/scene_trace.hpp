@@ -1,0 +1,92 @@
+// Seeded synthetic scene traces — video-like frame sequences with
+// controllable temporal redundancy.
+//
+// Streaming HD workloads are temporally redundant: most tiles of a frame
+// are bit-identical to the previous frame, and the tile-streaming
+// pipeline (core/scene_stream) exploits exactly that.  This module
+// generates the traces such a pipeline is judged on, with the change
+// rate as the controlled variable:
+//
+//   * kStatic      — one scene; a configurable fraction of 32-pixel
+//                    blocks is re-noised each frame (change_rate 0 = a
+//                    perfectly still camera, the cache's best case);
+//   * kPan         — the camera pans across a larger virtual canvas, so
+//                    every tile changes every frame (the worst case);
+//   * kLocalMotion — static background and objects plus one moving
+//                    object; only tiles the mover touches change;
+//   * kSceneCut    — a hard cut to a fresh scene every cut_period
+//                    frames, still in between (bursty invalidation).
+//
+// Every frame is quantised to the u8 pixel grid (v = round(255 v)/255)
+// at generation time, so a trace round-trips bit-identically through its
+// on-disk MPSE artifact (one byte per sample through the hardened
+// io/artifact frame) and "unchanged" regions are bit-equal, not merely
+// close.  Everything derives from (config, seed) via the repository Rng.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "data/hd_scene.hpp"
+
+namespace mpcnn::data {
+
+/// Temporal structure of a generated trace.
+enum class ScenePattern : std::uint32_t {
+  kStatic = 0,
+  kPan = 1,
+  kLocalMotion = 2,
+  kSceneCut = 3,
+};
+
+const char* scene_pattern_name(ScenePattern pattern);
+
+/// Everything the generator needs; frame geometry rides on the embedded
+/// SceneGenerator::Config.
+struct SceneTraceConfig {
+  ScenePattern pattern = ScenePattern::kLocalMotion;
+  Dim frames = 8;
+  Dim max_objects = 3;
+  std::uint64_t seed = 1;
+  /// kStatic: fraction of the frame's 32-pixel blocks re-noised per
+  /// frame (deterministic per-frame block choice + noise).
+  double change_rate = 0.0;
+  /// kPan: camera motion in pixels per frame.
+  Dim pan_dx = 4, pan_dy = 2;
+  /// kLocalMotion: mover step in pixels per frame (bounces at borders).
+  Dim motion_step = 4;
+  /// kSceneCut: frames between hard cuts.
+  Dim cut_period = 4;
+  SceneGenerator::Config scene;
+};
+
+/// A generated (or loaded) frame sequence.
+struct SceneTrace {
+  ScenePattern pattern = ScenePattern::kStatic;  ///< provenance echo
+  std::uint64_t seed = 0;                        ///< provenance echo
+  std::vector<Tensor> frames;                    ///< (1, 3, H, W) each
+
+  Dim height() const { return frames.empty() ? 0 : frames[0].shape()[2]; }
+  Dim width() const { return frames.empty() ? 0 : frames[0].shape()[3]; }
+};
+
+/// Generates a trace; all frames share the configured geometry and are
+/// u8-quantised (see above).  Deterministic in (config, config.seed).
+SceneTrace generate_scene_trace(const CifarLikeGenerator& objects,
+                                const SceneTraceConfig& config);
+
+/// Persists a trace as a framed, CRC'd "MPSE" artifact (io/artifact):
+/// pattern + seed + frame geometry header, then one byte per sample.
+/// Atomic commit; `mpcnn_cli verify` understands the format.
+void save_scene_trace(const SceneTrace& trace, const std::string& path);
+
+/// Loads an MPSE artifact.  Bounded reads: hostile frame-count or
+/// geometry fields are rejected before any allocation.  The result is
+/// bit-identical to the trace that was saved.
+SceneTrace load_scene_trace(const std::string& path);
+
+/// True if `path` exists and carries the MPSE magic.
+bool is_scene_trace_file(const std::string& path);
+
+}  // namespace mpcnn::data

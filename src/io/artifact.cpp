@@ -74,6 +74,7 @@ constexpr KnownFormat kKnownFormats[] = {
     {{'M', 'P', 'C', 'K'}, "training checkpoint", 1},
     {{'M', 'P', 'C', 'M'}, "checkpoint manifest", 1},
     {{'M', 'P', 'T', 'U'}, "tuning cache", 1},
+    {{'M', 'P', 'S', 'E'}, "scene trace", 1},
 };
 
 const KnownFormat* find_format(ArtifactMagic magic) {

@@ -200,5 +200,122 @@ TEST(ExtractRoi, RoundTripClassifiable) {
   EXPECT_GT(var, 1e-3f);
 }
 
+// ---- tiling geometry (core/scene_stream rides on these) ---------------
+
+TEST(TileGrid, NonDividingSizesPartitionTheFrame) {
+  // 100x130 with tile 32: 4x5 grid with short border tiles.  The
+  // coverage rects must partition the frame exactly — every pixel in
+  // exactly one tile.
+  const auto grid = tile_grid(100, 130, 32, 4);
+  ASSERT_EQ(grid.size(), 20u);
+  std::vector<int> covered(100 * 130, 0);
+  for (const TileGeometry& g : grid) {
+    EXPECT_GT(g.w, 0);
+    EXPECT_GT(g.h, 0);
+    for (Dim y = g.y; y < g.y + g.h; ++y) {
+      for (Dim x = g.x; x < g.x + g.w; ++x) {
+        ++covered[static_cast<std::size_t>(y * 130 + x)];
+      }
+    }
+  }
+  for (const int c : covered) ASSERT_EQ(c, 1);
+  // Row-major indexing contract.
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    EXPECT_EQ(grid[i].index, static_cast<Dim>(i));
+    EXPECT_EQ(grid[i].row, static_cast<Dim>(i) / 5);
+    EXPECT_EQ(grid[i].col, static_cast<Dim>(i) % 5);
+  }
+  // Border tiles are short: last column 130 - 4*32 = 2 wide, last row
+  // 100 - 3*32 = 4 tall.
+  EXPECT_EQ(grid[4].w, 2);
+  EXPECT_EQ(grid[15].h, 4);
+}
+
+TEST(TileGrid, HaloClampsAtBordersAndGrowsInterior) {
+  const auto grid = tile_grid(96, 96, 32, 8);
+  ASSERT_EQ(grid.size(), 9u);
+  for (const TileGeometry& g : grid) {
+    // The halo rect contains the coverage rect and stays in the frame.
+    EXPECT_LE(g.hx, g.x);
+    EXPECT_LE(g.hy, g.y);
+    EXPECT_GE(g.hx + g.hw, g.x + g.w);
+    EXPECT_GE(g.hy + g.hh, g.y + g.h);
+    EXPECT_GE(g.hx, 0);
+    EXPECT_GE(g.hy, 0);
+    EXPECT_LE(g.hx + g.hw, 96);
+    EXPECT_LE(g.hy + g.hh, 96);
+  }
+  // Corner tile: halo clamped on two sides.
+  EXPECT_EQ(grid[0].hx, 0);
+  EXPECT_EQ(grid[0].hy, 0);
+  EXPECT_EQ(grid[0].hw, 40);
+  // Centre tile: full halo on all four sides.
+  EXPECT_EQ(grid[4].hx, 24);
+  EXPECT_EQ(grid[4].hy, 24);
+  EXPECT_EQ(grid[4].hw, 48);
+  EXPECT_EQ(grid[4].hh, 48);
+}
+
+TEST(TileGrid, DegenerateShapes) {
+  // 1xN strip.
+  const auto strip = tile_grid(32, 640, 64, 8);
+  ASSERT_EQ(strip.size(), 10u);
+  for (const TileGeometry& g : strip) {
+    EXPECT_EQ(g.row, 0);
+    EXPECT_EQ(g.h, 32);
+    EXPECT_EQ(g.hh, 32);  // halo fully clamped vertically
+  }
+  // Nx1 column.
+  const auto column = tile_grid(640, 32, 64, 8);
+  ASSERT_EQ(column.size(), 10u);
+  for (const TileGeometry& g : column) EXPECT_EQ(g.col, 0);
+  // Single tile covering everything (tile larger than the frame).
+  const auto single = tile_grid(64, 48, 128, 16);
+  ASSERT_EQ(single.size(), 1u);
+  EXPECT_EQ(single[0].w, 48);
+  EXPECT_EQ(single[0].h, 64);
+  EXPECT_EQ(single[0].hw, 48);
+  EXPECT_EQ(single[0].hh, 64);
+}
+
+TEST(TileGrid, ValidatesArguments) {
+  EXPECT_THROW(tile_grid(64, 64, 4, 0), Error);   // tile too small
+  EXPECT_THROW(tile_grid(64, 64, 32, -1), Error); // negative halo
+  EXPECT_THROW(tile_grid(0, 64, 32, 0), Error);   // empty frame
+  EXPECT_THROW(tile_grid(64, 0, 32, 0), Error);
+}
+
+TEST(ExtractTile, AgreesWithExtractRoiOnSquareHalo) {
+  Tensor frame(Shape{1, 3, 128, 128});
+  Rng rng(17);
+  frame.fill_uniform(rng, 0.0f, 1.0f);
+  // Interior tile of a 32-grid with halo 8: square 48x48 halo rect.
+  const auto grid = tile_grid(128, 128, 32, 8);
+  const TileGeometry& g = grid[5];  // row 1, col 1 — interior
+  ASSERT_EQ(g.hw, 48);
+  ASSERT_EQ(g.hh, 48);
+  const Tensor tile = extract_tile(frame, g);
+  EXPECT_EQ(tile.shape(), Shape({1, 3, 32, 32}));
+  Roi roi;
+  roi.x = g.hx;
+  roi.y = g.hy;
+  roi.size = g.hw;
+  const Tensor crop = extract_roi(frame, roi);
+  for (Dim i = 0; i < tile.numel(); ++i) {
+    ASSERT_EQ(tile[i], crop[i]) << "tile and roi sampling diverge at " << i;
+  }
+}
+
+TEST(ExtractTile, ShortBorderTileResamplesCleanly) {
+  // The 2-pixel-wide border tile of the 100x130 grid still produces a
+  // full 32x32 classifier input within range.
+  Tensor frame(Shape{1, 3, 100, 130});
+  frame.fill(0.25f);
+  const auto grid = tile_grid(100, 130, 32, 4);
+  const Tensor tile = extract_tile(frame, grid[4]);  // 2-wide coverage
+  EXPECT_EQ(tile.shape(), Shape({1, 3, 32, 32}));
+  for (Dim i = 0; i < tile.numel(); ++i) ASSERT_NEAR(tile[i], 0.25f, 1e-6f);
+}
+
 }  // namespace
 }  // namespace mpcnn::data

@@ -1,7 +1,8 @@
 // Structure-aware corruption fuzzer for every mpcnn artifact format.
 //
 // Builds one golden artifact per format (MPCN net weights, MPBN compiled
-// BNN, MPCK training checkpoint, MPTU tuning cache), then applies seeded
+// BNN, MPCK training checkpoint, MPTU tuning cache, MPSE scene trace),
+// then applies seeded
 // random mutations — truncation, extension, single bit flips, and
 // multi-byte field overwrites aimed at the frame's magic / version /
 // length / payload / CRC regions — and feeds each mutant to the real
@@ -28,6 +29,7 @@
 
 #include "bnn/export.hpp"
 #include "core/autotune.hpp"
+#include "data/scene_trace.hpp"
 #include "nn/activations.hpp"
 #include "nn/checkpoint.hpp"
 #include "nn/conv.hpp"
@@ -190,6 +192,24 @@ std::string build_tune_golden(const std::string& dir) {
   return path;
 }
 
+std::string build_trace_golden(const std::string& dir) {
+  // Small local-motion trace: real header fields plus a few KB of pixel
+  // payload, so mutations exercise both.
+  data::CifarLikeGenerator objects;
+  data::SceneTraceConfig config;
+  config.pattern = data::ScenePattern::kLocalMotion;
+  config.frames = 4;
+  config.max_objects = 2;
+  config.seed = 5;
+  config.scene.height = 64;
+  config.scene.width = 64;
+  config.scene.min_object = 32;
+  config.scene.max_object = 32;
+  const std::string path = dir + "/golden_trace.mpse";
+  data::save_scene_trace(data::generate_scene_trace(objects, config), path);
+  return path;
+}
+
 // ---- mutation engine ---------------------------------------------------
 
 // Byte regions of the framed container; payload gets most of the budget.
@@ -326,6 +346,10 @@ int run(const Options& opt) {
   targets.push_back({"MPTU", build_tune_golden(opt.dir),
                      [](const std::string& p) {
                        core::autotune::read_cache_file(p);
+                     }});
+  targets.push_back({"MPSE", build_trace_golden(opt.dir),
+                     [](const std::string& p) {
+                       data::load_scene_trace(p);
                      }});
 
   const std::size_t per_target =

@@ -22,7 +22,13 @@
 //                     ignore] [--capacity N] [--policy block|drop|reject]
 //                     [--no-fairness] [--pipelines N] [--admit HZ]
 //                     [--burst N] [--seed S] [--faults SPEC] [--scrub N]
-//                     [--baseline]
+//                     [--baseline] [--workload images|scene]
+//   mpcnn_cli scene   [--cache DIR] [--model A|B|C] [--threshold T]
+//                     [--pattern static|pan|motion|cut] [--frames N]
+//                     [--height H] [--width W] [--change-rate R]
+//                     [--tile N] [--halo N] [--batch N] [--no-cache]
+//                     [--cache-capacity N] [--baseline] [--per-frame]
+//                     [--save FILE] [--trace FILE] [--seed S]
 //
 // `train --checkpoint-every N` writes crash-safe checkpoints every N
 // optimiser steps; after a kill -9, `train --resume` continues from the
@@ -47,6 +53,16 @@
 // replays the identical traces through a fixed-batch StreamSession (no
 // window, fairness, admission or SLO handling) for comparison.
 //
+// `scene` streams a synthetic scene trace (data/scene_trace) through the
+// tile-streaming pipeline (core/scene_stream): each frame is tiled with
+// halo context, unchanged tiles are served from the content-hash result
+// cache and only changed tiles enter the cascade, with the DMU deciding
+// per-tile escalation to the float path.  `--baseline` reruns the same
+// trace uncached (every tile through the fabric every frame) and prints
+// the speedup; `--save`/`--trace` persist and replay traces as MPSE
+// artifacts.  `serve --workload scene` feeds the multi-tenant front-end
+// tile crops from such a trace instead of dataset images.
+//
 // Everything rides on the shared Workbench cache, so `train` once and
 // the other commands are instant.
 #include <algorithm>
@@ -55,6 +71,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -63,6 +80,7 @@
 #include "core/cpu.hpp"
 #include "core/fault.hpp"
 #include "core/workbench.hpp"
+#include "data/scene_trace.hpp"
 #include "finn/explorer.hpp"
 #include "io/artifact.hpp"
 #include "nn/checkpoint.hpp"
@@ -127,7 +145,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: mpcnn_cli "
                "<train|eval|cascade|export|verify|cpuinfo|tune|design|"
-               "stream|serve> [options]\n"
+               "stream|serve|scene> [options]\n"
                "  train   [--cache DIR] [--tiny] [--checkpoint-every N]\n"
                "          [--resume]\n"
                "  eval    [--cache DIR] [--model A|B|C|bnn]\n"
@@ -155,7 +173,15 @@ int usage() {
                "          [--capacity N] [--policy block|drop|reject]\n"
                "          [--no-fairness] [--pipelines N] [--admit HZ]\n"
                "          [--burst N] [--seed S] [--faults SPEC]\n"
-               "          [--scrub N] [--baseline]\n");
+               "          [--scrub N] [--baseline]\n"
+               "          [--workload images|scene [--scene-pattern P]\n"
+               "          [--tile N] [--halo N]]\n"
+               "  scene   [--cache DIR] [--model A|B|C] [--threshold T]\n"
+               "          [--pattern static|pan|motion|cut] [--frames N]\n"
+               "          [--height H] [--width W] [--change-rate R]\n"
+               "          [--tile N] [--halo N] [--batch N] [--no-cache]\n"
+               "          [--cache-capacity N] [--baseline] [--per-frame]\n"
+               "          [--save FILE] [--trace FILE] [--seed S]\n");
   return 2;
 }
 
@@ -324,6 +350,14 @@ int cmd_verify(const Args& args) {
   } else if (nn::is_manifest_file(path)) {
     std::printf("  last-good checkpoint: %s\n",
                 nn::read_manifest(path).c_str());
+  } else if (data::is_scene_trace_file(path)) {
+    const data::SceneTrace trace = data::load_scene_trace(path);
+    std::printf("  %zu frames of 3x%lldx%lld, pattern %s, seed %llu\n",
+                trace.frames.size(),
+                static_cast<long long>(trace.height()),
+                static_cast<long long>(trace.width()),
+                data::scene_pattern_name(trace.pattern),
+                static_cast<unsigned long long>(trace.seed));
   } else if (core::autotune::is_tuning_cache_file(path)) {
     const auto entries = core::autotune::read_cache_file(path);
     std::printf("  %zu tuning entries, signature \"%s\"%s\n",
@@ -503,6 +537,31 @@ int cmd_stream(const Args& args) {
   return 0;
 }
 
+data::ScenePattern parse_scene_pattern(const std::string& name) {
+  if (name == "static") return data::ScenePattern::kStatic;
+  if (name == "pan") return data::ScenePattern::kPan;
+  if (name == "motion") return data::ScenePattern::kLocalMotion;
+  if (name == "cut") return data::ScenePattern::kSceneCut;
+  MPCNN_CHECK(false,
+              "scene pattern must be static|pan|motion|cut, got " << name);
+  return data::ScenePattern::kStatic;
+}
+
+// Trace parameters shared by `scene` and `serve --workload scene`; the
+// serve command reads the pattern from `--scene-pattern` because its own
+// `--pattern` names the arrival process.
+data::SceneTraceConfig scene_trace_config(const Args& args,
+                                          const std::string& pattern_key) {
+  data::SceneTraceConfig config;
+  config.pattern = parse_scene_pattern(args.get(pattern_key, "motion"));
+  config.frames = std::stol(args.get("frames", "16"));
+  config.seed = std::stoull(args.get("seed", "1"));
+  config.change_rate = std::stod(args.get("change-rate", "0.05"));
+  config.scene.height = std::stol(args.get("height", "180"));
+  config.scene.width = std::stol(args.get("width", "320"));
+  return config;
+}
+
 void print_tenant_row(const core::TenantReport& t) {
   std::printf("  %-10s %6lld %6lld %5lld %5lld %5lld %5lld "
               "%8.2f %8.2f %8.2f %9.2f\n",
@@ -613,8 +672,24 @@ int cmd_serve(const Args& args) {
   const bool faulted =
       !plan.empty() || config.session.scrub_interval > 0;
 
+  // `--workload scene` serves tile crops of a generated scene trace so
+  // request payloads follow scene statistics; the default serves dataset
+  // images.  The trace outlives the feed (the lambda holds references).
+  const std::string workload = args.get("workload", "images");
+  data::SceneTrace scene_trace;
+  std::optional<core::SceneTileFeed> feed;
+  if (workload == "scene") {
+    scene_trace = data::generate_scene_trace(
+        wb.objects(), scene_trace_config(args, "scene-pattern"));
+    feed.emplace(scene_trace, std::stol(args.get("tile", "64")),
+                 std::stol(args.get("halo", "8")));
+  } else {
+    MPCNN_CHECK(workload == "images",
+                "--workload must be images|scene, got " << workload);
+  }
   const data::Dataset& set = wb.test_set();
   const auto image_at = [&](Dim tenant, Dim seq) {
+    if (feed) return feed->at(tenant * 31 + seq);
     return set.images.slice_batch((tenant * 31 + seq) % set.size());
   };
 
@@ -673,6 +748,100 @@ int cmd_serve(const Args& args) {
   return 0;
 }
 
+void print_scene_report(const core::SceneReport& report, bool per_frame) {
+  std::printf("  tiles:      %lld/frame (%lld total over %lld frames)\n",
+              static_cast<long long>(report.grid_tiles),
+              static_cast<long long>(report.stats.tiles),
+              static_cast<long long>(report.frames));
+  std::printf("  cache:      %lld hits (%.1f%%), %lld misses, %lld "
+              "insertions, %lld evictions, %lld collisions\n",
+              static_cast<long long>(report.stats.cache_hits),
+              100.0 * report.hit_rate,
+              static_cast<long long>(report.stats.cache_misses),
+              static_cast<long long>(report.stats.cache_insertions),
+              static_cast<long long>(report.stats.cache_evictions),
+              static_cast<long long>(report.stats.hash_collisions));
+  std::printf("  escalated:  %lld tiles (%.1f%%) reran on the host\n",
+              static_cast<long long>(report.stats.escalated),
+              100.0 * report.escalation_rate);
+  std::printf("  timing:     %.2f frames/s effective (%.3f s span), "
+              "frame p50/p95/p99 %.2f/%.2f/%.2f ms\n",
+              report.effective_fps, report.total_s,
+              1e3 * report.frame_latency.p50_s,
+              1e3 * report.frame_latency.p95_s,
+              1e3 * report.frame_latency.p99_s);
+  std::printf("  supervisor: %lld dispatches (%lld fabric, %lld "
+              "degraded)\n",
+              static_cast<long long>(report.supervisor.dispatches),
+              static_cast<long long>(report.supervisor.fabric_batches),
+              static_cast<long long>(report.supervisor.degraded_batches));
+  if (!per_frame) return;
+  std::printf("  %5s %6s %6s %6s %9s\n", "frame", "hits", "miss", "esc",
+              "ms");
+  for (const core::FrameReport& f : report.per_frame) {
+    std::printf("  %5lld %6lld %6lld %6lld %9.2f\n",
+                static_cast<long long>(f.frame),
+                static_cast<long long>(f.hits),
+                static_cast<long long>(f.misses),
+                static_cast<long long>(f.escalated),
+                1e3 * f.latency_s);
+  }
+}
+
+int cmd_scene(const Args& args) {
+  core::Workbench wb(config_from(args));
+  const char which = args.get("model", "A")[0];
+  const float threshold = args.has("threshold")
+                              ? std::stof(args.get("threshold", "0.5"))
+                              : wb.operating_threshold();
+
+  core::SceneStreamSession::Config config;
+  config.tile = std::stol(args.get("tile", "64"));
+  config.halo = std::stol(args.get("halo", "8"));
+  config.batch_size = std::stol(args.get("batch", "16"));
+  config.dmu_threshold = threshold;
+  config.cache_enabled = !args.has("no-cache");
+  config.cache_capacity = std::stol(args.get("cache-capacity", "4096"));
+
+  data::SceneTrace trace;
+  if (args.has("trace")) {
+    trace = data::load_scene_trace(args.get("trace", ""));
+  } else {
+    trace = data::generate_scene_trace(wb.objects(),
+                                       scene_trace_config(args, "pattern"));
+  }
+  if (args.has("save")) data::save_scene_trace(trace, args.get("save", ""));
+
+  std::printf("scene %c&FINN  (pattern %s, %zu frames of %lldx%lld, tile "
+              "%lld halo %lld, cache %s, threshold %.3f, seed %llu)\n",
+              which, data::scene_pattern_name(trace.pattern),
+              trace.frames.size(),
+              static_cast<long long>(trace.height()),
+              static_cast<long long>(trace.width()),
+              static_cast<long long>(config.tile),
+              static_cast<long long>(config.halo),
+              config.cache_enabled ? "on" : "off", threshold,
+              static_cast<unsigned long long>(trace.seed));
+
+  core::SceneStreamSession session = wb.make_scene(which, config);
+  const core::SceneReport report = session.run(trace);
+  print_scene_report(report, args.has("per-frame"));
+
+  if (args.has("baseline")) {
+    core::SceneStreamSession::Config naive = config;
+    naive.cache_enabled = false;
+    core::SceneStreamSession baseline = wb.make_scene(which, naive);
+    const core::SceneReport base = baseline.run(trace);
+    std::printf("baseline (uncached full-frame):\n");
+    print_scene_report(base, false);
+    std::printf("  speedup:    %.2fx effective fps\n",
+                base.effective_fps > 0.0
+                    ? report.effective_fps / base.effective_fps
+                    : 0.0);
+  }
+  return 0;
+}
+
 int cmd_design(const Args& args) {
   const double fps = std::stod(args.get("fps", "400"));
   const finn::Device device = args.get("device", "zc702") == "zc706"
@@ -717,6 +886,7 @@ int main(int argc, char** argv) {
     if (args.command == "design") return cmd_design(args);
     if (args.command == "stream") return cmd_stream(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "scene") return cmd_scene(args);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
