@@ -9,6 +9,11 @@
 # of the multi-tenant continuous-batching front-end, same context block),
 # and the scene-streaming bench adds BENCH_scene.json (cache hit /
 # escalation rates and effective FPS vs naive full-frame inference).
+# The fleet bench adds BENCH_fleet.json (failover degradation curve of
+# the sharded multi-fabric scheduler under 0..3 mid-trace replica
+# kills), and tools/bench_gate.py diffs every fresh BENCH_*.json
+# against the committed baselines, failing the run on a >15%
+# throughput regression (skipped when the CPU signature changed).
 set -e
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build
@@ -41,6 +46,14 @@ sh tests/checkpoint_kill_resume.sh build/tools/mpcnn_cli \
 build/tools/mpcnn_cli tune 2>&1 | tee tune_output.txt
 build/tools/mpcnn_cli cpuinfo 2>&1 | tee cpuinfo_output.txt
 
+# Snapshot the committed baselines BEFORE the benches overwrite them;
+# the gate below compares the fresh numbers against this snapshot.
+rm -rf bench_baseline
+mkdir bench_baseline
+for f in BENCH_*.json; do
+  if [ -f "$f" ]; then cp "$f" bench_baseline/; fi
+done
+
 for b in build/bench/*; do
   case "$(basename "$b")" in
     bench_kernels)
@@ -55,11 +68,23 @@ for b in build/bench/*; do
     bench_scene)
       "$b" --out BENCH_scene.json
       ;;
+    bench_fleet)
+      "$b" --out BENCH_fleet.json
+      ;;
     *)
       "$b"
       ;;
   esac
 done 2>&1 | tee bench_output.txt
+
+# Bench regression gate: >15% throughput regression vs the committed
+# baselines fails the run (per-metric table in bench_gate_output.txt;
+# a changed CPU signature skips the file instead of tripping it).
+python3 tools/bench_gate.py bench_baseline . 2>&1 \
+  | tee bench_gate_output.txt
+if grep -q 'bench gate: FAIL' bench_gate_output.txt; then
+  exit 1
+fi
 
 # Sanitizer matrix.  Tree 1: ThreadSanitizer — the thread-pool semantics,
 # the 1-vs-N determinism tests, the fault-injection/supervisor paths
@@ -69,7 +94,7 @@ done 2>&1 | tee bench_output.txt
 cmake -B build-tsan -G Ninja -DMPCNN_SANITIZE=thread
 cmake --build build-tsan
 MPCNN_THREADS=4 ctest --test-dir build-tsan \
-  -R 'ThreadPool|Determinism|PackedBnn|Fault|WeightScrub|Stream|Serve|Scene|Dispatch|Gemm' \
+  -R 'ThreadPool|Determinism|PackedBnn|Fault|WeightScrub|Stream|Serve|Scene|Fleet|Dispatch|Gemm' \
   --output-on-failure 2>&1 | tee tsan_output.txt
 
 # Tree 2: ASan+UBSan (MPCNN_SANITIZE=address enables both) — guards the
@@ -80,7 +105,7 @@ MPCNN_THREADS=4 ctest --test-dir build-tsan \
 cmake -B build-asan -G Ninja -DMPCNN_SANITIZE=address
 cmake --build build-asan
 MPCNN_THREADS=4 ctest --test-dir build-asan \
-  -R 'Fault|WeightScrub|Crc32|Stream|Serve|Scene|ThreadPool|Bitpack|Artifact|Checkpoint|Dispatch' \
+  -R 'Fault|WeightScrub|Crc32|Stream|Serve|Scene|Fleet|ThreadPool|Bitpack|Artifact|Checkpoint|Dispatch' \
   --output-on-failure 2>&1 | tee asan_output.txt
 build-asan/tools/fuzz_artifact --iterations 1200 \
   2>&1 | tee -a asan_output.txt

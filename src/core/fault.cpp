@@ -37,6 +37,44 @@ bool has_parameters(const bnn::CompiledStage& stage) {
 
 }  // namespace
 
+bool FleetFaultPlan::empty() const {
+  for (const FaultPlan& plan : replicas) {
+    if (!plan.empty()) return false;
+  }
+  return true;
+}
+
+FleetFaultPlan& FleetFaultPlan::add(Dim r, FaultWindow window) {
+  MPCNN_CHECK(r >= 0, "replica index must be >= 0");
+  if (static_cast<std::size_t>(r) >= replicas.size()) {
+    replicas.resize(static_cast<std::size_t>(r) + 1);
+  }
+  replicas[static_cast<std::size_t>(r)].add(window);
+  return *this;
+}
+
+FleetFaultPlan& FleetFaultPlan::rack_burst(Dim first_replica,
+                                           Dim last_replica,
+                                           FaultWindow window) {
+  MPCNN_CHECK(first_replica >= 0 && last_replica >= first_replica,
+              "rack burst [" << first_replica << ", " << last_replica
+                             << "] is inverted");
+  for (Dim r = first_replica; r <= last_replica; ++r) add(r, window);
+  return *this;
+}
+
+const FaultPlan& FleetFaultPlan::plan_for(Dim r) const {
+  static const FaultPlan kEmpty;
+  MPCNN_CHECK(r >= 0, "replica index must be >= 0");
+  return static_cast<std::size_t>(r) < replicas.size()
+             ? replicas[static_cast<std::size_t>(r)]
+             : kEmpty;
+}
+
+std::uint64_t replica_seed(std::uint64_t fleet_seed, Dim r) {
+  return mix64(fleet_seed, 0xF1EE7000ULL + static_cast<std::uint64_t>(r));
+}
+
 FaultInjector::FaultInjector(std::uint64_t seed, FaultPlan plan)
     : seed_(seed), plan_(std::move(plan)) {
   for (const FaultWindow& w : plan_.windows) {

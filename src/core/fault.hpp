@@ -69,6 +69,35 @@ struct FaultPlan {
   }
 };
 
+/// Per-replica fault scenario for a fleet of fabric replicas
+/// (core/fleet).  Window dispatch indices stay in each replica's own
+/// dispatch space, so one replica's cadence never shifts another's
+/// faults.
+struct FleetFaultPlan {
+  std::vector<FaultPlan> replicas;
+
+  FleetFaultPlan() = default;
+  explicit FleetFaultPlan(Dim n)
+      : replicas(static_cast<std::size_t>(n)) {}
+
+  bool empty() const;
+  /// Appends `window` to replica `r`'s plan (growing the vector to fit).
+  FleetFaultPlan& add(Dim r, FaultWindow window);
+  /// Correlated "rack" failure burst: the same window lands on every
+  /// replica in [first_replica, last_replica] — the top-of-rack switch
+  /// dying under all of them at once, not independent per-device noise.
+  FleetFaultPlan& rack_burst(Dim first_replica, Dim last_replica,
+                             FaultWindow window);
+  /// Replica `r`'s plan; an empty plan beyond `replicas.size()`.
+  const FaultPlan& plan_for(Dim r) const;
+};
+
+/// Derives replica `r`'s injector seed from one fleet seed, so replicas
+/// draw independent fault randomness while the whole fleet scenario
+/// replays from a single number (SplitMix64 mix, like the injector's
+/// own hashing).
+std::uint64_t replica_seed(std::uint64_t fleet_seed, Dim r);
+
 /// Seeded, stateless executor of a FaultPlan.  All methods are const and
 /// thread-compatible; decisions depend only on (seed, plan, arguments).
 class FaultInjector {

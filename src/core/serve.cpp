@@ -127,12 +127,40 @@ ServeStatus status_from(ResultStatus status) {
 
 }  // namespace
 
+namespace {
+
+// Single-shard compatibility: the pre-fleet serve behaviour, bit for
+// bit — earliest-free routing, no health quarantine, no re-dispatch, no
+// fleet host workers (SLO host-routes go to the picked replica's own
+// host, exactly as before).
+FleetScheduler compat_fleet(const ServeConfig& config,
+                            std::vector<StreamSession> pipelines) {
+  MPCNN_CHECK(!pipelines.empty(), "serve needs at least one pipeline");
+  FleetConfig fleet;
+  fleet.batch_size = std::max<Dim>(config.batch_size, 1);
+  fleet.routing = RoutePolicy::kEarliestFree;
+  fleet.host_workers = 0;
+  fleet.max_redispatch = 0;
+  fleet.probe_interval = 0;
+  fleet.hedge_factor = 0.0;
+  return FleetScheduler(fleet, std::move(pipelines), nullptr, 0.0);
+}
+
+}  // namespace
+
 ServeFrontEnd::ServeFrontEnd(ServeConfig config,
                              std::vector<TenantConfig> tenants,
                              std::vector<StreamSession> pipelines)
-    : config_(std::move(config)), tenants_(std::move(tenants)) {
+    : ServeFrontEnd(config, std::move(tenants),
+                    compat_fleet(config, std::move(pipelines))) {}
+
+ServeFrontEnd::ServeFrontEnd(ServeConfig config,
+                             std::vector<TenantConfig> tenants,
+                             FleetScheduler fleet)
+    : config_(std::move(config)),
+      tenants_(std::move(tenants)),
+      fleet_(std::move(fleet)) {
   MPCNN_CHECK(!tenants_.empty(), "serve needs at least one tenant");
-  MPCNN_CHECK(!pipelines.empty(), "serve needs at least one pipeline");
   MPCNN_CHECK(config_.batch_size >= 1, "batch size");
   MPCNN_CHECK(config_.max_wait_s >= 0.0, "max_wait_s must be >= 0");
   MPCNN_CHECK(config_.queue_capacity >= 0, "queue_capacity must be >= 0");
@@ -143,17 +171,6 @@ ServeFrontEnd::ServeFrontEnd(ServeConfig config,
     MPCNN_CHECK(tenant.bucket_rate >= 0.0, "negative bucket rate");
     MPCNN_CHECK(tenant.bucket_rate == 0.0 || tenant.bucket_burst >= 1.0,
                 "bucket burst must hold at least one request");
-  }
-  for (StreamSession& session : pipelines) {
-    MPCNN_CHECK(!session.config().auto_dispatch,
-                "pipeline sessions must be built with auto_dispatch off "
-                "(the front-end owns batch assembly)");
-    MPCNN_CHECK(session.config().queue_capacity == 0,
-                "the front-end owns the bounded queue; session "
-                "queue_capacity must be 0");
-    MPCNN_CHECK(session.submitted() == 0,
-                "pipeline sessions must be fresh");
-    pipelines_.emplace_back(std::move(session));
   }
   tenant_state_.resize(tenants_.size());
   for (std::size_t t = 0; t < tenants_.size(); ++t) {
@@ -203,26 +220,6 @@ SubmitStatus ServeFrontEnd::submit(Dim tenant, const Tensor& image,
   return throttled ? SubmitStatus::kThrottled : SubmitStatus::kAccepted;
 }
 
-Dim ServeFrontEnd::pick_pipeline() const {
-  Dim best = 0;
-  for (Dim p = 1; p < pipeline_count(); ++p) {
-    if (pipelines_[static_cast<std::size_t>(p)].session.fpga_busy_until() <
-        pipelines_[static_cast<std::size_t>(best)]
-            .session.fpga_busy_until()) {
-      best = p;
-    }
-  }
-  return best;
-}
-
-double ServeFrontEnd::earliest_free() const {
-  double free = pipelines_.front().session.fpga_busy_until();
-  for (const Pipeline& pipe : pipelines_) {
-    free = std::min(free, pipe.session.fpga_busy_until());
-  }
-  return free;
-}
-
 double ServeFrontEnd::oldest_arrival() const {
   double oldest = 0.0;
   bool found = false;
@@ -243,7 +240,7 @@ void ServeFrontEnd::advance_to(double horizon) {
   // became full no later than `clock_`: had a pipeline been free at an
   // earlier event, the batch would already have fired there.)
   while (waiting_ > 0) {
-    const double free = earliest_free();
+    const double free = fleet_.earliest_free();
     const double due =
         waiting_ >= config_.batch_size
             ? std::max(free, clock_)
@@ -255,13 +252,11 @@ void ServeFrontEnd::advance_to(double horizon) {
 }
 
 void ServeFrontEnd::dispatch_batch(double now) {
-  Pipeline& pipe = pipelines_[static_cast<std::size_t>(pick_pipeline())];
   const Dim estimate = std::min(waiting_, config_.batch_size);
-  const double fpga_free = pipe.session.fpga_busy_until();
-  const bool hot = fpga_free > 0.0 && now <= fpga_free;
-  const double expected_done =
-      std::max(now, fpga_free) +
-      pipe.session.expected_batch_seconds(std::max<Dim>(estimate, 1), hot);
+  const FleetScheduler::Plan plan =
+      fleet_.plan(std::max<Dim>(estimate, 1), now);
+  const double expected_done = plan.expected_done;
+  const Dim host_hint = plan.replica >= 0 ? plan.replica : 0;
 
   std::vector<Dim> selected;
   // Pops one waiting request; SLO casualties free their batch slot.
@@ -272,8 +267,8 @@ void ServeFrontEnd::dispatch_batch(double now) {
     if (result.slo_s > 0.0 && config_.slo_policy != SloPolicy::kIgnore &&
         expected_done > result.submitted_at + result.slo_s) {
       if (config_.slo_policy == SloPolicy::kHostRoute) {
-        pipe.session.host_route(image, result.submitted_at, now);
-        pipe.sid_to_request.push_back(index);
+        fleet_.host_route(image, result.submitted_at, now, index,
+                          host_hint);
       } else {
         result.status = ServeStatus::kShedSlo;
         result.ready_at = now;
@@ -343,20 +338,18 @@ void ServeFrontEnd::dispatch_batch(double now) {
   }
 
   if (!selected.empty()) {
+    std::vector<FleetScheduler::Tagged> batch;
+    batch.reserve(selected.size());
     for (Dim index : selected) {
-      ServeResult& result = results_[static_cast<std::size_t>(index)];
-      // The session requires monotone submission times; assembly order
-      // (WRR) can interleave arrivals, so clamp.  True arrival and
-      // latency accounting stay serve-side.
-      const double submit_at =
-          std::max(result.submitted_at, pipe.last_submitted);
-      pipe.last_submitted = submit_at;
-      pipe.session.submit(images_[static_cast<std::size_t>(index)],
-                          submit_at);
-      pipe.sid_to_request.push_back(index);
+      const ServeResult& result = results_[static_cast<std::size_t>(index)];
+      FleetScheduler::Tagged tagged;
+      tagged.tag = index;
+      tagged.image = std::move(images_[static_cast<std::size_t>(index)]);
+      tagged.arrival = result.submitted_at;
+      batch.push_back(std::move(tagged));
       images_[static_cast<std::size_t>(index)] = Tensor();
     }
-    pipe.session.flush_at(now);
+    fleet_.dispatch(std::move(batch), now);
     ++batches_;
     fill_sum_ += static_cast<Dim>(selected.size());
   }
@@ -468,18 +461,14 @@ ServeReport ServeFrontEnd::finish() {
   images_.clear();
   images_.shrink_to_fit();
 
-  // Collect pipeline results back onto the trace records.
-  for (Pipeline& pipe : pipelines_) {
-    for (const StreamResult& sres : pipe.session.drain()) {
-      const Dim index =
-          pipe.sid_to_request[static_cast<std::size_t>(sres.image_id)];
-      ServeResult& result = results_[static_cast<std::size_t>(index)];
-      result.label = sres.label;
-      result.rerun = sres.rerun;
-      result.served_by = sres.served_by;
-      result.status = status_from(sres.status);
-      result.ready_at = sres.ready_at;
-    }
+  // Collect fleet results back onto the trace records.
+  for (const FleetResult& fres : fleet_.drain()) {
+    ServeResult& result = results_[static_cast<std::size_t>(fres.tag)];
+    result.label = fres.label;
+    result.rerun = fres.rerun;
+    result.served_by = fres.served_by;
+    result.status = status_from(fres.status);
+    result.ready_at = fres.ready_at;
   }
   for (ServeResult& result : results_) finalize_slo(result);
   sort_by_completion(results_);
@@ -487,27 +476,13 @@ ServeReport ServeFrontEnd::finish() {
 }
 
 ServeReport ServeFrontEnd::build_report() {
-  SupervisorStats supervisor;
+  SupervisorStats supervisor = fleet_.aggregate_supervisor();
   FabricState state = FabricState::kOk;
-  for (const Pipeline& pipe : pipelines_) {
-    const SupervisorStats& s = pipe.session.stats();
-    supervisor.dispatches += s.dispatches;
-    supervisor.fabric_batches += s.fabric_batches;
-    supervisor.degraded_batches += s.degraded_batches;
-    supervisor.watchdog_timeouts += s.watchdog_timeouts;
-    supervisor.retries += s.retries;
-    supervisor.degraded_entries += s.degraded_entries;
-    supervisor.recoveries += s.recoveries;
-    supervisor.scrub_cycles += s.scrub_cycles;
-    supervisor.scrub_repairs += s.scrub_repairs;
-    supervisor.seu_flips += s.seu_flips;
-    supervisor.corrupted_inputs += s.corrupted_inputs;
-    supervisor.shed += s.shed;
-    supervisor.blocked += s.blocked;
-    supervisor.slo_host_routed += s.slo_host_routed;
-    if (pipe.session.fabric_state() == FabricState::kDegraded) {
+  for (Dim r = 0; r < fleet_.replica_count(); ++r) {
+    const FabricState rs = fleet_.replica(r).fabric_state();
+    if (rs == FabricState::kDegraded) {
       state = FabricState::kDegraded;
-    } else if (pipe.session.fabric_state() == FabricState::kRecovering &&
+    } else if (rs == FabricState::kRecovering &&
                state == FabricState::kOk) {
       state = FabricState::kRecovering;
     }
@@ -528,8 +503,14 @@ ServeReport ServeFrontEnd::build_report() {
         break;
     }
   }
-  return make_report(results_, tenants_, supervisor, state, batches_,
-                     fill_sum_);
+  ServeReport report = make_report(results_, tenants_, supervisor, state,
+                                   batches_, fill_sum_);
+  const FleetReport fleet_report = fleet_.report();
+  report.fleet = fleet_report.fleet;
+  report.replica_count = fleet_.replica_count();
+  report.degraded_replicas = fleet_report.degraded_replicas;
+  report.all_fabric_degraded = fleet_report.all_fabric_degraded;
+  return report;
 }
 
 const std::vector<ServeResult>& ServeFrontEnd::results() const {
@@ -538,8 +519,7 @@ const std::vector<ServeResult>& ServeFrontEnd::results() const {
 }
 
 const StreamSession& ServeFrontEnd::pipeline(Dim i) const {
-  MPCNN_CHECK(i >= 0 && i < pipeline_count(), "pipeline " << i);
-  return pipelines_[static_cast<std::size_t>(i)].session;
+  return fleet_.replica(i);
 }
 
 // ---------------------------------------------------------------- trace

@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "core/fleet.hpp"
 #include "core/pipeline.hpp"
 #include "core/stream.hpp"
 
@@ -151,18 +152,34 @@ struct ServeReport {
   /// admission/overload/SLO counters.
   SupervisorStats supervisor;
   FabricState fabric_state = FabricState::kOk;
+  // ---- fleet (core/fleet) ----
+  FleetStats fleet;             ///< routing/drain/probe counters
+  Dim replica_count = 0;
+  Dim degraded_replicas = 0;    ///< replicas ending in FABRIC_DEGRADED
+  bool all_fabric_degraded = false;  ///< total-fleet loss (exit nonzero)
 };
 
-/// The front-end.  Owns its pipeline sessions; tenants are fixed at
-/// construction.  Lifecycle: submit() from any threads (one thread per
-/// tenant — a tenant's arrivals must be monotone), join the submitters,
-/// then finish() exactly once from a single thread.
+/// The front-end.  Dispatches to a FleetScheduler (core/fleet) owning
+/// the pipeline sessions; tenants are fixed at construction.
+/// Lifecycle: submit() from any threads (one thread per tenant — a
+/// tenant's arrivals must be monotone), join the submitters, then
+/// finish() exactly once from a single thread.
 class ServeFrontEnd {
  public:
-  /// Every session must be built with auto_dispatch off and the
-  /// session-level bounded queue off (queue_capacity 0) — checked.
+  /// Single-shard compatibility form: wraps `pipelines` in a fleet with
+  /// the pre-fleet earliest-free routing (no health scoring, no
+  /// re-dispatch, no fleet host workers), which reproduces the old
+  /// behaviour bit-for-bit.  Every session must be built with
+  /// auto_dispatch off and the session-level bounded queue off
+  /// (queue_capacity 0) — checked.
   ServeFrontEnd(ServeConfig config, std::vector<TenantConfig> tenants,
                 std::vector<StreamSession> pipelines);
+
+  /// Fleet form: the front-end batches and SLO-routes, the fleet owns
+  /// replica routing, health, peer drain and host-worker fallback
+  /// (Workbench::make_fleet builds one).
+  ServeFrontEnd(ServeConfig config, std::vector<TenantConfig> tenants,
+                FleetScheduler fleet);
 
   /// Thread-safe staged submission.  The token-bucket verdict depends
   /// only on this tenant's own arrival sequence, so it is deterministic
@@ -182,9 +199,11 @@ class ServeFrontEnd {
 
   const ServeConfig& config() const { return config_; }
   Dim tenant_count() const { return static_cast<Dim>(tenants_.size()); }
-  Dim pipeline_count() const { return static_cast<Dim>(pipelines_.size()); }
+  Dim pipeline_count() const { return fleet_.replica_count(); }
   /// Pipeline introspection for tests (fabric state, supervisor stats).
   const StreamSession& pipeline(Dim i) const;
+  /// The underlying fleet (routing counters, per-replica health).
+  const FleetScheduler& fleet() const { return fleet_; }
 
  private:
   struct Staged {
@@ -200,23 +219,15 @@ class ServeFrontEnd {
     bool has_arrival = false;
     double tokens = 0.0;
   };
-  struct Pipeline {
-    StreamSession session;
-    std::vector<Dim> sid_to_request;  ///< session image id → trace index
-    double last_submitted = 0.0;      ///< monotone clamp for submit()
-    explicit Pipeline(StreamSession s) : session(std::move(s)) {}
-  };
 
   void advance_to(double horizon);
   void dispatch_batch(double now);
-  Dim pick_pipeline() const;
-  double earliest_free() const;
   double oldest_arrival() const;
   ServeReport build_report();
 
   ServeConfig config_;
   std::vector<TenantConfig> tenants_;
-  std::vector<Pipeline> pipelines_;
+  FleetScheduler fleet_;
 
   std::mutex mutex_;
   std::vector<Staged> staged_;

@@ -27,6 +27,11 @@ StreamSession::StreamSession(const bnn::CompiledBnn& bnn_net,
               "watchdog factor must be positive");
   MPCNN_CHECK(config_.max_retries >= 0, "max_retries must be >= 0");
   MPCNN_CHECK(config_.backoff_base >= 0.0, "backoff_base must be >= 0");
+  MPCNN_CHECK(config_.give_up_factor >= 0.0,
+              "give_up_factor must be >= 0");
+  MPCNN_CHECK(config_.host_fallback || !config_.auto_dispatch,
+              "fleet mode (host_fallback off) requires auto_dispatch off "
+              "— the fleet scheduler owns batch assembly");
   if (injector_ != nullptr) {
     // Emulated on-chip parameter memory: faults mutate this copy; the
     // golden network and its CRC book stay the repair masters.
@@ -160,6 +165,37 @@ void StreamSession::serve_on_host(double give_up_at, double host_multiplier) {
   }
 }
 
+void StreamSession::park_unserved(double abandoned_at) {
+  // Fleet mode: the fabric gave up on this batch and there is no local
+  // host fallback — hand the images back to the owner for re-dispatch
+  // to a healthy peer.  The fabric burned its attempt time either way.
+  ++stats_.drained_batches;
+  for (Pending& pending : batch_) {
+    UnservedWork work;
+    work.id = pending.id;
+    work.image = std::move(pending.image);
+    work.arrival = pending.arrival;
+    work.abandoned_at = abandoned_at;
+    unserved_.push_back(std::move(work));
+    ++stats_.drained_images;
+  }
+  batch_.clear();
+}
+
+std::vector<StreamSession::UnservedWork> StreamSession::take_unserved() {
+  std::vector<UnservedWork> out;
+  out.swap(unserved_);
+  return out;
+}
+
+Dim StreamSession::scrub_now() {
+  if (!fabric_) return 0;
+  ++stats_.scrub_cycles;
+  const Dim repaired = scrub_weights(*fabric_, bnn_, crc_);
+  stats_.scrub_repairs += repaired;
+  return repaired;
+}
+
 void StreamSession::dispatch(double now) {
   const Dim d = stats_.dispatches++;
   const Dim n = static_cast<Dim>(batch_.size());
@@ -218,12 +254,30 @@ void StreamSession::dispatch(double now) {
           state_ = FabricState::kDegraded;
           break;
         }
+        if (!config_.host_fallback && config_.give_up_factor > 0.0 &&
+            wasted > config_.give_up_factor * expected) {
+          // Hedging bound (fleet mode): the batch is stuck past its
+          // give-up budget, so abandon it to the fleet for re-dispatch
+          // on a peer instead of riding the backoff ladder all the way
+          // to degradation.  The fabric itself stays kOk — the fault
+          // may be transient.
+          use_fabric = false;
+          ++stats_.abandoned_hedges;
+          break;
+        }
         ++stats_.retries;
       }
     }
   }
 
   if (!use_fabric) {
+    if (!config_.host_fallback) {
+      // Fleet mode: the failed attempts still occupied the fabric; the
+      // sideband probe of a degraded fabric (wasted == 0) did not.
+      if (wasted > 0.0) fpga_free_ = fabric_start + wasted;
+      park_unserved(fabric_start + wasted);
+      return;
+    }
     ++stats_.degraded_batches;
     serve_on_host(fabric_start + wasted, host_multiplier);
     batch_.clear();

@@ -79,6 +79,11 @@ struct SupervisorStats {
   Dim corrupted_inputs = 0;    ///< fabric-side images overwritten by faults
   Dim shed = 0;                ///< results dropped by the overload policy
   Dim blocked = 0;             ///< submissions past the kBlock high-water mark
+  // ---- fleet mode (core/fleet; host_fallback off) ----
+  Dim drained_batches = 0;   ///< batches parked unserved for the owner
+  Dim drained_images = 0;    ///< images inside those batches
+  Dim abandoned_hedges = 0;  ///< parks triggered by the give-up budget
+                             ///< while retries remained
   // ---- serving front-end (core/serve) ----
   Dim admission_shed = 0;   ///< requests turned away by a tenant token bucket
   Dim slo_shed = 0;         ///< requests shed because Eq.(3)–(5) misses the SLO
@@ -125,6 +130,28 @@ class StreamSession {
     /// serving front-end (core/serve) turns this off and drives batch
     /// assembly itself through flush_at().
     bool auto_dispatch = true;
+    // ---- fleet mode (core/fleet) ----
+    /// When off, a dispatch the supervisor gives up on (degradation, a
+    /// failed recovery probe, or the give-up budget below) parks the
+    /// batch as unserved work for take_unserved() instead of serving it
+    /// on this session's own host fallback — the fleet scheduler then
+    /// re-dispatches it to a healthy peer.
+    bool host_fallback = true;
+    /// Hedged re-dispatch bound: abandon a fabric batch once the
+    /// watchdog + backoff time already burned exceeds `give_up_factor ×`
+    /// the Eq. (3)–(5) expected batch seconds, even while retries
+    /// remain (0 = only abandon on degradation).  Only meaningful with
+    /// host_fallback off.
+    double give_up_factor = 0.0;
+  };
+
+  /// One image of a batch the supervisor gave up on (host_fallback off):
+  /// the owner re-dispatches it elsewhere.
+  struct UnservedWork {
+    Dim id = 0;            ///< this session's image id
+    Tensor image;
+    double arrival = 0.0;
+    double abandoned_at = 0.0;  ///< simulated instant the fabric gave up
   };
 
   /// `injector` is optional; when non-null the session copies the
@@ -171,6 +198,18 @@ class StreamSession {
   /// completion time.
   std::vector<StreamResult> drain();
 
+  /// Removes and returns the batches the supervisor parked unserved
+  /// (host_fallback off), in submission order.  Empty in host-fallback
+  /// mode.
+  std::vector<UnservedWork> take_unserved();
+
+  /// Runs one CRC scrub cycle of the emulated on-chip weight memory
+  /// immediately (outside the scrub_interval cadence) and returns the
+  /// number of stages repaired.  The fleet scheduler calls this before a
+  /// recovery probe so a re-admitted replica starts from clean weights.
+  /// No-op (returns 0) without a fault injector.
+  Dim scrub_now();
+
   /// Images accepted so far.
   Dim submitted() const { return next_id_; }
   /// Results produced so far (drained or not; shed results count).
@@ -193,6 +232,7 @@ class StreamSession {
 
   void dispatch(double now);
   void serve_on_host(double give_up_at, double host_multiplier);
+  void park_unserved(double abandoned_at);
   void shed(const Pending& pending);
   const bnn::CompiledBnn& active_bnn() const {
     return fabric_ ? *fabric_ : bnn_;
@@ -213,6 +253,7 @@ class StreamSession {
 
   std::deque<Pending> batch_;
   std::vector<StreamResult> ready_;
+  std::vector<UnservedWork> unserved_;
   Dim next_id_ = 0;
   Dim completed_ = 0;
   double fpga_free_ = 0.0;

@@ -400,6 +400,81 @@ ServeFrontEnd Workbench::make_serve(char which, ServeConfig config,
                        std::move(sessions));
 }
 
+FleetScheduler Workbench::make_fleet(
+    char which, FleetConfig config, Dim replicas,
+    StreamSession::Config session,
+    const std::vector<const FaultInjector*>& injectors,
+    bool arm_calibrated, bool heterogeneous) {
+  MPCNN_CHECK(replicas >= 1, "fleet needs at least one replica");
+  const char key = normalize_model(which);
+  // The fleet owns batch assembly, peer drain and the host fallback; a
+  // replica session executes what it is handed and parks what it cannot
+  // serve (take_unserved) for the fleet to re-dispatch.
+  session.auto_dispatch = false;
+  session.queue_capacity = 0;
+  session.batch_size = config.batch_size;
+  session.host_fallback = false;
+  session.give_up_factor = config.hedge_factor;
+
+  std::vector<const finn::FinnDesign*> designs;
+  if (heterogeneous) {
+    // Heterogeneous P/S folds: the best aggregate-fps mix of designs
+    // under the rack budget (`replicas` boards' worth of BRAM/LUTs).
+    const std::vector<bnn::CnvLayerInfo> layers = bnn::cnv_engine_infos();
+    finn::ResourceModelConfig resource;
+    resource.block_partition = true;
+    finn::ExplorerConfig explorer;
+    const std::vector<finn::FinnDesign> space =
+        finn::design_space(layers, device_, resource, explorer, 40);
+    const finn::FleetPartition partition = finn::pick_fleet(
+        space, device_.bram_18k * replicas, device_.luts * replicas,
+        replicas);
+    MPCNN_CHECK(!partition.replicas.empty(), "pick_fleet found no fit");
+    for (const std::size_t index : partition.replicas) {
+      fleet_designs_.push_back(
+          std::make_unique<finn::FinnDesign>(space[index]));
+      designs.push_back(fleet_designs_.back().get());
+    }
+    std::ostringstream os;
+    os << "fleet partition: " << designs.size() << " replicas, "
+       << partition.aggregate_fps << " img/s aggregate, BRAM "
+       << partition.bram_18k;
+    log(os.str());
+  }
+
+  double seconds = host_profile(key).seconds_per_image;
+  if (arm_calibrated) seconds *= arm_scale_factor();
+  std::vector<StreamSession> sessions;
+  const Dim count =
+      heterogeneous ? static_cast<Dim>(designs.size()) : replicas;
+  sessions.reserve(static_cast<std::size_t>(count));
+  for (Dim r = 0; r < count; ++r) {
+    const FaultInjector* injector =
+        r < static_cast<Dim>(injectors.size()) ? injectors[static_cast<
+            std::size_t>(r)] : nullptr;
+    const finn::FinnDesign& design =
+        heterogeneous ? *designs[static_cast<std::size_t>(r)]
+                      : operating_design();
+    sessions.emplace_back(compiled_bnn(), design, model(key), seconds,
+                          dmu(), session, injector);
+  }
+  return FleetScheduler(std::move(config), std::move(sessions),
+                        &model(key), seconds);
+}
+
+ServeFrontEnd Workbench::make_serve_fleet(
+    char which, ServeConfig config, std::vector<TenantConfig> tenants,
+    FleetConfig fleet, Dim replicas,
+    const std::vector<const FaultInjector*>& injectors,
+    bool arm_calibrated) {
+  fleet.batch_size = config.batch_size;
+  FleetScheduler scheduler = make_fleet(which, fleet, replicas,
+                                        config.session, injectors,
+                                        arm_calibrated);
+  return ServeFrontEnd(std::move(config), std::move(tenants),
+                       std::move(scheduler));
+}
+
 SceneStreamSession Workbench::make_scene(char which,
                                          SceneStreamSession::Config config,
                                          const FaultInjector* injector,

@@ -159,6 +159,29 @@ class Workbench {
                                 const FaultInjector* injector = nullptr,
                                 bool arm_calibrated = false);
 
+  /// Sharded multi-fabric fleet (host model `which`): `replicas` fresh
+  /// stream sessions in fleet drain mode (host_fallback off, batch size
+  /// and hedging synced from `config`) plus `config.host_workers` float
+  /// workers; see core/fleet.hpp.  `injectors[r]` arms replica r (short
+  /// vectors / null entries leave the rest fault-free; the caller keeps
+  /// them alive).  With `heterogeneous`, the replicas run the
+  /// finn::pick_fleet P/S folds under the rack budget (`replicas` ×
+  /// one device) instead of N copies of the operating design.
+  FleetScheduler make_fleet(
+      char which, FleetConfig config, Dim replicas,
+      StreamSession::Config session = {},
+      const std::vector<const FaultInjector*>& injectors = {},
+      bool arm_calibrated = false, bool heterogeneous = false);
+
+  /// Serve front-end dispatching onto a fleet: the front-end batches,
+  /// admits and SLO-routes; the fleet owns replica routing, health,
+  /// peer drain and the host-worker last resort.
+  ServeFrontEnd make_serve_fleet(
+      char which, ServeConfig config, std::vector<TenantConfig> tenants,
+      FleetConfig fleet, Dim replicas,
+      const std::vector<const FaultInjector*>& injectors = {},
+      bool arm_calibrated = false);
+
  private:
   std::string cache_path(const std::string& name,
                          const std::string& extra) const;
@@ -182,6 +205,9 @@ class Workbench {
   std::optional<std::vector<ScoredExample>> test_scores_;
   std::optional<Dmu> dmu_;
   std::optional<finn::FinnDesign> operating_design_;
+  /// Heterogeneous fleet designs (stable addresses — replica sessions
+  /// borrow them for the fleet's lifetime).
+  std::vector<std::unique_ptr<finn::FinnDesign>> fleet_designs_;
 };
 
 }  // namespace mpcnn::core

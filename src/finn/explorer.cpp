@@ -120,4 +120,49 @@ std::size_t pick_operating_point(const std::vector<FinnDesign>& designs,
   return best;
 }
 
+FleetPartition pick_fleet(const std::vector<FinnDesign>& designs,
+                          Dim bram_budget, Dim lut_budget,
+                          Dim max_replicas, Dim batch_size) {
+  MPCNN_CHECK(!designs.empty(), "empty design list");
+  MPCNN_CHECK(bram_budget >= 0 && lut_budget >= 0,
+              "resource budgets must be >= 0");
+  MPCNN_CHECK(max_replicas >= 1, "a fleet needs at least one replica");
+  struct Candidate {
+    double fps = 0.0;
+    Dim bram = 0;
+    Dim luts = 0;
+  };
+  std::vector<Candidate> candidates(designs.size());
+  for (std::size_t i = 0; i < designs.size(); ++i) {
+    const DesignPerformance perf = designs[i].evaluate(batch_size);
+    candidates[i] = Candidate{perf.obtained_fps, perf.usage.bram_18k,
+                              perf.usage.luts};
+  }
+
+  FleetPartition fleet;
+  while (static_cast<Dim>(fleet.replicas.size()) < max_replicas) {
+    std::size_t best = designs.size();
+    double best_density = 0.0;
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      const Candidate& c = candidates[i];
+      if (fleet.bram_18k + c.bram > bram_budget) continue;
+      if (fleet.luts + c.luts > lut_budget) continue;
+      // fps per BRAM — BRAM is the binding resource of every design the
+      // paper's Fig. 3/4 sweep produces (weights live on chip).
+      const double density =
+          c.fps / static_cast<double>(std::max<Dim>(c.bram, 1));
+      if (best == designs.size() || density > best_density) {
+        best = i;
+        best_density = density;
+      }
+    }
+    if (best == designs.size()) break;  // budget exhausted
+    fleet.replicas.push_back(best);
+    fleet.aggregate_fps += candidates[best].fps;
+    fleet.bram_18k += candidates[best].bram;
+    fleet.luts += candidates[best].luts;
+  }
+  return fleet;
+}
+
 }  // namespace mpcnn::finn

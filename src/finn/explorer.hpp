@@ -49,4 +49,26 @@ std::vector<FinnDesign> design_space(
 std::size_t pick_operating_point(const std::vector<FinnDesign>& designs,
                                  double min_fps, Dim batch_size = 1000);
 
+/// A FINN-R-style fleet partition: which design each fabric replica of a
+/// multi-device shard runs (indices into the design list handed to
+/// pick_fleet; duplicates mean identical folds).
+struct FleetPartition {
+  std::vector<std::size_t> replicas;
+  double aggregate_fps = 0.0;  ///< Σ obtained fps across the replicas
+  Dim bram_18k = 0;            ///< Σ BRAM across the replicas
+  Dim luts = 0;                ///< Σ LUTs across the replicas
+};
+
+/// Budgeted replica selection for core/fleet: greedily adds, up to
+/// `max_replicas` times, the design with the best obtained-fps per BRAM
+/// among those still fitting the remaining BRAM/LUT budget (ties break
+/// on lower design index).  Heterogeneous P/S folds fall out naturally
+/// as the budget tightens: once another copy of the big fold no longer
+/// fits, a smaller one that does is picked instead.  The partition may
+/// hold fewer than `max_replicas` replicas (even zero) when the budget
+/// runs dry.
+FleetPartition pick_fleet(const std::vector<FinnDesign>& designs,
+                          Dim bram_budget, Dim lut_budget,
+                          Dim max_replicas, Dim batch_size = 1000);
+
 }  // namespace mpcnn::finn

@@ -75,6 +75,7 @@ constexpr KnownFormat kKnownFormats[] = {
     {{'M', 'P', 'C', 'M'}, "checkpoint manifest", 1},
     {{'M', 'P', 'T', 'U'}, "tuning cache", 1},
     {{'M', 'P', 'S', 'E'}, "scene trace", 1},
+    {{'M', 'P', 'F', 'P'}, "fleet plan", 1},
 };
 
 const KnownFormat* find_format(ArtifactMagic magic) {

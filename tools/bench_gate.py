@@ -1,0 +1,154 @@
+#!/usr/bin/env python3
+"""Bench regression gate: diff fresh BENCH_*.json against baselines.
+
+Usage: bench_gate.py BASELINE_DIR [FRESH_DIR] [--threshold 0.15]
+
+Compares every BENCH_*.json present in both directories and fails
+(exit 1) when any throughput-like metric regressed by more than the
+threshold.  Two formats are understood:
+
+  * google-benchmark JSON ("benchmarks" list, from bench_kernels /
+    bench_bnn): one row per benchmark, rate taken from an explicit
+    counter ("img/s", "items_per_second") when present, else derived
+    from real_time;
+  * the repository scenario JSON ("scenarios" list, from bench_serve /
+    bench_scene / bench_fleet): one row per scenario × throughput-like
+    metric (throughput_fps, goodput_fps, effective_fps).
+
+A file whose CPU signature differs from the baseline's is skipped with
+a note — the committed baselines only bind on the machine that wrote
+them.  Latency metrics are printed for context but never gate: they are
+implied by the throughput of these closed, fixed-size workloads, and
+double-gating them would double the noise-trip rate.  Stdlib only.
+"""
+
+import json
+import os
+import sys
+
+THROUGHPUT_KEYS = ("throughput_fps", "goodput_fps", "effective_fps")
+CONTEXT_KEYS = ("p50_ms", "p99_ms")
+
+
+def cpu_signature(doc):
+    context = doc.get("context", {})
+    return context.get("cpu_signature") or context.get(
+        "mpcnn_cpu_signature", "")
+
+
+def benchmark_rate(row):
+    """Rate (higher is better) of one google-benchmark entry."""
+    for key in ("img/s", "items_per_second"):
+        value = row.get(key)
+        if isinstance(value, (int, float)) and value > 0:
+            return float(value), key
+    real = row.get("real_time")
+    if isinstance(real, (int, float)) and real > 0:
+        return 1e9 / float(real), "1/real_time"
+    return None, None
+
+
+def extract_metrics(doc):
+    """{(row, metric): value} of gating metrics, plus context metrics."""
+    gating, context = {}, {}
+    if "benchmarks" in doc:
+        for row in doc["benchmarks"]:
+            if row.get("run_type") == "aggregate":
+                continue
+            rate, key = benchmark_rate(row)
+            if rate is not None:
+                gating[(row.get("name", "?"), key)] = rate
+    for row in doc.get("scenarios", []):
+        name = row.get("name", "?")
+        for key in THROUGHPUT_KEYS:
+            if isinstance(row.get(key), (int, float)):
+                gating[(name, key)] = float(row[key])
+        for key in CONTEXT_KEYS:
+            if isinstance(row.get(key), (int, float)):
+                context[(name, key)] = float(row[key])
+    return gating, context
+
+
+def gate_file(name, baseline_path, fresh_path, threshold):
+    """Returns the number of gating regressions in one bench file."""
+    with open(baseline_path) as f:
+        baseline = json.load(f)
+    with open(fresh_path) as f:
+        fresh = json.load(f)
+
+    base_sig, fresh_sig = cpu_signature(baseline), cpu_signature(fresh)
+    if base_sig != fresh_sig:
+        print(f"SKIP {name}: cpu signature changed "
+              f"({base_sig!r} -> {fresh_sig!r}); baseline not comparable")
+        return 0
+
+    base_gating, base_context = extract_metrics(baseline)
+    fresh_gating, fresh_context = extract_metrics(fresh)
+    regressions = 0
+    print(f"{name} (threshold {threshold:.0%}):")
+    print(f"  {'row':40s} {'metric':16s} {'baseline':>12s} "
+          f"{'fresh':>12s} {'delta':>8s}")
+    for key in sorted(base_gating):
+        row, metric = key
+        base_value = base_gating[key]
+        fresh_value = fresh_gating.get(key)
+        if fresh_value is None:
+            print(f"  {row:40s} {metric:16s} {base_value:12.2f} "
+                  f"{'missing':>12s}  FAIL")
+            regressions += 1
+            continue
+        delta = (fresh_value - base_value) / base_value if base_value else 0.0
+        verdict = "FAIL" if delta < -threshold else "ok"
+        print(f"  {row:40s} {metric:16s} {base_value:12.2f} "
+              f"{fresh_value:12.2f} {delta:+7.1%}  {verdict}")
+        if verdict == "FAIL":
+            regressions += 1
+    for key in sorted(set(base_context) & set(fresh_context)):
+        row, metric = key
+        print(f"  {row:40s} {metric:16s} {base_context[key]:12.2f} "
+              f"{fresh_context[key]:12.2f}    (context)")
+    new_rows = sorted(set(fresh_gating) - set(base_gating))
+    for row, metric in new_rows:
+        print(f"  {row:40s} {metric:16s} {'new':>12s} "
+              f"{fresh_gating[(row, metric)]:12.2f}")
+    return regressions
+
+
+def main(argv):
+    args = [a for a in argv[1:] if not a.startswith("--")]
+    threshold = 0.15
+    for i, a in enumerate(argv[1:], 1):
+        if a == "--threshold" and i < len(argv) - 1:
+            threshold = float(argv[i + 1])
+            args.remove(argv[i + 1])
+    if not args:
+        print(__doc__)
+        return 2
+    baseline_dir = args[0]
+    fresh_dir = args[1] if len(args) > 1 else "."
+
+    total = 0
+    compared = 0
+    for name in sorted(os.listdir(fresh_dir)):
+        if not (name.startswith("BENCH_") and name.endswith(".json")):
+            continue
+        baseline_path = os.path.join(baseline_dir, name)
+        if not os.path.exists(baseline_path):
+            print(f"SKIP {name}: no committed baseline yet")
+            continue
+        total += gate_file(name, baseline_path,
+                           os.path.join(fresh_dir, name), threshold)
+        compared += 1
+    if compared == 0:
+        print("bench gate: nothing to compare (no baselines)")
+        return 0
+    if total:
+        print(f"bench gate: FAIL — {total} metric(s) regressed more "
+              f"than {threshold:.0%}")
+        return 1
+    print(f"bench gate: ok — {compared} file(s) within {threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

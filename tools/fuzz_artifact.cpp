@@ -1,8 +1,8 @@
 // Structure-aware corruption fuzzer for every mpcnn artifact format.
 //
 // Builds one golden artifact per format (MPCN net weights, MPBN compiled
-// BNN, MPCK training checkpoint, MPTU tuning cache, MPSE scene trace),
-// then applies seeded
+// BNN, MPCK training checkpoint, MPTU tuning cache, MPSE scene trace,
+// MPFP fleet plan), then applies seeded
 // random mutations — truncation, extension, single bit flips, and
 // multi-byte field overwrites aimed at the frame's magic / version /
 // length / payload / CRC regions — and feeds each mutant to the real
@@ -29,6 +29,7 @@
 
 #include "bnn/export.hpp"
 #include "core/autotune.hpp"
+#include "core/fleet.hpp"
 #include "data/scene_trace.hpp"
 #include "nn/activations.hpp"
 #include "nn/checkpoint.hpp"
@@ -210,6 +211,38 @@ std::string build_trace_golden(const std::string& dir) {
   return path;
 }
 
+std::string build_fleet_plan_golden(const std::string& dir) {
+  // A real chaos scenario: every window kind, a per-replica kill, a
+  // correlated rack burst, so every payload field carries live data.
+  core::FleetPlanFile plan;
+  plan.replicas = 4;
+  plan.host_workers = 2;
+  plan.batch_size = 8;
+  plan.seed = 77;
+  plan.rate_hz = 320.0;
+  plan.duration_s = 0.5;
+  core::FaultWindow kill;
+  kill.kind = core::FaultKind::kFabricStall;
+  kill.first_dispatch = 3;
+  kill.last_dispatch = 1 << 20;
+  plan.faults.add(1, kill);
+  core::FaultWindow seu;
+  seu.kind = core::FaultKind::kSeuWeightFlip;
+  seu.first_dispatch = 2;
+  seu.last_dispatch = 5;
+  seu.count = 3;
+  plan.faults.add(2, seu);
+  core::FaultWindow spike;
+  spike.kind = core::FaultKind::kHostLatencySpike;
+  spike.first_dispatch = 0;
+  spike.last_dispatch = 9;
+  spike.magnitude = 4.0;
+  plan.faults.rack_burst(0, 3, spike);
+  const std::string path = dir + "/golden_fleet.mpfp";
+  core::save_fleet_plan(plan, path);
+  return path;
+}
+
 // ---- mutation engine ---------------------------------------------------
 
 // Byte regions of the framed container; payload gets most of the budget.
@@ -350,6 +383,10 @@ int run(const Options& opt) {
   targets.push_back({"MPSE", build_trace_golden(opt.dir),
                      [](const std::string& p) {
                        data::load_scene_trace(p);
+                     }});
+  targets.push_back({"MPFP", build_fleet_plan_golden(opt.dir),
+                     [](const std::string& p) {
+                       core::load_fleet_plan(p);
                      }});
 
   const std::size_t per_target =

@@ -23,6 +23,14 @@
 //                     [--no-fairness] [--pipelines N] [--admit HZ]
 //                     [--burst N] [--seed S] [--faults SPEC] [--scrub N]
 //                     [--baseline] [--workload images|scene]
+//                     [--replicas N [--hosts M] [--hedge F]
+//                     [--probe-interval N]]
+//   mpcnn_cli fleet   [--cache DIR] [--model A|B|C] [--threshold T]
+//                     [--replicas N] [--hosts M] [--batch N] [--rate HZ]
+//                     [--duration S] [--seed S] [--hetero]
+//                     [--faults R@SPEC[;R@SPEC...]] [--kill R]
+//                     [--kill-at D] [--hedge F] [--probe-interval N]
+//                     [--plan FILE] [--save-plan FILE]
 //   mpcnn_cli scene   [--cache DIR] [--model A|B|C] [--threshold T]
 //                     [--pattern static|pan|motion|cut] [--frames N]
 //                     [--height H] [--width W] [--change-rate R]
@@ -52,6 +60,18 @@
 // prints per-tenant p50/p95/p99 latency and goodput.  `--baseline`
 // replays the identical traces through a fixed-batch StreamSession (no
 // window, fairness, admission or SLO handling) for comparison.
+//
+// `fleet` drives the sharded multi-fabric fleet scheduler (core/fleet):
+// N fabric replicas plus M host float workers serving a seeded open-loop
+// trace, with health-score routing, peer drain of degraded replicas,
+// bounded hedged re-dispatch and CRC-scrub recovery probes.  Per-replica
+// chaos comes from `--faults R@SPEC[;...]` (`*@SPEC` is a correlated
+// rack burst across every replica) or the `--kill R` shorthand (a
+// permanent fabric stall of replica R from dispatch `--kill-at` on);
+// `--save-plan`/`--plan` persist and replay whole scenarios as MPFP
+// artifacts.  `serve --replicas N` runs the same fleet under the
+// multi-tenant front-end.  Both exit 3 with a one-line reason when the
+// run ends with every fabric replica FABRIC_DEGRADED.
 //
 // `scene` streams a synthetic scene trace (data/scene_trace) through the
 // tile-streaming pipeline (core/scene_stream): each frame is tiled with
@@ -145,7 +165,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: mpcnn_cli "
                "<train|eval|cascade|export|verify|cpuinfo|tune|design|"
-               "stream|serve|scene> [options]\n"
+               "stream|serve|fleet|scene> [options]\n"
                "  train   [--cache DIR] [--tiny] [--checkpoint-every N]\n"
                "          [--resume]\n"
                "  eval    [--cache DIR] [--model A|B|C|bnn]\n"
@@ -176,6 +196,15 @@ int usage() {
                "          [--scrub N] [--baseline]\n"
                "          [--workload images|scene [--scene-pattern P]\n"
                "          [--tile N] [--halo N]]\n"
+               "          [--replicas N [--hosts M] [--hedge F]\n"
+               "          [--probe-interval N]]\n"
+               "  fleet   [--cache DIR] [--model A|B|C] [--threshold T]\n"
+               "          [--replicas N] [--hosts M] [--batch N]\n"
+               "          [--rate HZ] [--duration S] [--seed S]\n"
+               "          [--hetero] [--faults R@SPEC[;R@SPEC...]]\n"
+               "          [--kill R] [--kill-at D] [--hedge F]\n"
+               "          [--probe-interval N] [--plan FILE]\n"
+               "          [--save-plan FILE]\n"
                "  scene   [--cache DIR] [--model A|B|C] [--threshold T]\n"
                "          [--pattern static|pan|motion|cut] [--frames N]\n"
                "          [--height H] [--width W] [--change-rate R]\n"
@@ -358,6 +387,19 @@ int cmd_verify(const Args& args) {
                 static_cast<long long>(trace.width()),
                 data::scene_pattern_name(trace.pattern),
                 static_cast<unsigned long long>(trace.seed));
+  } else if (core::is_fleet_plan_file(path)) {
+    const core::FleetPlanFile plan = core::load_fleet_plan(path);
+    Dim windows = 0;
+    for (const core::FaultPlan& fp : plan.faults.replicas) {
+      windows += static_cast<Dim>(fp.windows.size());
+    }
+    std::printf("  %lld replicas + %lld host workers, batch %lld, seed "
+                "%llu, %.1f req/s x %.2f s, %lld fault windows\n",
+                static_cast<long long>(plan.replicas),
+                static_cast<long long>(plan.host_workers),
+                static_cast<long long>(plan.batch_size),
+                static_cast<unsigned long long>(plan.seed), plan.rate_hz,
+                plan.duration_s, static_cast<long long>(windows));
   } else if (core::autotune::is_tuning_cache_file(path)) {
     const auto entries = core::autotune::read_cache_file(path);
     std::printf("  %zu tuning entries, signature \"%s\"%s\n",
@@ -562,6 +604,184 @@ data::SceneTraceConfig scene_trace_config(const Args& args,
   return config;
 }
 
+// Parses per-replica fleet faults `R@SPEC[;R@SPEC...]`: each SPEC is
+// the cmd_stream window list, addressed to one replica (or `*` for a
+// correlated rack burst across all `replicas`).
+core::FleetFaultPlan parse_fleet_faults(const std::string& spec,
+                                        Dim replicas) {
+  core::FleetFaultPlan plan;
+  std::size_t start = 0;
+  while (start < spec.size()) {
+    std::size_t end = spec.find(';', start);
+    if (end == std::string::npos) end = spec.size();
+    const std::string segment = spec.substr(start, end - start);
+    start = end + 1;
+    if (segment.empty()) continue;
+    const std::size_t at = segment.find('@');
+    MPCNN_CHECK(at != std::string::npos,
+                "fleet fault segment '" << segment
+                                        << "' is not replica@windows");
+    const std::string target = segment.substr(0, at);
+    const core::FaultPlan windows = parse_fault_plan(segment.substr(at + 1));
+    if (target == "*") {
+      for (const core::FaultWindow& window : windows.windows) {
+        plan.rack_burst(0, replicas - 1, window);
+      }
+    } else {
+      const Dim r = std::stol(target);
+      MPCNN_CHECK(r >= 0 && r < replicas,
+                  "fault replica " << r << " of " << replicas);
+      for (const core::FaultWindow& window : windows.windows) {
+        plan.add(r, window);
+      }
+    }
+  }
+  return plan;
+}
+
+int cmd_fleet(const Args& args) {
+  core::Workbench wb(config_from(args));
+  const char which = args.get("model", "A")[0];
+  const float threshold = args.has("threshold")
+                              ? std::stof(args.get("threshold", "0.5"))
+                              : wb.operating_threshold();
+
+  // Scenario = plan file (if any) overridden by explicit flags, so a
+  // saved chaos run replays exactly and any knob can still be turned.
+  core::FleetPlanFile plan;
+  if (args.has("plan")) plan = core::load_fleet_plan(args.get("plan", ""));
+  if (args.has("replicas")) plan.replicas = std::stol(args.get("replicas", "4"));
+  if (args.has("hosts")) plan.host_workers = std::stol(args.get("hosts", "1"));
+  if (args.has("batch")) plan.batch_size = std::stol(args.get("batch", "16"));
+  if (args.has("seed")) plan.seed = std::stoull(args.get("seed", "1"));
+  if (args.has("rate")) plan.rate_hz = std::stod(args.get("rate", "0"));
+  if (args.has("duration")) plan.duration_s = std::stod(args.get("duration", "1"));
+  MPCNN_CHECK(plan.replicas >= 1, "--replicas must be >= 1");
+  if (args.has("faults")) {
+    plan.faults = parse_fleet_faults(args.get("faults", ""), plan.replicas);
+  }
+  if (args.has("kill")) {
+    // Permanent fabric stall: the replica times out every dispatch from
+    // --kill-at on, degrades, and only probes touch it afterwards.
+    const Dim victim = std::stol(args.get("kill", "0"));
+    MPCNN_CHECK(victim >= 0 && victim < plan.replicas,
+                "--kill replica " << victim << " of " << plan.replicas);
+    core::FaultWindow window;
+    window.kind = core::FaultKind::kFabricStall;
+    window.first_dispatch = std::stol(args.get("kill-at", "4"));
+    window.last_dispatch = Dim{1} << 40;
+    plan.faults.add(victim, window);
+  }
+  if (args.has("save-plan")) {
+    const std::string out = args.get("save-plan", "");
+    core::save_fleet_plan(plan, out);
+    std::printf("fleet plan written to %s\n", out.c_str());
+  }
+
+  core::FleetConfig fleet_config;
+  fleet_config.batch_size = plan.batch_size;
+  fleet_config.host_workers = plan.host_workers;
+  fleet_config.hedge_factor = std::stod(args.get("hedge", "3"));
+  fleet_config.probe_interval = std::stol(args.get("probe-interval", "4"));
+
+  core::StreamSession::Config session;
+  session.dmu_threshold = threshold;
+
+  std::vector<core::FaultInjector> injectors;
+  std::vector<const core::FaultInjector*> injector_ptrs;
+  injectors.reserve(static_cast<std::size_t>(plan.replicas));
+  for (Dim r = 0; r < plan.replicas; ++r) {
+    injectors.emplace_back(core::replica_seed(plan.seed, r),
+                           plan.faults.plan_for(r));
+    injector_ptrs.push_back(&injectors.back());
+  }
+  core::FleetScheduler fleet =
+      wb.make_fleet(which, fleet_config, plan.replicas, session,
+                    injector_ptrs, /*arm_calibrated=*/false,
+                    args.has("hetero"));
+
+  // Open-loop trace at the fleet's aggregate steady rate by default.
+  const double capacity_hz =
+      static_cast<double>(fleet.replica_count()) /
+      wb.operating_design().steady_seconds_per_image();
+  const double rate = plan.rate_hz > 0.0 ? plan.rate_hz : capacity_hz;
+  const Dim images = std::max<Dim>(
+      1, static_cast<Dim>(std::min(2e5, rate * plan.duration_s)));
+  const data::Dataset& set = wb.test_set();
+  for (Dim i = 0; i < images; ++i) {
+    fleet.submit(set.images.slice_batch(i % set.size()),
+                 static_cast<double>(i) / rate);
+  }
+  fleet.flush();
+
+  Dim correct = 0, scored = 0, host_served = 0;
+  for (const core::FleetResult& result : fleet.drain()) {
+    if (result.status == core::ResultStatus::kShed) continue;
+    const int truth =
+        set.labels[static_cast<std::size_t>(result.tag % set.size())];
+    if (result.label == truth) ++correct;
+    if (result.replica < 0) ++host_served;
+    ++scored;
+  }
+  const core::FleetReport report = fleet.report();
+
+  std::printf("fleet %c&FINN  (%lld replicas%s + %lld host workers, batch "
+              "%lld, %.1f req/s x %.2f s, seed %llu%s)\n",
+              which, static_cast<long long>(fleet.replica_count()),
+              args.has("hetero") ? " (heterogeneous folds)" : "",
+              static_cast<long long>(plan.host_workers),
+              static_cast<long long>(plan.batch_size), rate,
+              plan.duration_s,
+              static_cast<unsigned long long>(plan.seed),
+              plan.faults.empty() ? "" : ", faults injected");
+  std::printf("  served:      %lld/%lld images (accuracy %.1f%%, %lld on "
+              "fleet hosts), goodput %.2f img/s\n",
+              static_cast<long long>(scored),
+              static_cast<long long>(images),
+              100.0 * static_cast<double>(correct) /
+                  static_cast<double>(std::max<Dim>(1, scored)),
+              static_cast<long long>(host_served),
+              report.throughput_fps);
+  std::printf("  routing:     %lld batches, %lld dispatches, %lld "
+              "re-dispatched (%lld images, %lld hedged), %lld host "
+              "fallback batches\n",
+              static_cast<long long>(report.fleet.batches),
+              static_cast<long long>(report.fleet.dispatches),
+              static_cast<long long>(report.fleet.redispatched_batches),
+              static_cast<long long>(report.fleet.redispatched_images),
+              static_cast<long long>(report.fleet.hedged_batches),
+              static_cast<long long>(report.fleet.host_fallback_batches));
+  std::printf("  recovery:    %lld probes (%lld succeeded), %lld "
+              "readmissions, %lld scrub repairs, %lld degraded at end\n",
+              static_cast<long long>(report.fleet.probes),
+              static_cast<long long>(report.fleet.probe_successes),
+              static_cast<long long>(report.fleet.readmissions),
+              static_cast<long long>(report.supervisor.scrub_repairs),
+              static_cast<long long>(report.degraded_replicas));
+  std::printf("  %7s %6s %6s %7s %6s %7s %7s  %s\n", "replica", "disp",
+              "served", "bounced", "probes", "health", "spike", "state");
+  for (std::size_t r = 0; r < report.replicas.size(); ++r) {
+    const core::ReplicaReport& rep = report.replicas[r];
+    std::printf("  %7zu %6lld %6lld %7lld %6lld %7.3f %7.3f  %s\n", r,
+                static_cast<long long>(rep.dispatches),
+                static_cast<long long>(rep.served_batches),
+                static_cast<long long>(rep.bounced_batches),
+                static_cast<long long>(rep.probes), rep.health,
+                rep.spike_ewma,
+                rep.state == core::FabricState::kOk ? "FABRIC_OK"
+                : rep.state == core::FabricState::kDegraded
+                    ? "FABRIC_DEGRADED"
+                    : "FABRIC_RECOVERING");
+  }
+  if (report.all_fabric_degraded) {
+    std::fprintf(stderr,
+                 "error: every fabric replica ended FABRIC_DEGRADED — no "
+                 "fabric capacity left, host workers carried the tail\n");
+    return 3;
+  }
+  return 0;
+}
+
 void print_tenant_row(const core::TenantReport& t) {
   std::printf("  %-10s %6lld %6lld %5lld %5lld %5lld %5lld "
               "%8.2f %8.2f %8.2f %9.2f\n",
@@ -701,6 +921,24 @@ int cmd_serve(const Args& args) {
         wb.make_stream(which, session, faulted ? &injector : nullptr),
         tenants, arrivals, image_at);
     std::printf("serve %c&FINN fixed-batch BASELINE  ", which);
+  } else if (args.has("replicas")) {
+    // Fleet mode: health-cost routing, peer drain and host-worker last
+    // resort behind the same front-end.  The one injector (pure function
+    // of the dispatch index) arms every replica identically.
+    const Dim replicas = std::stol(args.get("replicas", "2"));
+    core::FleetConfig fleet;
+    fleet.host_workers = std::stol(args.get("hosts", "1"));
+    fleet.hedge_factor = std::stod(args.get("hedge", "3"));
+    fleet.probe_interval = std::stol(args.get("probe-interval", "4"));
+    const std::vector<const core::FaultInjector*> injectors(
+        static_cast<std::size_t>(std::max<Dim>(replicas, 0)),
+        faulted ? &injector : nullptr);
+    core::ServeFrontEnd serve = wb.make_serve_fleet(
+        which, config, tenants, fleet, replicas, injectors);
+    report = run_trace(serve, arrivals, image_at, /*threaded=*/false);
+    std::printf("serve %c&FINN fleet (%lld replicas + %lld hosts)  ",
+                which, static_cast<long long>(replicas),
+                static_cast<long long>(fleet.host_workers));
   } else {
     core::ServeFrontEnd serve =
         wb.make_serve(which, config, tenants, pipelines,
@@ -745,6 +983,24 @@ int cmd_serve(const Args& args) {
               static_cast<long long>(report.supervisor.slo_shed),
               static_cast<long long>(report.supervisor.slo_host_routed),
               static_cast<long long>(report.supervisor.blocked));
+  if (report.replica_count > 0 && report.fleet.dispatches > 0) {
+    std::printf("  fleet: %lld re-dispatched batches (%lld hedged), %lld "
+                "host fallback, %lld probes, %lld readmissions, %lld/%lld "
+                "replicas degraded\n",
+                static_cast<long long>(report.fleet.redispatched_batches),
+                static_cast<long long>(report.fleet.hedged_batches),
+                static_cast<long long>(report.fleet.host_fallback_batches),
+                static_cast<long long>(report.fleet.probes),
+                static_cast<long long>(report.fleet.readmissions),
+                static_cast<long long>(report.degraded_replicas),
+                static_cast<long long>(report.replica_count));
+  }
+  if (report.all_fabric_degraded) {
+    std::fprintf(stderr,
+                 "error: every fabric replica ended FABRIC_DEGRADED — no "
+                 "fabric capacity left, host path carried the tail\n");
+    return 3;
+  }
   return 0;
 }
 
@@ -886,6 +1142,7 @@ int main(int argc, char** argv) {
     if (args.command == "design") return cmd_design(args);
     if (args.command == "stream") return cmd_stream(args);
     if (args.command == "serve") return cmd_serve(args);
+    if (args.command == "fleet") return cmd_fleet(args);
     if (args.command == "scene") return cmd_scene(args);
   } catch (const Error& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
