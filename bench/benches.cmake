@@ -38,6 +38,11 @@ set_target_properties(bench_fleet PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
 target_link_libraries(bench_fleet PRIVATE mpcnn_core)
 
+add_executable(bench_integrity ${CMAKE_SOURCE_DIR}/bench/bench_integrity.cpp)
+set_target_properties(bench_integrity PROPERTIES
+  RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+target_link_libraries(bench_integrity PRIVATE mpcnn_core)
+
 add_executable(bench_kernels ${CMAKE_SOURCE_DIR}/bench/bench_kernels.cpp)
 set_target_properties(bench_kernels PROPERTIES
   RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

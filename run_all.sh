@@ -11,9 +11,12 @@
 # escalation rates and effective FPS vs naive full-frame inference).
 # The fleet bench adds BENCH_fleet.json (failover degradation curve of
 # the sharded multi-fabric scheduler under 0..3 mid-trace replica
-# kills), and tools/bench_gate.py diffs every fresh BENCH_*.json
-# against the committed baselines, failing the run on a >15%
-# throughput regression (skipped when the CPU signature changed).
+# kills), and the ABFT overhead bench adds BENCH_integrity.json
+# (off/sample/full checksum overhead per kernel and ISA level).
+# tools/bench_gate.py diffs every fresh BENCH_*.json against the
+# committed baselines, failing the run on a >15% throughput regression
+# (skipped when the CPU signature changed) and — baseline or not — on
+# any kernel whose full-mode ABFT overhead exceeds 15%.
 set -e
 cmake -B build -G Ninja -DCMAKE_BUILD_TYPE=Release
 cmake --build build
@@ -39,6 +42,13 @@ done
 build/tools/fuzz_artifact --iterations 1200 2>&1 | tee fuzz_output.txt
 sh tests/checkpoint_kill_resume.sh build/tools/mpcnn_cli \
   2>&1 | tee kill_resume_output.txt
+
+# Silent-data-corruption sweep: >= 1000 seeded compute faults across
+# every supported ISA level x {1,4} threads must be >= 99% detected by
+# the ABFT checksums with zero silently wrong labels in full mode (the
+# tool also proves the faults are load-bearing by first corrupting an
+# undefended run).  Exit status carries the gate.
+build/tools/integrity_sweep 2>&1 | tee integrity_sweep_output.txt
 
 # Autotune this machine once (persists mpcnn_tune.mptu through the
 # artifact layer), then record the probe + bindings; the benches below
@@ -71,6 +81,9 @@ for b in build/bench/*; do
     bench_fleet)
       "$b" --out BENCH_fleet.json
       ;;
+    bench_integrity)
+      "$b" --out BENCH_integrity.json
+      ;;
     *)
       "$b"
       ;;
@@ -94,7 +107,7 @@ fi
 cmake -B build-tsan -G Ninja -DMPCNN_SANITIZE=thread
 cmake --build build-tsan
 MPCNN_THREADS=4 ctest --test-dir build-tsan \
-  -R 'ThreadPool|Determinism|PackedBnn|Fault|WeightScrub|Stream|Serve|Scene|Fleet|Dispatch|Gemm' \
+  -R 'ThreadPool|Determinism|PackedBnn|Fault|WeightScrub|Stream|Serve|Scene|Fleet|Dispatch|Gemm|Integrity|Canary' \
   --output-on-failure 2>&1 | tee tsan_output.txt
 
 # Tree 2: ASan+UBSan (MPCNN_SANITIZE=address enables both) — guards the
@@ -105,7 +118,7 @@ MPCNN_THREADS=4 ctest --test-dir build-tsan \
 cmake -B build-asan -G Ninja -DMPCNN_SANITIZE=address
 cmake --build build-asan
 MPCNN_THREADS=4 ctest --test-dir build-asan \
-  -R 'Fault|WeightScrub|Crc32|Stream|Serve|Scene|Fleet|ThreadPool|Bitpack|Artifact|Checkpoint|Dispatch' \
+  -R 'Fault|WeightScrub|Crc32|Stream|Serve|Scene|Fleet|ThreadPool|Bitpack|Artifact|Checkpoint|Dispatch|Integrity|Canary' \
   --output-on-failure 2>&1 | tee asan_output.txt
 build-asan/tools/fuzz_artifact --iterations 1200 \
   2>&1 | tee -a asan_output.txt

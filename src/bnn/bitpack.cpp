@@ -15,6 +15,7 @@
 #include "bnn/kernels_impl.hpp"
 #include "core/autotune.hpp"
 #include "core/cpu.hpp"
+#include "core/integrity/integrity.hpp"
 #include "core/threadpool.hpp"
 
 namespace mpcnn::bnn {
@@ -455,12 +456,28 @@ void tune_xnor_gemm() {
 [[maybe_unused]] const bool kXnorTunerRegistered =
     core::autotune::register_tuner("xnor_gemm", &tune_xnor_gemm);
 
+// The xnor ABFT reference rides the active xor-popcount dispatch (the
+// masked column counts reduce to xor_pop via the ∧/⊕ identity), so the
+// checksum accelerates with the kernel it guards.
+const char* xnor_checksum_variant() { return detail::kernels().pop_name; }
+[[maybe_unused]] const bool kXnorChecksumSlotRegistered =
+    core::register_kernel_slot("integrity.xnor_checksum",
+                               &xnor_checksum_variant);
+
 }  // namespace
 
 void xnor_gemm(const BitMatrix& a, const BitMatrix& b, std::int32_t* c) {
   MPCNN_CHECK(a.cols() == b.cols(), "xnor_gemm column mismatch: "
                                         << a.cols() << " vs " << b.cols());
+  // ABFT guard (core/integrity): the ±1 column-sum identity is exact
+  // integer arithmetic, so any single corrupted accumulator trips it.
+  // An inactive guard costs one thread-local load.
+  namespace integ = core::integrity;
+  integ::XnorGuard guard = integ::xnor_begin();
   xnor_gemm_with_schedule(a, b, c, xnor_schedule_for(a.words_per_row()));
+  integ::xnor_end(guard, a.row_data(0), a.rows(), a.cols(),
+                  a.words_per_row(), b.row_data(0), b.rows(), c,
+                  detail::kernels().xor_pop, detail::kernels().xor_pop4);
 }
 
 }  // namespace mpcnn::bnn

@@ -11,6 +11,7 @@
 
 #include "bnn/binary_layers.hpp"
 #include "bnn/kernels.hpp"
+#include "core/integrity/integrity.hpp"
 #include "core/threadpool.hpp"
 #include "nn/batchnorm.hpp"
 #include "nn/flatten.hpp"
@@ -742,6 +743,35 @@ PlanedBitMap exec_binary_conv_packed(const CompiledStage& s,
   return out;
 }
 
+// ABFT-instrumented conv: materialise the whole accumulator matrix
+// through the checked xnor_gemm — the integer accumulators are
+// bit-identical to the fused quad path's (both compute cols − 2·
+// mismatches per (channel, position)), so outputs never depend on which
+// path ran; only the checked path exposes them to the checksum epilogue
+// and to armed compute faults.  Taken only when core/integrity is
+// active for this thread (see run_reference_packed).
+PlanedBitMap exec_binary_conv_checked(const CompiledStage& s,
+                                      const PlanedBitMap& in) {
+  const BitMatrix patches = bit_im2col(in.words.data(), in.plane_words,
+                                       s.in_ch, s.in_h, s.in_w, s.kernel);
+  const Dim positions = s.out_h * s.out_w;
+  std::vector<std::int32_t> acc(
+      static_cast<std::size_t>(s.out_ch * positions));
+  xnor_gemm(s.weights, patches, acc.data());
+  PlanedBitMap out(s.out_ch, s.out_h, s.out_w);
+  core::parallel_for(0, s.out_ch, 4, [&](Dim c0, Dim c1) {
+    for (Dim oc = c0; oc < c1; ++oc) {
+      const std::int32_t* arow = acc.data() + oc * positions;
+      BitPackEpilogue ep{out.plane(oc)};
+      for (Dim pos = 0; pos < positions; ++pos) {
+        ep.push(pos, fire_binary(s, oc, arow[pos]));
+      }
+      ep.flush(positions);
+    }
+  });
+  return out;
+}
+
 PlanedBitMap exec_maxpool_packed(const CompiledStage& s,
                                  const PlanedBitMap& in) {
   // Binary max is OR, so a whole 2×2 pooling row folds word-at-a-time:
@@ -797,7 +827,9 @@ std::vector<std::int32_t> run_reference_packed(const CompiledBnn& net,
     switch (stage.kind) {
       case StageKind::kBinaryConv:
         MPCNN_CHECK(!flat_valid, "conv stage after dense");
-        fmap = exec_binary_conv_packed(stage, fmap);
+        fmap = core::integrity::instrumented()
+                   ? exec_binary_conv_checked(stage, fmap)
+                   : exec_binary_conv_packed(stage, fmap);
         break;
       case StageKind::kMaxPoolBinary:
         MPCNN_CHECK(!flat_valid, "pool stage after dense");
@@ -816,13 +848,22 @@ std::vector<std::int32_t> run_reference_packed(const CompiledBnn& net,
         const detail::BnnKernels& kern = detail::kernels();
         std::vector<std::int32_t> accs(
             static_cast<std::size_t>(stage.out_ch));
-        core::parallel_for(0, stage.out_ch, 8, [&](Dim c0, Dim c1) {
-          for (Dim oc = c0; oc < c1; ++oc) {
-            accs[static_cast<std::size_t>(oc)] = static_cast<std::int32_t>(
-                cols - 2 * kern.xor_pop(stage.weights.row_data(oc),
-                                        flat.data(), wpr));
-          }
-        });
+        if (core::integrity::instrumented()) {
+          // Checked path: the activation vector becomes a 1-row packed
+          // matrix so the dense product flows through the ABFT'd
+          // xnor_gemm.  Same accumulators, now checksum-verified.
+          BitMatrix act(1, stage.in_ch);
+          std::copy(flat.data(), flat.data() + wpr, act.row_data(0));
+          xnor_gemm(stage.weights, act, accs.data());
+        } else {
+          core::parallel_for(0, stage.out_ch, 8, [&](Dim c0, Dim c1) {
+            for (Dim oc = c0; oc < c1; ++oc) {
+              accs[static_cast<std::size_t>(oc)] = static_cast<std::int32_t>(
+                  cols - 2 * kern.xor_pop(stage.weights.row_data(oc),
+                                          flat.data(), wpr));
+            }
+          });
+        }
         if (stage.kind == StageKind::kOutputDense) return accs;
         BitVector next(stage.out_ch);
         for (Dim oc = 0; oc < stage.out_ch; ++oc) {

@@ -28,6 +28,25 @@ std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
 // corruption even when windows share dispatch indices.
 constexpr std::uint64_t kSeuTag = 0x5E00A11DULL;
 constexpr std::uint64_t kInputTag = 0xC0221137ULL;
+constexpr std::uint64_t kComputeBatchTag = 0xC0117A57ULL;
+constexpr std::uint64_t kComputeCanaryTag = 0xCA4A21E5ULL;
+
+bool is_compute_kind(FaultKind kind) {
+  return kind == FaultKind::kAccumulatorBitFlip ||
+         kind == FaultKind::kPopcountLaneStuck ||
+         kind == FaultKind::kPartialSumCorruption;
+}
+
+integrity::ComputeFaultKind lower_compute_kind(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kAccumulatorBitFlip:
+      return integrity::ComputeFaultKind::kAccumulatorBitFlip;
+    case FaultKind::kPopcountLaneStuck:
+      return integrity::ComputeFaultKind::kPopcountLaneStuck;
+    default:
+      return integrity::ComputeFaultKind::kPartialSumCorruption;
+  }
+}
 
 // Stages with emulated on-chip parameter memory (pool stages hold none).
 bool has_parameters(const bnn::CompiledStage& stage) {
@@ -193,6 +212,41 @@ bool FaultInjector::corrupt_input(Tensor& image, Dim dispatch,
         static_cast<float>(h >> 40) / static_cast<float>(1 << 24);
   }
   return true;
+}
+
+std::vector<integrity::ArmedComputeFault> FaultInjector::compute_faults(
+    Dim dispatch, Dim slot, ComputeStream stream) const {
+  std::vector<integrity::ArmedComputeFault> armed;
+  const std::uint64_t tag = stream == ComputeStream::kCanary
+                                ? kComputeCanaryTag
+                                : kComputeBatchTag;
+  for (std::size_t wi = 0; wi < plan_.windows.size(); ++wi) {
+    const FaultWindow& w = plan_.windows[wi];
+    if (!is_compute_kind(w.kind) || !w.covers(dispatch) || slot >= w.count) {
+      continue;
+    }
+    integrity::ArmedComputeFault f;
+    f.kind = lower_compute_kind(w.kind);
+    f.seed = mix64(
+        mix64(mix64(seed_, tag), static_cast<std::uint64_t>(dispatch)),
+        (static_cast<std::uint64_t>(wi) << 32) |
+            static_cast<std::uint64_t>(slot));
+    // The packed engine makes >= 8 hooked kernel calls per image (5
+    // binary convs + 3 dense stages of the CNV topology); targeting the
+    // first 6 keeps every armed fault live on any compiled net of that
+    // family.
+    f.target_call = static_cast<int>(mix64(f.seed, 0x7A96ULL) % 6);
+    f.sticky_attempts = std::max(1, static_cast<int>(w.magnitude));
+    armed.push_back(f);
+  }
+  return armed;
+}
+
+bool FaultInjector::has_compute_faults() const {
+  for (const FaultWindow& w : plan_.windows) {
+    if (is_compute_kind(w.kind)) return true;
+  }
+  return false;
 }
 
 std::uint32_t crc32(const void* data, std::size_t bytes, std::uint32_t seed) {

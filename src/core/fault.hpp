@@ -27,17 +27,25 @@
 #include <vector>
 
 #include "bnn/compile.hpp"
+#include "core/integrity/integrity.hpp"
 #include "tensor/tensor.hpp"
 
 namespace mpcnn::core {
 
 /// The fault taxonomy (see DESIGN.md §10 for the full semantics table).
+/// The last three are *datapath* faults: they corrupt kernel outputs
+/// mid-computation (through core/integrity's armed-fault machinery)
+/// rather than stored state, and are what the ABFT checksums and canary
+/// probes of DESIGN.md §16 exist to catch.
 enum class FaultKind {
   kFabricStall,       ///< fabric produces nothing for the whole window
   kDmaError,          ///< transient transfer failure; bounded retries win
   kSeuWeightFlip,     ///< bit flips in packed weight/threshold memory
   kHostLatencySpike,  ///< host reruns slow down by `magnitude`×
   kInputCorruption,   ///< image corrupted on the DMA path into the fabric
+  kAccumulatorBitFlip,    ///< datapath: one kernel accumulator bit flips
+  kPopcountLaneStuck,     ///< datapath: a quad-popcount lane sticks at one
+  kPartialSumCorruption,  ///< datapath: a partial-sum DMA burst is garbled
 };
 
 /// One fault episode, expressed in dispatch indices (not wall time) so
@@ -47,10 +55,14 @@ struct FaultWindow {
   Dim first_dispatch = 0;  ///< inclusive
   Dim last_dispatch = 0;   ///< inclusive
   /// Kind-specific knob: kDmaError = failing attempts per dispatch,
-  /// kHostLatencySpike = latency multiplier.  Unused otherwise.
+  /// kHostLatencySpike = latency multiplier, datapath kinds = number of
+  /// re-execution attempts the fault persists for (1 = transient, the
+  /// verified fabric re-run comes back clean; >= 2 = persistent, the
+  /// supervisor escalates to the host).  Unused otherwise.
   double magnitude = 1.0;
   /// kSeuWeightFlip: bit flips per dispatch in the window.
-  /// kInputCorruption: corrupted batch slots per dispatch.
+  /// kInputCorruption and the datapath kinds: struck batch slots per
+  /// dispatch (leading slots; canary probes use their own slot space).
   Dim count = 1;
 
   bool covers(Dim dispatch) const {
@@ -129,6 +141,24 @@ class FaultInjector {
   /// overwrites `image` (the fabric-side DMA copy — the host retains the
   /// original) with deterministic hash noise in [0, 1] and returns true.
   bool corrupt_input(Tensor& image, Dim dispatch, Dim slot) const;
+
+  /// Which inference leg a compute-fault query arms: batch slots and
+  /// canary probes draw from separate hash streams so adding canaries
+  /// never shifts the batch's fault replay.
+  enum class ComputeStream { kBatch, kCanary };
+
+  /// Lowers every datapath FaultWindow covering (`dispatch`, `slot`) to
+  /// armed compute faults for a core/integrity Scope.  The target kernel
+  /// call, bit positions and lanes all hash from the window identity, so
+  /// the same plan strikes the same accumulators at any thread count.
+  std::vector<integrity::ArmedComputeFault> compute_faults(
+      Dim dispatch, Dim slot,
+      ComputeStream stream = ComputeStream::kBatch) const;
+
+  /// True when the plan contains any datapath fault window (the
+  /// supervisor then arms integrity scopes even in IntegrityMode::kOff —
+  /// an undefended fabric must still take the hit).
+  bool has_compute_faults() const;
 
  private:
   std::uint64_t seed_;

@@ -161,6 +161,11 @@ void FleetScheduler::update_health(Replica& rep,
   const double hits =
       static_cast<double>((after.scrub_repairs - before.scrub_repairs) +
                           (after.seu_flips - before.seu_flips));
+  // Silent-data-corruption signals: checksum detections and deviating
+  // canary probes both mean the replica's datapath is actively lying.
+  const double sdc = static_cast<double>(
+      (after.sdc_detected - before.sdc_detected) +
+      (after.canary_failures - before.canary_failures));
   double sample = 0.0;
   if (served) {
     // Latency-spike EWMA: how far past the Eq. (3)–(5) estimate the
@@ -174,7 +179,8 @@ void FleetScheduler::update_health(Replica& rep,
                      (1.0 - config_.spike_decay) * std::min(overrun, 4.0);
     sample = 1.0 - 0.35 * std::min(timeouts, 2.0) -
              0.15 * std::min(hits, 2.0) -
-             0.25 * std::min(rep.spike_ewma, 2.0);
+             0.25 * std::min(rep.spike_ewma, 2.0) -
+             0.2 * std::min(sdc, 2.0);
     sample = std::clamp(sample, 0.0, 1.0);
   }
   // A batch the replica failed to serve scores zero: brownouts shed
@@ -422,6 +428,12 @@ SupervisorStats FleetScheduler::aggregate_supervisor() const {
     total.admission_shed += s.admission_shed;
     total.slo_shed += s.slo_shed;
     total.slo_host_routed += s.slo_host_routed;
+    total.sdc_detected += s.sdc_detected;
+    total.sdc_corrected += s.sdc_corrected;
+    total.sdc_served_after_reexec += s.sdc_served_after_reexec;
+    total.canary_runs += s.canary_runs;
+    total.canary_failures += s.canary_failures;
+    total.compute_faults_fired += s.compute_faults_fired;
   }
   total.slo_host_routed += stats_.host_routed;
   return total;

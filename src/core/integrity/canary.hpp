@@ -1,0 +1,60 @@
+// Canary self-test probes: a golden-output book for one compiled model.
+//
+// ABFT (integrity.hpp) audits individual kernel calls, but a fabric
+// whose datapath is persistently broken — a stuck popcount lane, a
+// flaky DMA engine — is cheaper to catch with end-to-end probes: replay
+// a handful of synthetic inputs whose exact integer logits were
+// recorded against the golden network at session construction, and
+// compare bit-for-bit (the packed engine is bit-exact across ISA
+// levels and thread counts, so *any* deviation is a fault).  The
+// supervisor (core/stream) runs the book on a configurable dispatch
+// cadence and as the health gate after every scrub/recovery; failures
+// feed SupervisorStats and the fleet health EWMA.
+//
+// The book persists as a framed `MPGB` artifact (same hardened
+// container as every other format: CRC-32 trailer, bounded reads), tied
+// to its model by the folded per-stage CRCs of the golden network.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bnn/compile.hpp"
+
+namespace mpcnn::core::integrity {
+
+struct CanaryBook {
+  Dim classes = 0;
+  /// Folded golden per-stage CRCs — the model identity the expected
+  /// logits were recorded against.
+  std::uint32_t model_crc = 0;
+  std::vector<Tensor> inputs;  ///< NCHW batch-1 probe images
+  std::vector<std::vector<std::int32_t>> expected;  ///< golden logits
+};
+
+/// Identity digest of a compiled network: its per-stage on-chip-memory
+/// CRCs (core::stage_crc) chained into one word.
+std::uint32_t model_identity_crc(const bnn::CompiledBnn& net);
+
+/// Builds `count` probes from deterministic hash images (seeded, so the
+/// same (net, seed, count) always yields the same book) and records the
+/// golden network's exact logits for each.
+CanaryBook make_canary_book(const bnn::CompiledBnn& golden, Dim count,
+                            std::uint64_t seed);
+
+/// Replays every probe through `fabric` and returns the number whose
+/// logits deviate from the book (0 = healthy datapath and weights).
+Dim run_canaries(const bnn::CompiledBnn& fabric, const CanaryBook& book);
+
+void save_canary_book(const CanaryBook& book, const std::string& path);
+CanaryBook load_canary_book(const std::string& path);
+
+/// Rejects NaN/Inf pixels at the ingestion boundary (StreamSession
+/// submit/host_route, ServeFrontEnd::submit) with a typed Error naming
+/// `context` and the first offending element — a hostile or corrupted
+/// frame must fail loudly at the edge, not poison checksum references
+/// deep inside a kernel epilogue.
+void check_finite_image(const Tensor& image, const char* context);
+
+}  // namespace mpcnn::core::integrity

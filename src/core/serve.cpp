@@ -180,6 +180,9 @@ ServeFrontEnd::ServeFrontEnd(ServeConfig config,
 
 SubmitStatus ServeFrontEnd::submit(Dim tenant, const Tensor& image,
                                    double arrival_time) {
+  // Hostile-input gate before any state is touched: a NaN/Inf frame is
+  // the submitter's bug (or an attack), never admissible work.
+  integrity::check_finite_image(image, "ServeFrontEnd::submit");
   std::lock_guard<std::mutex> lock(mutex_);
   MPCNN_CHECK(!finished_, "submit after finish()");
   MPCNN_CHECK(tenant >= 0 && tenant < tenant_count(),

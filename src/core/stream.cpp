@@ -7,6 +7,24 @@
 #include "tensor/error.hpp"
 
 namespace mpcnn::core {
+namespace {
+
+// SplitMix64 finalizer, the repository-wide stateless hash (core/fault).
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+// Integrity-scope sampling token for one (dispatch, slot) inference leg.
+std::uint64_t slot_token(std::uint64_t seed, Dim dispatch, Dim slot) {
+  std::uint64_t h = mix64(seed ^ 0xAB577B9EULL);
+  h = mix64(h ^ static_cast<std::uint64_t>(dispatch));
+  return mix64(h ^ (static_cast<std::uint64_t>(slot) * 0x9E37ULL));
+}
+
+}  // namespace
 
 StreamSession::StreamSession(const bnn::CompiledBnn& bnn_net,
                              const finn::FinnDesign& design,
@@ -32,15 +50,34 @@ StreamSession::StreamSession(const bnn::CompiledBnn& bnn_net,
   MPCNN_CHECK(config_.host_fallback || !config_.auto_dispatch,
               "fleet mode (host_fallback off) requires auto_dispatch off "
               "— the fleet scheduler owns batch assembly");
+  MPCNN_CHECK(config_.integrity_sample_period >= 1,
+              "integrity_sample_period must be >= 1");
+  MPCNN_CHECK(config_.canary_interval == 0 || config_.canary_count >= 1,
+              "canary_count must be >= 1 when canaries are on");
   if (injector_ != nullptr) {
     // Emulated on-chip parameter memory: faults mutate this copy; the
     // golden network and its CRC book stay the repair masters.
     fabric_ = std::make_unique<bnn::CompiledBnn>(bnn_);
     crc_ = crc_book(bnn_);
   }
+  if (config_.canary_interval > 0) {
+    // Default golden book; attach_canary_book swaps in a persisted one.
+    canary_book_ = std::make_unique<integrity::CanaryBook>(
+        integrity::make_canary_book(bnn_, config_.canary_count,
+                                    injector_ ? injector_->seed() : 0));
+  }
+}
+
+void StreamSession::attach_canary_book(integrity::CanaryBook book) {
+  const std::uint32_t expect = integrity::model_identity_crc(bnn_);
+  MPCNN_CHECK(book.model_crc == expect,
+              "canary book was recorded against a different model (book crc "
+                  << book.model_crc << ", golden crc " << expect << ")");
+  canary_book_ = std::make_unique<integrity::CanaryBook>(std::move(book));
 }
 
 Dim StreamSession::submit(const Tensor& image, double arrival_time) {
+  integrity::check_finite_image(image, "StreamSession::submit");
   MPCNN_CHECK(arrival_time >= last_arrival_,
               "arrival times must be monotone (got "
                   << arrival_time << " after " << last_arrival_ << ")");
@@ -94,6 +131,7 @@ void StreamSession::flush_at(double now) {
 
 Dim StreamSession::host_route(const Tensor& image, double arrival_time,
                               double not_before) {
+  integrity::check_finite_image(image, "StreamSession::host_route");
   host_.set_training(false);
   const double multiplier =
       injector_ != nullptr
@@ -111,7 +149,7 @@ Dim StreamSession::host_route(const Tensor& image, double arrival_time,
   const double host_done =
       host_start + host_seconds_per_image_ * multiplier;
   host_free_ = host_done;
-  result.label = host_.predict(image).front();
+  result.label = host_predict(image);
   result.ready_at = host_done;
   ready_.push_back(result);
   ++completed_;
@@ -158,7 +196,7 @@ void StreamSession::serve_on_host(double give_up_at, double host_multiplier) {
     const double host_start = std::max(give_up_at, host_free_);
     const double host_done = host_start + seconds;
     host_free_ = host_done;
-    result.label = host_.predict(pending.image).front();
+    result.label = host_predict(pending.image);
     result.ready_at = host_done;
     ready_.push_back(result);
     ++completed_;
@@ -193,7 +231,82 @@ Dim StreamSession::scrub_now() {
   ++stats_.scrub_cycles;
   const Dim repaired = scrub_weights(*fabric_, bnn_, crc_);
   stats_.scrub_repairs += repaired;
+  // A repair means the fabric just ran with corrupted weights: owe the
+  // canary health gate a replay before the next batch is trusted.
+  if (repaired > 0) canary_pending_ = true;
   return repaired;
+}
+
+int StreamSession::host_predict(const Tensor& image) {
+  host_.set_training(false);
+  if (config_.integrity == integrity::IntegrityMode::kOff) {
+    return host_.predict(image).front();
+  }
+  // ABFT-guarded float path: inline-serial execution keeps every gemm of
+  // the prediction under this thread's scope.  The host takes no
+  // injected faults, so a detection here is a checksum false alarm or a
+  // real host-side upset — either way one verified re-run settles it.
+  int label = 0;
+  for (int attempt = 0;; ++attempt) {
+    std::vector<integrity::Detection> detections;
+    integrity::ScopeOptions opts;
+    opts.mode = config_.integrity;
+    opts.sample_period = config_.integrity_sample_period;
+    opts.token = slot_token(injector_ ? injector_->seed() : 0,
+                            /*dispatch=*/-1, host_calls_);
+    opts.attempt = attempt;
+    opts.sink = &detections;
+    {
+      SerialGuard serial;
+      integrity::Scope scope(opts);
+      label = host_.predict(image).front();
+    }
+    ++host_calls_;
+    if (detections.empty()) {
+      if (attempt > 0) ++stats_.sdc_corrected;
+      return label;
+    }
+    ++stats_.sdc_detected;
+    if (attempt >= 1) return label;  // surfaced twice: serve, don't loop
+  }
+}
+
+Dim StreamSession::run_canary_probes(Dim dispatch, int attempt) {
+  if (!canary_book_) return 0;
+  const bool have_faults =
+      injector_ != nullptr && injector_->has_compute_faults();
+  Dim failures = 0;
+  for (std::size_t i = 0; i < canary_book_->inputs.size(); ++i) {
+    // The end-to-end logit compare is the check, so the scope runs mode
+    // kOff — it exists to take the armed datapath faults (which fire in
+    // any mode) exactly as a batch slot would, from the canary stream so
+    // probes never shift the batch fault replay.
+    std::vector<integrity::Detection> scrap;
+    integrity::ScopeOptions opts;
+    opts.mode = integrity::IntegrityMode::kOff;
+    opts.token =
+        slot_token(injector_ ? injector_->seed() : 0, dispatch,
+                   static_cast<Dim>(i)) ^
+        0xCA4AULL;
+    opts.attempt = attempt;
+    if (have_faults) {
+      opts.faults =
+          injector_->compute_faults(dispatch, static_cast<Dim>(i),
+                                    FaultInjector::ComputeStream::kCanary);
+    }
+    opts.sink = &scrap;
+    std::vector<std::int32_t> got;
+    {
+      SerialGuard serial;
+      integrity::Scope scope(opts);
+      got = bnn::run_reference(active_bnn(), canary_book_->inputs[i]);
+      stats_.compute_faults_fired += scope.faults_fired();
+    }
+    ++stats_.canary_runs;
+    if (got != canary_book_->expected[i]) ++failures;
+  }
+  stats_.canary_failures += failures;
+  return failures;
 }
 
 void StreamSession::dispatch(double now) {
@@ -270,6 +383,33 @@ void StreamSession::dispatch(double now) {
     }
   }
 
+  // Canary health gate: replay the golden book on cadence, after any
+  // scrub repair, and on recovery probes.  End-to-end probes catch what
+  // the per-call checksums may not be watching (kOff/kSample) and what
+  // weight scrubbing cannot see at all — a persistently broken datapath.
+  if (use_fabric && canary_book_ &&
+      ((config_.canary_interval > 0 && d % config_.canary_interval == 0) ||
+       canary_pending_ || state_ == FabricState::kRecovering)) {
+    const Dim probes = static_cast<Dim>(canary_book_->inputs.size());
+    double sweeps = 1.0;
+    if (run_canary_probes(d, /*attempt=*/0) > 0) {
+      // Probes deviate.  First hypothesis: an SEU landed between scrubs
+      // — repair the weight memory and retest.
+      scrub_now();
+      sweeps = 2.0;
+      if (run_canary_probes(d, /*attempt=*/1) > 0) {
+        // Weights are clean and the probes still deviate: the datapath
+        // itself is broken.  Stop trusting the fabric.
+        use_fabric = false;
+        if (state_ != FabricState::kRecovering) ++stats_.degraded_entries;
+        state_ = FabricState::kDegraded;
+      }
+    }
+    canary_pending_ = false;
+    // Probe replays occupy the fabric like any other batch.
+    wasted += sweeps * design_.seconds_per_batch(probes);
+  }
+
   if (!use_fabric) {
     if (!config_.host_fallback) {
       // Fleet mode: the failed attempts still occupied the fabric; the
@@ -299,14 +439,25 @@ void StreamSession::dispatch(double now) {
 
   // BNN leg for the whole batch up front: per-image fan-out through the
   // packed run_reference engine (each image owns its scores slot), before
-  // the serial arrival/latency bookkeeping below.
+  // the serial arrival/latency bookkeeping below.  With the SDC defense
+  // armed, every slot runs under its own integrity scope — all arming
+  // decisions are made serially before the fan-out and every sink is
+  // folded serially in slot order after it, and since nested engine
+  // parallelism runs inline, a slot's whole inference (and any armed
+  // fault) stays on one thread.  That keeps detection replay
+  // bit-identical at any thread count.
+  const bool have_faults =
+      injector_ != nullptr && injector_->has_compute_faults();
+  const bool guarded =
+      have_faults || config_.integrity != integrity::IntegrityMode::kOff;
   std::vector<std::vector<std::int32_t>> raw_scores(
       static_cast<std::size_t>(n));
+  std::vector<Tensor> dma;
   if (injector_ != nullptr) {
     // DMA copies feed the fabric so input corruption never touches the
     // host's originals; the corruption decisions are made serially
     // before the parallel region (determinism at any thread count).
-    std::vector<Tensor> dma(static_cast<std::size_t>(n));
+    dma.resize(static_cast<std::size_t>(n));
     for (Dim i = 0; i < n; ++i) {
       dma[static_cast<std::size_t>(i)] =
           batch_[static_cast<std::size_t>(i)].image;
@@ -314,19 +465,86 @@ void StreamSession::dispatch(double now) {
         ++stats_.corrupted_inputs;
       }
     }
-    parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
-      for (Dim i = i0; i < i1; ++i) {
-        raw_scores[static_cast<std::size_t>(i)] = bnn::run_reference(
-            active_bnn(), dma[static_cast<std::size_t>(i)]);
+  }
+  const auto slot_image = [&](Dim i) -> const Tensor& {
+    return injector_ != nullptr ? dma[static_cast<std::size_t>(i)]
+                                : batch_[static_cast<std::size_t>(i)].image;
+  };
+  std::vector<integrity::ScopeOptions> opts;
+  std::vector<std::vector<integrity::Detection>> sinks;
+  std::vector<int> fired;
+  if (guarded) {
+    opts.resize(static_cast<std::size_t>(n));
+    sinks.resize(static_cast<std::size_t>(n));
+    fired.assign(static_cast<std::size_t>(n), 0);
+    for (Dim i = 0; i < n; ++i) {
+      integrity::ScopeOptions& o = opts[static_cast<std::size_t>(i)];
+      o.mode = config_.integrity;
+      o.sample_period = config_.integrity_sample_period;
+      o.token = slot_token(injector_ ? injector_->seed() : 0, d, i);
+      if (have_faults) o.faults = injector_->compute_faults(d, i);
+      o.sink = &sinks[static_cast<std::size_t>(i)];
+    }
+  }
+  parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
+    for (Dim i = i0; i < i1; ++i) {
+      if (guarded) {
+        integrity::Scope scope(opts[static_cast<std::size_t>(i)]);
+        raw_scores[static_cast<std::size_t>(i)] =
+            bnn::run_reference(active_bnn(), slot_image(i));
+        fired[static_cast<std::size_t>(i)] = scope.faults_fired();
+      } else {
+        raw_scores[static_cast<std::size_t>(i)] =
+            bnn::run_reference(active_bnn(), slot_image(i));
       }
-    });
-  } else {
-    parallel_for(0, n, 1, [&](Dim i0, Dim i1) {
-      for (Dim i = i0; i < i1; ++i) {
-        raw_scores[static_cast<std::size_t>(i)] = bnn::run_reference(
-            bnn_, batch_[static_cast<std::size_t>(i)].image);
+    }
+  });
+
+  // Verified re-execution ladder: every slot whose checksums flagged a
+  // fault is re-run on the fabric under full verification; a clean
+  // re-run replaces its scores (bit-identical to a fault-free pass), a
+  // second detection escalates the image to the host float path below.
+  std::vector<char> escalate(static_cast<std::size_t>(n), 0);
+  std::vector<double> slot_ready(static_cast<std::size_t>(n), fpga_done);
+  double reexec_done = fpga_done;
+  if (guarded) {
+    std::vector<Dim> suspects;
+    for (Dim i = 0; i < n; ++i) {
+      stats_.compute_faults_fired += fired[static_cast<std::size_t>(i)];
+      if (!sinks[static_cast<std::size_t>(i)].empty()) {
+        ++stats_.sdc_detected;
+        suspects.push_back(i);
       }
-    });
+    }
+    if (!suspects.empty()) {
+      // The re-runs occupy the fabric after the batch: one cold batch of
+      // the suspect images.
+      reexec_done = fpga_done + design_.seconds_per_batch(
+                                    static_cast<Dim>(suspects.size()));
+      fpga_free_ = reexec_done;
+    }
+    for (Dim i : suspects) {
+      integrity::ScopeOptions ropts = opts[static_cast<std::size_t>(i)];
+      ropts.attempt = 1;  // transient armed faults no longer fire
+      ropts.mode = integrity::IntegrityMode::kFull;  // audit the retry fully
+      std::vector<integrity::Detection> redetect;
+      ropts.sink = &redetect;
+      std::vector<std::int32_t> scores;
+      {
+        SerialGuard serial;
+        integrity::Scope scope(ropts);
+        scores = bnn::run_reference(active_bnn(), slot_image(i));
+        stats_.compute_faults_fired += scope.faults_fired();
+      }
+      if (redetect.empty()) {
+        raw_scores[static_cast<std::size_t>(i)] = std::move(scores);
+        slot_ready[static_cast<std::size_t>(i)] = reexec_done;
+        ++stats_.sdc_corrected;
+      } else {
+        escalate[static_cast<std::size_t>(i)] = 1;
+      }
+      ++stats_.sdc_served_after_reexec;
+    }
   }
 
   host_.set_training(false);
@@ -341,19 +559,31 @@ void StreamSession::dispatch(double now) {
         raw.begin(), std::max_element(raw.begin(), raw.end())));
     result.confidence = dmu_.confidence(scores);
     result.rerun = result.confidence < config_.dmu_threshold;
-    if (result.rerun) {
-      // Host re-inference starts once the BNN verdict exists and the
-      // host is free; runs concurrently with the fabric's next batch.
-      const double host_start = std::max(fpga_done, host_free_);
+    if (escalate[b]) {
+      // The fabric corrupted this image twice: its answer is untrusted
+      // regardless of DMU confidence, so the host float path serves it
+      // (after the failed fabric retry).
+      result.rerun = true;
+      const double host_start = std::max(reexec_done, host_free_);
       const double host_done =
           host_start + host_seconds_per_image_ * host_multiplier;
       host_free_ = host_done;
-      result.label = host_.predict(pending.image).front();
+      result.label = host_predict(pending.image);
+      result.ready_at = host_done;
+      result.served_by = ServedBy::kHost;
+    } else if (result.rerun) {
+      // Host re-inference starts once the BNN verdict exists and the
+      // host is free; runs concurrently with the fabric's next batch.
+      const double host_start = std::max(slot_ready[b], host_free_);
+      const double host_done =
+          host_start + host_seconds_per_image_ * host_multiplier;
+      host_free_ = host_done;
+      result.label = host_predict(pending.image);
       result.ready_at = host_done;
       result.served_by = ServedBy::kHost;
     } else {
       result.label = result.bnn_label;
-      result.ready_at = fpga_done;
+      result.ready_at = slot_ready[b];
       result.served_by = ServedBy::kFabric;
     }
     ready_.push_back(result);

@@ -27,6 +27,7 @@
 #include "bnn/compile.hpp"
 #include "core/dmu.hpp"
 #include "core/fault.hpp"
+#include "core/integrity/canary.hpp"
 #include "finn/dataflow.hpp"
 #include "nn/net.hpp"
 
@@ -88,6 +89,16 @@ struct SupervisorStats {
   Dim admission_shed = 0;   ///< requests turned away by a tenant token bucket
   Dim slo_shed = 0;         ///< requests shed because Eq.(3)–(5) misses the SLO
   Dim slo_host_routed = 0;  ///< requests host-routed to rescue their SLO
+  // ---- SDC defense (core/integrity; DESIGN.md §16) ----
+  Dim sdc_detected = 0;   ///< images whose kernel checksums flagged a fault
+  Dim sdc_corrected = 0;  ///< detections cleared by a clean fabric re-run
+  /// Detected images that reached a result through re-execution (fabric
+  /// retry or host escalation) — in kFull mode every detection lands
+  /// here, so nothing corrupted is ever served silently.
+  Dim sdc_served_after_reexec = 0;
+  Dim canary_runs = 0;           ///< golden-book probes replayed
+  Dim canary_failures = 0;       ///< probes whose logits deviated
+  Dim compute_faults_fired = 0;  ///< injected datapath faults that struck
 };
 
 /// One classified image leaving the stream.
@@ -122,6 +133,19 @@ class StreamSession {
     /// Dispatches between CRC scrubs of the fabric weight memory
     /// (0 = scrubbing off).
     Dim scrub_interval = 0;
+    // ---- SDC defense (core/integrity; DESIGN.md §16) ----
+    /// ABFT checksum verification of every kernel call made on behalf of
+    /// a batch slot.  kSample verifies 1-in-integrity_sample_period
+    /// calls; kFull everything.  Detections trigger verified
+    /// re-execution (fabric retry, then host float escalation).
+    integrity::IntegrityMode integrity = integrity::IntegrityMode::kOff;
+    Dim integrity_sample_period = 8;
+    /// Dispatches between canary golden-book replays (0 = canaries off).
+    /// Canaries also run after any scrub repair and on recovery probes.
+    Dim canary_interval = 0;
+    /// Probes auto-built at construction when canary_interval > 0 and no
+    /// book is attached.
+    Dim canary_count = 4;
     // ---- bounded submit queue (active with or without faults) ----
     /// Fabric backlog bound, in batches of headroom (0 = unbounded).
     Dim queue_capacity = 0;
@@ -203,6 +227,12 @@ class StreamSession {
   /// mode.
   std::vector<UnservedWork> take_unserved();
 
+  /// Replaces the canary golden book (e.g. one loaded from an `MPGB`
+  /// artifact).  Throws when the book's model CRC does not match this
+  /// session's golden network — stale probes would flag a healthy
+  /// fabric.
+  void attach_canary_book(integrity::CanaryBook book);
+
   /// Runs one CRC scrub cycle of the emulated on-chip weight memory
   /// immediately (outside the scrub_interval cadence) and returns the
   /// number of stages repaired.  The fleet scheduler calls this before a
@@ -234,6 +264,13 @@ class StreamSession {
   void serve_on_host(double give_up_at, double host_multiplier);
   void park_unserved(double abandoned_at);
   void shed(const Pending& pending);
+  /// Host float prediction, ABFT-guarded when Config::integrity is on
+  /// (serial-inline so the thread-local scope covers every kernel; one
+  /// verified re-run on detection).
+  int host_predict(const Tensor& image);
+  /// Replays the golden book against the fabric under attempt-`attempt`
+  /// fault arming; returns the number of deviating probes.
+  Dim run_canary_probes(Dim dispatch, int attempt);
   const bnn::CompiledBnn& active_bnn() const {
     return fabric_ ? *fabric_ : bnn_;
   }
@@ -250,6 +287,9 @@ class StreamSession {
   const FaultInjector* injector_ = nullptr;
   std::unique_ptr<bnn::CompiledBnn> fabric_;
   WeightCrcBook crc_;
+  std::unique_ptr<integrity::CanaryBook> canary_book_;
+  bool canary_pending_ = false;  ///< health gate owed after a scrub repair
+  Dim host_calls_ = 0;  ///< serial ordinal feeding host-scope tokens
 
   std::deque<Pending> batch_;
   std::vector<StreamResult> ready_;

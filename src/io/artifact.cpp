@@ -76,6 +76,7 @@ constexpr KnownFormat kKnownFormats[] = {
     {{'M', 'P', 'T', 'U'}, "tuning cache", 1},
     {{'M', 'P', 'S', 'E'}, "scene trace", 1},
     {{'M', 'P', 'F', 'P'}, "fleet plan", 1},
+    {{'M', 'P', 'G', 'B'}, "canary golden book", 1},
 };
 
 const KnownFormat* find_format(ArtifactMagic magic) {

@@ -7,6 +7,7 @@
 
 #include "core/autotune.hpp"
 #include "core/cpu.hpp"
+#include "core/integrity/integrity.hpp"
 #include "core/threadpool.hpp"
 #include "tensor/gemm_kernels.hpp"
 
@@ -75,7 +76,17 @@ std::vector<float>& packed_b_scratch() {
 }
 
 const detail::GemmKernels kGemmKernelsGeneric = {"generic", &tile_generic,
-                                                 nullptr};
+                                                 nullptr, nullptr, nullptr};
+
+// ABFT epilogue kernels of the bound dispatch level, in the form the
+// integrity hooks accept (null members → portable fallback loops).
+core::integrity::GemmAbftKernels abft_kernels() {
+  const detail::GemmKernels& kern = detail::gemm_kernels();
+  core::integrity::GemmAbftKernels out;
+  out.pass = kern.abft_pass;
+  out.dots = kern.abft_dots;
+  return out;
+}
 
 // --- autotuned cache blocking ---------------------------------------
 // The candidate grids only move tile boundaries and packing panel sizes;
@@ -314,10 +325,27 @@ const char* gemm_tile_variant() { return detail::gemm_kernels().name; }
 const char* gemm_bt_variant() {
   return detail::gemm_kernels().bt_tile != nullptr ? "avx2-panel" : "dot";
 }
+// The ABFT epilogue accumulates its checksum references in double via
+// separate reduction passes — independent of the blocked/FMA kernel it
+// audits, but riding the same ISA dispatch (the AVX2 passes reproduce
+// the portable rounding order bit-exactly).
+const char* gemm_checksum_variant() {
+  const char* variant = detail::gemm_kernels().abft_pass != nullptr
+                            ? "avx2-double"
+                            : "scalar-double";
+  return core::integrity::global_mode() == core::integrity::IntegrityMode::kOff
+             ? (detail::gemm_kernels().abft_pass != nullptr
+                    ? "avx2-double (off)"
+                    : "scalar-double (off)")
+             : variant;
+}
 [[maybe_unused]] const bool kGemmSlotRegistered =
     core::register_kernel_slot("gemm.tile", &gemm_tile_variant);
 [[maybe_unused]] const bool kGemmBtSlotRegistered =
     core::register_kernel_slot("gemm.bt", &gemm_bt_variant);
+[[maybe_unused]] const bool kGemmChecksumSlotRegistered =
+    core::register_kernel_slot("integrity.gemm_checksum",
+                               &gemm_checksum_variant);
 
 }  // namespace
 
@@ -348,7 +376,16 @@ const GemmKernels& gemm_kernels() {
 
 void gemm(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
           const float* A, const float* B, float beta, float* C) {
+  // ABFT guard (core/integrity): snapshot the beta-carried checksums,
+  // run the blocked kernel, then cross-verify row/column sums (and land
+  // any armed compute fault) in the epilogue.  Inactive guards cost one
+  // thread-local load.
+  namespace integ = core::integrity;
+  const integ::GemmAbftKernels abft = abft_kernels();
+  integ::GemmGuard guard = integ::gemm_begin(M, N, beta, C, abft);
   gemm_with_blocking(M, N, K, alpha, A, B, beta, C, blocking_for(M, N, K));
+  integ::gemm_end(guard, integ::GemmLayout::kRowMajorB, M, N, K, alpha, A, B,
+                  beta, C, abft);
 }
 
 void gemm_at(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
@@ -368,27 +405,33 @@ void gemm_at(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
 
 void gemm_bt(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,
              const float* A, const float* B, float beta, float* C) {
+  namespace integ = core::integrity;
+  const integ::GemmAbftKernels abft = abft_kernels();
+  integ::GemmGuard guard = integ::gemm_begin(M, N, beta, C, abft);
   const detail::GemmBtTileFn bt_tile = detail::gemm_kernels().bt_tile;
   if (bt_tile != nullptr) {
     gemm_bt_packed(M, N, K, alpha, A, B, beta, C, bt_blocking_for(M, N, K),
                    bt_tile);
-    return;
-  }
-  // B is (N x K); dot-product formulation is already cache-friendly since
-  // both A rows and B rows are unit-stride.  Rows of C are independent
-  // dot products, so chunking over i preserves the summation order.
-  core::parallel_for(0, M, 8, [&](std::int64_t i0, std::int64_t i1) {
-    scale_rows(i1 - i0, N, beta, C + i0 * N);
-    for (std::int64_t i = i0; i < i1; ++i) {
-      const float* a = A + i * K;
-      for (std::int64_t j = 0; j < N; ++j) {
-        const float* b = B + j * K;
-        float acc = 0.0f;
-        for (std::int64_t k = 0; k < K; ++k) acc += a[k] * b[k];
-        C[i * N + j] += alpha * acc;
+  } else {
+    // B is (N x K); dot-product formulation is already cache-friendly
+    // since both A rows and B rows are unit-stride.  Rows of C are
+    // independent dot products, so chunking over i preserves the
+    // summation order.
+    core::parallel_for(0, M, 8, [&](std::int64_t i0, std::int64_t i1) {
+      scale_rows(i1 - i0, N, beta, C + i0 * N);
+      for (std::int64_t i = i0; i < i1; ++i) {
+        const float* a = A + i * K;
+        for (std::int64_t j = 0; j < N; ++j) {
+          const float* b = B + j * K;
+          float acc = 0.0f;
+          for (std::int64_t k = 0; k < K; ++k) acc += a[k] * b[k];
+          C[i * N + j] += alpha * acc;
+        }
       }
-    }
-  });
+    });
+  }
+  integ::gemm_end(guard, integ::GemmLayout::kTransposedB, M, N, K, alpha, A,
+                  B, beta, C, abft);
 }
 
 void gemm_naive(std::int64_t M, std::int64_t N, std::int64_t K, float alpha,

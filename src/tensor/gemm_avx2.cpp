@@ -20,6 +20,8 @@
 
 #include <immintrin.h>
 
+#include <cmath>
+
 namespace mpcnn::detail {
 namespace {
 
@@ -200,9 +202,124 @@ void bt_tile_avx2(std::int64_t mb, std::int64_t nb, std::int64_t K,
   }
 }
 
+// --- ABFT epilogue passes -------------------------------------------
+// The integrity epilogue audits the tile kernels above, so it must not
+// share their arithmetic — it reduces in double through these separate
+// passes.  The 4-double vector maps 1:1 onto the portable epilogue's
+// four stride-4 lanes, and -ffp-contract=off keeps every w·v then +=
+// as two roundings, so the references below are bit-identical to the
+// scalar fallback in integrity.cpp.
+
+inline __m256d abs_pd(__m256d v) {
+  return _mm256_andnot_pd(_mm256_set1_pd(-0.0), v);
+}
+
+template <bool kColAbs, bool kRowSum, bool kRowAbs>
+void abft_pass_body(const float* m, std::int64_t rows, std::int64_t cols,
+                    const double* row_w, const double* row_w_abs,
+                    double* col_acc, double* col_abs, double* row_sum,
+                    double* row_abs) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* mr = m + r * cols;
+    const double w = row_w != nullptr ? row_w[r] : 1.0;
+    const double wa = row_w_abs != nullptr ? row_w_abs[r] : 1.0;
+    const __m256d wv = _mm256_set1_pd(w);
+    const __m256d wav = _mm256_set1_pd(wa);
+    __m256d rs = _mm256_setzero_pd();
+    __m256d rsa = _mm256_setzero_pd();
+    std::int64_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      const __m256d v = _mm256_cvtps_pd(_mm_loadu_ps(mr + c));
+      const __m256d va = abs_pd(v);
+      _mm256_storeu_pd(col_acc + c,
+                       _mm256_add_pd(_mm256_loadu_pd(col_acc + c),
+                                     _mm256_mul_pd(wv, v)));
+      if constexpr (kColAbs) {
+        _mm256_storeu_pd(col_abs + c,
+                         _mm256_add_pd(_mm256_loadu_pd(col_abs + c),
+                                       _mm256_mul_pd(wav, va)));
+      }
+      if constexpr (kRowSum) rs = _mm256_add_pd(rs, v);
+      if constexpr (kRowAbs) rsa = _mm256_add_pd(rsa, va);
+    }
+    double lane[4], lanea[4];
+    _mm256_storeu_pd(lane, rs);
+    _mm256_storeu_pd(lanea, rsa);
+    for (; c < cols; ++c) {  // tail folds into lane 0, like the fallback
+      const double v = static_cast<double>(mr[c]);
+      const double va = std::fabs(v);
+      col_acc[c] += w * v;
+      if constexpr (kColAbs) col_abs[c] += wa * va;
+      if constexpr (kRowSum) lane[0] += v;
+      if constexpr (kRowAbs) lanea[0] += va;
+    }
+    if constexpr (kRowSum) {
+      row_sum[r] = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+    }
+    if constexpr (kRowAbs) {
+      row_abs[r] = (lanea[0] + lanea[1]) + (lanea[2] + lanea[3]);
+    }
+  }
+}
+
+void abft_pass_avx2(const float* m, std::int64_t rows, std::int64_t cols,
+                    const double* row_w, const double* row_w_abs,
+                    double* col_acc, double* col_abs, double* row_sum,
+                    double* row_abs) {
+  const int sel = (col_abs != nullptr ? 4 : 0) |
+                  (row_sum != nullptr ? 2 : 0) |
+                  (row_abs != nullptr ? 1 : 0);
+  switch (sel) {
+    case 0: abft_pass_body<false, false, false>(m, rows, cols, row_w,
+                row_w_abs, col_acc, col_abs, row_sum, row_abs); break;
+    case 1: abft_pass_body<false, false, true>(m, rows, cols, row_w,
+                row_w_abs, col_acc, col_abs, row_sum, row_abs); break;
+    case 2: abft_pass_body<false, true, false>(m, rows, cols, row_w,
+                row_w_abs, col_acc, col_abs, row_sum, row_abs); break;
+    case 3: abft_pass_body<false, true, true>(m, rows, cols, row_w,
+                row_w_abs, col_acc, col_abs, row_sum, row_abs); break;
+    case 4: abft_pass_body<true, false, false>(m, rows, cols, row_w,
+                row_w_abs, col_acc, col_abs, row_sum, row_abs); break;
+    case 5: abft_pass_body<true, false, true>(m, rows, cols, row_w,
+                row_w_abs, col_acc, col_abs, row_sum, row_abs); break;
+    case 6: abft_pass_body<true, true, false>(m, rows, cols, row_w,
+                row_w_abs, col_acc, col_abs, row_sum, row_abs); break;
+    default: abft_pass_body<true, true, true>(m, rows, cols, row_w,
+                 row_w_abs, col_acc, col_abs, row_sum, row_abs); break;
+  }
+}
+
+void abft_dots_avx2(const float* m, std::int64_t rows, std::int64_t cols,
+                    const double* w, const double* w_abs, double* dots,
+                    double* dots_abs) {
+  for (std::int64_t r = 0; r < rows; ++r) {
+    const float* mr = m + r * cols;
+    __m256d d = _mm256_setzero_pd();
+    __m256d da = _mm256_setzero_pd();
+    std::int64_t c = 0;
+    for (; c + 4 <= cols; c += 4) {
+      const __m256d v = _mm256_cvtps_pd(_mm_loadu_ps(mr + c));
+      d = _mm256_add_pd(d, _mm256_mul_pd(v, _mm256_loadu_pd(w + c)));
+      da = _mm256_add_pd(
+          da, _mm256_mul_pd(abs_pd(v), _mm256_loadu_pd(w_abs + c)));
+    }
+    double lane[4], lanea[4];
+    _mm256_storeu_pd(lane, d);
+    _mm256_storeu_pd(lanea, da);
+    for (; c < cols; ++c) {
+      const double v = static_cast<double>(mr[c]);
+      lane[0] += v * w[c];
+      lanea[0] += std::fabs(v) * w_abs[c];
+    }
+    dots[r] = (lane[0] + lane[1]) + (lane[2] + lane[3]);
+    dots_abs[r] = (lanea[0] + lanea[1]) + (lanea[2] + lanea[3]);
+  }
+}
+
 }  // namespace
 
-const GemmKernels kGemmKernelsAvx2 = {"avx2", &tile_avx2, &bt_tile_avx2};
+const GemmKernels kGemmKernelsAvx2 = {"avx2", &tile_avx2, &bt_tile_avx2,
+                                      &abft_pass_avx2, &abft_dots_avx2};
 
 }  // namespace mpcnn::detail
 
@@ -210,7 +327,8 @@ const GemmKernels kGemmKernelsAvx2 = {"avx2", &tile_avx2, &bt_tile_avx2};
        // dispatcher checks for null pointers and never binds this table.
 
 namespace mpcnn::detail {
-const GemmKernels kGemmKernelsAvx2 = {"avx2-unavailable", nullptr, nullptr};
+const GemmKernels kGemmKernelsAvx2 = {"avx2-unavailable", nullptr, nullptr,
+                                      nullptr, nullptr};
 }  // namespace mpcnn::detail
 
 #endif

@@ -37,10 +37,37 @@ using GemmBtTileFn = void (*)(std::int64_t mb, std::int64_t nb,
                               std::int64_t lda, const float* Bp, float* C,
                               std::int64_t ldc);
 
+/// ABFT epilogue reduction pass over a rows×cols row-major float matrix
+/// (core/integrity gemm_end).  For every element v = m[r][c] (widened to
+/// double), va = |v|, with per-row weights w = row_w ? row_w[r] : 1.0 and
+/// wa = row_w_abs ? row_w_abs[r] : 1.0:
+///   col_acc[c] += w·v            (never null)
+///   col_abs[c] += wa·va          (skipped when null)
+///   row_sum[r] = Σ_c v           (skipped when null)
+///   row_abs[r] = Σ_c va          (skipped when null)
+/// Row sums accumulate in four independent stride-4 lanes folded as
+/// (l0+l1)+(l2+l3), the scalar tail into lane 0 — the exact rounding
+/// sequence of the portable epilogue in integrity.cpp, so checksum
+/// references stay bit-identical across dispatch levels.
+using GemmAbftPassFn = void (*)(const float* m, std::int64_t rows,
+                                std::int64_t cols, const double* row_w,
+                                const double* row_w_abs, double* col_acc,
+                                double* col_abs, double* row_sum,
+                                double* row_abs);
+
+/// Batched ABFT dot products: dots[r] = Σ_c m[r][c]·w[c] and
+/// dots_abs[r] = Σ_c |m[r][c]|·w_abs[c], same 4-lane fold as above.
+using GemmAbftDotsFn = void (*)(const float* m, std::int64_t rows,
+                                std::int64_t cols, const double* w,
+                                const double* w_abs, double* dots,
+                                double* dots_abs);
+
 struct GemmKernels {
   const char* name;       ///< variant label for cpuinfo ("generic", "avx2")
   GemmTileFn tile;        ///< never null
   GemmBtTileFn bt_tile;   ///< null → gemm_bt uses the unpacked dot form
+  GemmAbftPassFn abft_pass;  ///< null → portable epilogue loops
+  GemmAbftDotsFn abft_dots;  ///< null → portable epilogue loops
 };
 
 /// Table bound to the active ISA level (rebinds after core::refresh_isa).

@@ -205,6 +205,12 @@ void expect_same_stats(const core::SupervisorStats& a,
   EXPECT_EQ(a.corrupted_inputs, b.corrupted_inputs);
   EXPECT_EQ(a.shed, b.shed);
   EXPECT_EQ(a.blocked, b.blocked);
+  EXPECT_EQ(a.sdc_detected, b.sdc_detected);
+  EXPECT_EQ(a.sdc_corrected, b.sdc_corrected);
+  EXPECT_EQ(a.sdc_served_after_reexec, b.sdc_served_after_reexec);
+  EXPECT_EQ(a.canary_runs, b.canary_runs);
+  EXPECT_EQ(a.canary_failures, b.canary_failures);
+  EXPECT_EQ(a.compute_faults_fired, b.compute_faults_fired);
 }
 
 TEST_F(FaultStreamTest, FabricStallDegradesServesFloatAndRecovers) {

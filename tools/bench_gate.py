@@ -26,8 +26,15 @@ import json
 import os
 import sys
 
-THROUGHPUT_KEYS = ("throughput_fps", "goodput_fps", "effective_fps")
-CONTEXT_KEYS = ("p50_ms", "p99_ms")
+THROUGHPUT_KEYS = ("throughput_fps", "goodput_fps", "effective_fps",
+                   "throughput_gops")
+CONTEXT_KEYS = ("p50_ms", "p99_ms", "off_ms", "overhead_sample_frac")
+
+# Absolute ceiling on the ABFT full-mode overhead fraction reported by
+# bench_integrity (BENCH_integrity.json).  Unlike the relative gates
+# this binds with or without a committed baseline: the SDC defense is
+# only deployable while its checked path stays within this budget.
+FULL_OVERHEAD_CEILING = 0.15
 
 
 def cpu_signature(doc):
@@ -114,6 +121,26 @@ def gate_file(name, baseline_path, fresh_path, threshold):
     return regressions
 
 
+def absolute_gate(fresh_path, name):
+    """Baseline-free checks; returns the number of violations."""
+    with open(fresh_path) as f:
+        doc = json.load(f)
+    violations = 0
+    for row in doc.get("scenarios", []):
+        frac = row.get("overhead_full_frac")
+        if not isinstance(frac, (int, float)):
+            continue
+        verdict = "FAIL" if frac > FULL_OVERHEAD_CEILING else "ok"
+        print(f"  {row.get('name', '?'):40s} {'full_overhead':16s} "
+              f"{FULL_OVERHEAD_CEILING:12.0%} {frac:12.1%}  {verdict}")
+        if verdict == "FAIL":
+            violations += 1
+    if violations:
+        print(f"{name}: FAIL — {violations} kernel(s) exceed the "
+              f"{FULL_OVERHEAD_CEILING:.0%} full-mode ABFT overhead ceiling")
+    return violations
+
+
 def main(argv):
     args = [a for a in argv[1:] if not a.startswith("--")]
     threshold = 0.15
@@ -129,17 +156,20 @@ def main(argv):
 
     total = 0
     compared = 0
+    absolute = 0
     for name in sorted(os.listdir(fresh_dir)):
         if not (name.startswith("BENCH_") and name.endswith(".json")):
             continue
+        fresh_path = os.path.join(fresh_dir, name)
+        absolute += absolute_gate(fresh_path, name)
         baseline_path = os.path.join(baseline_dir, name)
         if not os.path.exists(baseline_path):
             print(f"SKIP {name}: no committed baseline yet")
             continue
-        total += gate_file(name, baseline_path,
-                           os.path.join(fresh_dir, name), threshold)
+        total += gate_file(name, baseline_path, fresh_path, threshold)
         compared += 1
-    if compared == 0:
+    total += absolute
+    if compared == 0 and total == 0:
         print("bench gate: nothing to compare (no baselines)")
         return 0
     if total:

@@ -2,7 +2,7 @@
 //
 // Builds one golden artifact per format (MPCN net weights, MPBN compiled
 // BNN, MPCK training checkpoint, MPTU tuning cache, MPSE scene trace,
-// MPFP fleet plan), then applies seeded
+// MPFP fleet plan, MPGB canary golden book), then applies seeded
 // random mutations — truncation, extension, single bit flips, and
 // multi-byte field overwrites aimed at the frame's magic / version /
 // length / payload / CRC regions — and feeds each mutant to the real
@@ -30,6 +30,7 @@
 #include "bnn/export.hpp"
 #include "core/autotune.hpp"
 #include "core/fleet.hpp"
+#include "core/integrity/canary.hpp"
 #include "data/scene_trace.hpp"
 #include "nn/activations.hpp"
 #include "nn/checkpoint.hpp"
@@ -87,7 +88,7 @@ std::string build_net_golden(const std::string& dir) {
   return path;
 }
 
-std::string build_compiled_golden(const std::string& dir) {
+bnn::CompiledBnn make_golden_compiled() {
   // Hand-assembled three-stage compiled net: fixed-point conv → binary
   // conv → output dense, with patterned weights so every byte matters.
   bnn::CompiledBnn net;
@@ -125,10 +126,29 @@ std::string build_compiled_golden(const std::string& dir) {
                              3, 9, 256));
   net.stages.push_back(
       stage(bnn::StageKind::kBinaryConv, 8, 6, 8, 4, 3, 72, 2));
+  // Dense input width = the flattened 8ch × 4×4 binary feature map, so
+  // the golden net is actually executable (the canary book records real
+  // run_reference logits from it).
   net.stages.push_back(
-      stage(bnn::StageKind::kOutputDense, 8, 1, 4, 1, 0, 8 * 16, 2));
+      stage(bnn::StageKind::kOutputDense, 8 * 4 * 4, 1, 4, 1, 0, 8 * 16, 2));
+  return net;
+}
+
+std::string build_compiled_golden(const std::string& dir) {
   const std::string path = dir + "/golden_bnn.mpbn";
-  bnn::save_compiled(net, path);
+  bnn::save_compiled(make_golden_compiled(), path);
+  return path;
+}
+
+std::string build_canary_golden(const std::string& dir) {
+  // Golden-output canary book recorded against the hand-assembled
+  // compiled net: probe pixels, exact logits, and the model-identity CRC
+  // all live in the payload, so mutations strike real fields.
+  const std::string path = dir + "/golden_canary.mpgb";
+  core::integrity::save_canary_book(
+      core::integrity::make_canary_book(make_golden_compiled(), /*count=*/3,
+                                        /*seed=*/99),
+      path);
   return path;
 }
 
@@ -387,6 +407,10 @@ int run(const Options& opt) {
   targets.push_back({"MPFP", build_fleet_plan_golden(opt.dir),
                      [](const std::string& p) {
                        core::load_fleet_plan(p);
+                     }});
+  targets.push_back({"MPGB", build_canary_golden(opt.dir),
+                     [](const std::string& p) {
+                       core::integrity::load_canary_book(p);
                      }});
 
   const std::size_t per_target =

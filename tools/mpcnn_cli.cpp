@@ -90,6 +90,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <map>
 #include <optional>
 #include <string>
@@ -99,6 +100,7 @@
 #include "core/autotune.hpp"
 #include "core/cpu.hpp"
 #include "core/fault.hpp"
+#include "core/integrity/canary.hpp"
 #include "core/workbench.hpp"
 #include "data/scene_trace.hpp"
 #include "finn/explorer.hpp"
@@ -184,7 +186,10 @@ int usage() {
                "          [--batch N] [--images N] [--seed S]\n"
                "          [--faults kind:first:last[:mag[:count]],...]\n"
                "          [--policy block|drop|reject] [--capacity N]\n"
-               "          [--scrub N]   (kinds: stall dma seu spike input)\n"
+               "          [--scrub N] [--integrity off|sample|full]\n"
+               "          [--canary N] [--canary-book FILE]\n"
+               "          (kinds: stall dma seu spike input\n"
+               "                  bitflip lane burst)\n"
                "  serve   [--cache DIR] [--model A|B|C] [--threshold T]\n"
                "          [--batch N] [--window MS] [--tenants N]\n"
                "          [--rate HZ] [--duration S]\n"
@@ -247,6 +252,12 @@ core::FaultPlan parse_fault_plan(const std::string& spec) {
       window.kind = core::FaultKind::kHostLatencySpike;
     } else if (kind == "input") {
       window.kind = core::FaultKind::kInputCorruption;
+    } else if (kind == "bitflip") {
+      window.kind = core::FaultKind::kAccumulatorBitFlip;
+    } else if (kind == "lane") {
+      window.kind = core::FaultKind::kPopcountLaneStuck;
+    } else if (kind == "burst") {
+      window.kind = core::FaultKind::kPartialSumCorruption;
     } else {
       MPCNN_CHECK(false, "unknown fault kind '" << kind << "'");
     }
@@ -488,6 +499,9 @@ int cmd_stream(const Args& args) {
   config.batch_size = std::stol(args.get("batch", "16"));
   config.dmu_threshold = threshold;
   config.scrub_interval = std::stol(args.get("scrub", "0"));
+  config.integrity =
+      core::integrity::parse_mode(args.get("integrity", "off").c_str());
+  config.canary_interval = std::stol(args.get("canary", "0"));
   config.queue_capacity = std::stol(args.get("capacity", "0"));
   const std::string policy = args.get("policy", "block");
   if (policy == "drop") {
@@ -507,6 +521,23 @@ int cmd_stream(const Args& args) {
   const bool faulted = !plan.empty() || config.scrub_interval > 0;
   core::StreamSession session =
       wb.make_stream(which, config, faulted ? &injector : nullptr);
+  if (args.has("canary-book")) {
+    // Persisted golden book (MPGB): load when present, else record the
+    // current golden outputs for future sessions of this model.
+    const std::string path = args.get("canary-book", "");
+    if (std::ifstream(path).good()) {
+      session.attach_canary_book(core::integrity::load_canary_book(path));
+      std::printf("canary book: loaded %s\n", path.c_str());
+    } else {
+      const core::integrity::CanaryBook book =
+          core::integrity::make_canary_book(wb.compiled_bnn(),
+                                            config.canary_count, seed);
+      core::integrity::save_canary_book(book, path);
+      session.attach_canary_book(book);
+      std::printf("canary book: recorded %s (%zu probes)\n", path.c_str(),
+                  book.inputs.size());
+    }
+  }
 
   const Dim images =
       std::min<Dim>(std::stol(args.get("images", "200")),
@@ -576,6 +607,16 @@ int cmd_stream(const Args& args) {
               static_cast<long long>(stats.shed),
               static_cast<long long>(stats.blocked),
               static_cast<long long>(stats.corrupted_inputs));
+  std::printf("  sdc defense:    mode %s, %lld detected, %lld corrected, "
+              "%lld served after re-exec, %lld faults fired\n",
+              core::integrity::mode_name(config.integrity),
+              static_cast<long long>(stats.sdc_detected),
+              static_cast<long long>(stats.sdc_corrected),
+              static_cast<long long>(stats.sdc_served_after_reexec),
+              static_cast<long long>(stats.compute_faults_fired));
+  std::printf("  canaries:       %lld probes replayed, %lld deviations\n",
+              static_cast<long long>(stats.canary_runs),
+              static_cast<long long>(stats.canary_failures));
   return 0;
 }
 
